@@ -1,0 +1,42 @@
+//! One Criterion bench per paper *figure*: each regenerates a scaled-down
+//! version of the figure's computation, so `cargo bench` both times the
+//! pipeline and proves every figure stays runnable.
+
+use bench_suite::bench_opts;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let opts = bench_opts();
+            c.bench_function(stringify!($module), |b| {
+                b.iter(|| std::hint::black_box(experiments::$module::compute(&opts)))
+            });
+        }
+    };
+}
+
+fig_bench!(bench_fig3, fig3);
+fig_bench!(bench_fig4, fig4);
+fig_bench!(bench_fig5, fig5);
+fig_bench!(bench_fig6, fig6);
+fig_bench!(bench_fig7, fig7);
+fig_bench!(bench_fig8, fig8);
+fig_bench!(bench_fig9, fig9);
+fig_bench!(bench_fig11, fig11);
+fig_bench!(bench_fig12, fig12);
+fig_bench!(bench_fig14, fig14);
+fig_bench!(bench_fig15, fig15);
+fig_bench!(bench_fig16, fig16);
+fig_bench!(bench_fig17, fig17);
+fig_bench!(bench_fig18, fig18);
+fig_bench!(bench_fig19, fig19);
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7,
+        bench_fig8, bench_fig9, bench_fig11, bench_fig12, bench_fig14,
+        bench_fig15, bench_fig16, bench_fig17, bench_fig18, bench_fig19
+}
+criterion_main!(figures);

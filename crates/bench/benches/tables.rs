@@ -1,0 +1,32 @@
+//! One Criterion bench per paper *table*.
+
+use bench_suite::bench_opts;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("table1", |b| {
+        b.iter(|| std::hint::black_box(experiments::table1::render(&opts)))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("table2", |b| {
+        b.iter(|| std::hint::black_box(experiments::table2::render(&opts)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let opts = bench_opts();
+    c.bench_function("table3", |b| {
+        b.iter(|| std::hint::black_box(experiments::table3::compute(&opts)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3
+}
+criterion_main!(tables);

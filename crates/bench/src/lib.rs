@@ -1,0 +1,36 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The benches regenerate scaled-down versions of every paper table/figure
+//! (`benches/figures.rs`, `benches/tables.rs`), measure the core data
+//! structures (`benches/micro.rs`), and sweep the design choices DESIGN.md
+//! calls out for ablation (`benches/ablations.rs`).
+
+#![warn(missing_docs)]
+
+use experiments::RunOptions;
+
+/// Bench-sized experiment options: small enough for Criterion's repeated
+/// sampling, large enough to exercise every code path.
+#[must_use]
+pub fn bench_opts() -> RunOptions {
+    RunOptions {
+        scale: 0.05,
+        instructions: 20_000,
+        mixes: 2,
+        rows_per_bank: 128,
+        snapshots: 1,
+        seed: 0xBE11C4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_small() {
+        let o = bench_opts();
+        assert!(o.rows_per_bank <= RunOptions::quick().rows_per_bank);
+        assert!(o.instructions <= RunOptions::quick().instructions);
+    }
+}

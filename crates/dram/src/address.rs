@@ -1,0 +1,209 @@
+//! Typed DRAM coordinates and linear row numbering.
+//!
+//! Two address spaces coexist in this reproduction, mirroring the paper:
+//!
+//! * the **system address space** — what the memory controller (and MEMCON)
+//!   sees: linear [`RowId`]s / [`PageId`]s,
+//! * the **internal device space** — the physical position of cells inside a
+//!   bank's array, reachable only through the vendor's scrambler
+//!   ([`crate::scramble`]) and remap table ([`crate::remap`]).
+//!
+//! MEMCON never touches the internal space; the failure model does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::DramGeometry;
+
+/// A system-visible page identifier. The paper tracks writes at 8 KB page
+/// granularity, which coincides with the DRAM row size, so a `PageId` is the
+/// unit PRIL predicts on and a [`RowId`] the unit the refresh manager acts
+/// on; the two are numerically identical under the default linear mapping.
+pub type PageId = u64;
+
+/// A linear row number across the whole module (`rank`, `bank`, `row`
+/// flattened in that order).
+pub type RowId = u64;
+
+/// A fully-qualified row coordinate inside a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowAddr {
+    /// Rank index.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowAddr {
+    /// Creates a row address. Validity against a concrete geometry is checked
+    /// at the point of use (see [`RowAddr::checked`]).
+    #[must_use]
+    pub fn new(rank: u8, bank: u8, row: u32) -> Self {
+        RowAddr { rank, bank, row }
+    }
+
+    /// Creates a row address, returning `None` if it falls outside
+    /// `geometry`.
+    #[must_use]
+    pub fn checked(rank: u8, bank: u8, row: u32, geometry: &DramGeometry) -> Option<Self> {
+        let addr = RowAddr { rank, bank, row };
+        addr.is_valid(geometry).then_some(addr)
+    }
+
+    /// Whether this address falls inside `geometry`.
+    #[must_use]
+    pub fn is_valid(&self, geometry: &DramGeometry) -> bool {
+        self.rank < geometry.ranks
+            && self.bank < geometry.banks
+            && self.row < geometry.rows_per_bank
+    }
+
+    /// Flattens to a linear [`RowId`] (rank-major, then bank, then row).
+    #[must_use]
+    pub fn to_row_id(&self, geometry: &DramGeometry) -> RowId {
+        (u64::from(self.rank) * u64::from(geometry.banks) + u64::from(self.bank))
+            * u64::from(geometry.rows_per_bank)
+            + u64::from(self.row)
+    }
+
+    /// Inverse of [`RowAddr::to_row_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the geometry (use
+    /// [`DramGeometry::total_rows`] to bound it first).
+    #[must_use]
+    pub fn from_row_id(id: RowId, geometry: &DramGeometry) -> Self {
+        assert!(
+            id < geometry.total_rows(),
+            "row id {id} out of range ({} total rows)",
+            geometry.total_rows()
+        );
+        let rows = u64::from(geometry.rows_per_bank);
+        let row = (id % rows) as u32;
+        let bank_linear = id / rows;
+        let bank = (bank_linear % u64::from(geometry.banks)) as u8;
+        let rank = (bank_linear / u64::from(geometry.banks)) as u8;
+        RowAddr { rank, bank, row }
+    }
+}
+
+impl std::fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}b{}#{}", self.rank, self.bank, self.row)
+    }
+}
+
+/// A column coordinate: the index of a 64-byte cache block within a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnAddr(pub u32);
+
+impl ColumnAddr {
+    /// Whether this column exists in rows of `geometry`.
+    #[must_use]
+    pub fn is_valid(&self, geometry: &DramGeometry) -> bool {
+        self.0 < geometry.blocks_per_row()
+    }
+
+    /// Byte offset of this block within its row.
+    #[must_use]
+    pub fn byte_offset(&self, geometry: &DramGeometry) -> u32 {
+        self.0 * geometry.block_bytes
+    }
+}
+
+impl std::fmt::Display for ColumnAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "col{}", self.0)
+    }
+}
+
+/// Iterates every valid [`RowAddr`] of a geometry in linear [`RowId`] order.
+pub fn iter_rows(geometry: &DramGeometry) -> impl Iterator<Item = RowAddr> + '_ {
+    let g = *geometry;
+    (0..g.total_rows()).map(move |id| RowAddr::from_row_id(id, &g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn row_id_roundtrip_exhaustive_tiny() {
+        let g = DramGeometry::tiny();
+        for id in 0..g.total_rows() {
+            let addr = RowAddr::from_row_id(id, &g);
+            assert!(addr.is_valid(&g));
+            assert_eq!(addr.to_row_id(&g), id);
+        }
+    }
+
+    #[test]
+    fn row_id_is_rank_major() {
+        let g = DramGeometry::tiny(); // 1 rank, 2 banks, 64 rows
+        assert_eq!(RowAddr::new(0, 0, 0).to_row_id(&g), 0);
+        assert_eq!(RowAddr::new(0, 0, 63).to_row_id(&g), 63);
+        assert_eq!(RowAddr::new(0, 1, 0).to_row_id(&g), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_row_id_panics_out_of_range() {
+        let g = DramGeometry::tiny();
+        let _ = RowAddr::from_row_id(g.total_rows(), &g);
+    }
+
+    #[test]
+    fn checked_constructor() {
+        let g = DramGeometry::tiny();
+        assert!(RowAddr::checked(0, 0, 0, &g).is_some());
+        assert!(RowAddr::checked(0, 2, 0, &g).is_none());
+        assert!(RowAddr::checked(1, 0, 0, &g).is_none());
+        assert!(RowAddr::checked(0, 0, 64, &g).is_none());
+    }
+
+    #[test]
+    fn column_validity_and_offset() {
+        let g = DramGeometry::module_2gb();
+        assert!(ColumnAddr(0).is_valid(&g));
+        assert!(ColumnAddr(127).is_valid(&g));
+        assert!(!ColumnAddr(128).is_valid(&g));
+        assert_eq!(ColumnAddr(3).byte_offset(&g), 192);
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let g = DramGeometry::tiny();
+        let rows: Vec<_> = iter_rows(&g).collect();
+        assert_eq!(rows.len() as u64, g.total_rows());
+        assert_eq!(rows[0], RowAddr::new(0, 0, 0));
+        assert_eq!(*rows.last().unwrap(), RowAddr::new(0, 1, 63));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RowAddr::new(0, 3, 17).to_string(), "r0b3#17");
+        assert_eq!(ColumnAddr(5).to_string(), "col5");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_row_id_roundtrip(rank in 0u8..1, bank in 0u8..8, row in 0u32..32_768) {
+            let g = DramGeometry::module_2gb();
+            let addr = RowAddr::new(rank, bank, row);
+            prop_assert!(addr.is_valid(&g));
+            let id = addr.to_row_id(&g);
+            prop_assert_eq!(RowAddr::from_row_id(id, &g), addr);
+        }
+
+        #[test]
+        fn prop_row_id_is_injective(a in 0u64..262_144, b in 0u64..262_144) {
+            let g = DramGeometry::module_2gb();
+            let ra = RowAddr::from_row_id(a, &g);
+            let rb = RowAddr::from_row_id(b, &g);
+            prop_assert_eq!(a == b, ra == rb);
+        }
+    }
+}

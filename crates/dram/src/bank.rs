@@ -1,0 +1,451 @@
+//! Timing-checked DRAM bank state machine.
+//!
+//! Each bank is a small automaton — precharged (idle) or with one row open —
+//! plus a set of "earliest legal issue cycle" registers derived from the DDR3
+//! timing constraints in [`crate::timing`]. The cycle simulator drives one
+//! [`Bank`] per physical bank; rank-level constraints (`tFAW`, `tRRD`, data
+//! bus occupancy, refresh blackouts) are enforced by the controller, which
+//! injects them through [`Bank::block_until`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::DramCommand;
+use crate::error::DramError;
+use crate::timing::TimingParams;
+
+/// Burst length in controller cycles for a 64-byte block on a 64-bit DDR3
+/// channel (BL8 → 4 clock edriven cycles).
+pub const BURST_CYCLES: u64 = 4;
+
+/// Observable state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankState {
+    /// All rows closed; an `ACT` is required before column access.
+    Idle,
+    /// One row open in the sense amplifiers.
+    Active {
+        /// The open row index.
+        row: u32,
+    },
+}
+
+/// One DRAM bank with DDR3 timing enforcement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    next_act: u64,
+    next_read: u64,
+    next_write: u64,
+    next_pre: u64,
+    /// Total ACT commands issued (row-buffer miss counter).
+    pub acts: u64,
+    /// Total column accesses issued (each necessarily to the open row).
+    pub row_hits: u64,
+}
+
+impl Bank {
+    /// A freshly powered-up, precharged bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Bank {
+            state: BankState::Idle,
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_pre: 0,
+            acts: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Current automaton state.
+    #[must_use]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Idle => None,
+            BankState::Active { row } => Some(row),
+        }
+    }
+
+    /// Earliest cycle at which `command` could legally issue, independent of
+    /// state legality (used by the scheduler to rank candidates).
+    #[must_use]
+    pub fn ready_cycle(&self, command: DramCommand) -> u64 {
+        match command {
+            DramCommand::Activate => self.next_act,
+            DramCommand::Read | DramCommand::ReadAp => self.next_read,
+            DramCommand::Write | DramCommand::WriteAp => self.next_write,
+            DramCommand::Precharge => self.next_pre,
+            DramCommand::Refresh => self.next_act,
+        }
+    }
+
+    /// Checks whether `command` may issue at cycle `now` (state and timing).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::IllegalCommand`] for a state mismatch (e.g. `RD` while
+    /// idle), [`DramError::TimingViolation`] when issued too early.
+    pub fn check(&self, command: DramCommand, now: u64) -> Result<(), DramError> {
+        let state_ok = match command {
+            DramCommand::Activate | DramCommand::Refresh => {
+                matches!(self.state, BankState::Idle)
+            }
+            DramCommand::Precharge => true, // PRE of an idle bank is a no-op
+            c if c.is_column() => matches!(self.state, BankState::Active { .. }),
+            _ => unreachable!("non-exhaustive command class"),
+        };
+        if !state_ok {
+            return Err(DramError::IllegalCommand {
+                command,
+                state: match self.state {
+                    BankState::Idle => "Idle",
+                    BankState::Active { .. } => "Active",
+                },
+            });
+        }
+        let ready = self.ready_cycle(command);
+        if now < ready {
+            let parameter = match command {
+                DramCommand::Activate | DramCommand::Refresh => "tRP",
+                DramCommand::Read | DramCommand::ReadAp => "tRCD/tCCD/tWTR",
+                DramCommand::Write | DramCommand::WriteAp => "tRCD/tCCD",
+                DramCommand::Precharge => "tRAS/tRTP/tWR",
+            };
+            return Err(DramError::TimingViolation {
+                command,
+                parameter,
+                ready_at: ready,
+                issued_at: now,
+            });
+        }
+        Ok(())
+    }
+
+    /// Issues `command` at cycle `now`, updating state and timing registers.
+    /// Returns the cycle at which the command's effect completes (data
+    /// availability for reads/writes; bank-idle for `PRE`/`ACT`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Bank::check`]; the bank is unchanged on error.
+    pub fn issue(
+        &mut self,
+        command: DramCommand,
+        row: u32,
+        now: u64,
+        t: &TimingParams,
+    ) -> Result<u64, DramError> {
+        self.check(command, now)?;
+        match command {
+            DramCommand::Activate => {
+                self.state = BankState::Active { row };
+                self.acts += 1;
+                self.next_read = now + t.trcd_cycles();
+                self.next_write = now + t.trcd_cycles();
+                self.next_pre = now + t.tras_cycles();
+                Ok(now + t.trcd_cycles())
+            }
+            DramCommand::Read | DramCommand::ReadAp => {
+                self.row_hits += 1;
+                let data_done = now + t.tcl_cycles() + BURST_CYCLES;
+                self.next_read = now + t.tccd_cycles();
+                self.next_write = now + t.tccd_cycles();
+                self.next_pre = self.next_pre.max(now + t.trtp_cycles());
+                if command.auto_precharges() {
+                    self.state = BankState::Idle;
+                    // The implicit precharge happens at next_pre (which
+                    // carries tRAS from ACT and tRTP from this read);
+                    // compose with any existing blackout on next_act.
+                    self.next_act = self.next_act.max(self.next_pre + t.trp_cycles());
+                }
+                Ok(data_done)
+            }
+            DramCommand::Write | DramCommand::WriteAp => {
+                self.row_hits += 1;
+                let data_done = now + t.tcl_cycles() + BURST_CYCLES;
+                self.next_write = now + t.tccd_cycles();
+                // Write-to-read turnaround: reads wait for the write burst
+                // plus tWTR.
+                self.next_read = data_done + t.twtr_cycles();
+                self.next_pre = self.next_pre.max(data_done + t.twr_cycles());
+                if command.auto_precharges() {
+                    self.state = BankState::Idle;
+                    // next_pre already composes tRAS (from ACT) with the
+                    // write-recovery time; keep existing blackouts too.
+                    self.next_act = self.next_act.max(self.next_pre + t.trp_cycles());
+                }
+                Ok(data_done)
+            }
+            DramCommand::Precharge => {
+                self.state = BankState::Idle;
+                self.next_act = self.next_act.max(now + t.trp_cycles());
+                Ok(now + t.trp_cycles())
+            }
+            DramCommand::Refresh => {
+                // Rank-level REF arrives here already gated to an idle bank;
+                // occupy it for tRFC.
+                let done = now + t.trfc_cycles();
+                self.next_act = self.next_act.max(done);
+                Ok(done)
+            }
+        }
+    }
+
+    /// Forbids any activate before `cycle` — used by the controller for
+    /// rank-level blackouts (refresh windows, `tFAW`).
+    pub fn block_until(&mut self, cycle: u64) {
+        self.next_act = self.next_act.max(cycle);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    #[test]
+    fn fresh_bank_is_idle_and_ready() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.open_row(), None);
+        assert!(b.check(DramCommand::Activate, 0).is_ok());
+    }
+
+    #[test]
+    fn read_requires_activation() {
+        let b = Bank::new();
+        let err = b.check(DramCommand::Read, 0).unwrap_err();
+        assert!(matches!(err, DramError::IllegalCommand { .. }));
+    }
+
+    #[test]
+    fn act_then_read_respects_trcd() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 5, 0, &timing).unwrap();
+        assert_eq!(b.open_row(), Some(5));
+        // Too early: tRCD = 11 ns = 9 cycles.
+        let err = b.check(DramCommand::Read, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            DramError::TimingViolation { ready_at: 9, .. }
+        ));
+        let done = b.issue(DramCommand::Read, 5, 9, &timing).unwrap();
+        assert_eq!(done, 9 + timing.tcl_cycles() + BURST_CYCLES);
+    }
+
+    #[test]
+    fn back_to_back_reads_respect_tccd() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        b.issue(DramCommand::Read, 0, 9, &timing).unwrap();
+        assert_eq!(b.ready_cycle(DramCommand::Read), 9 + timing.tccd_cycles());
+        assert!(b.check(DramCommand::Read, 9 + 1).is_err());
+        assert!(b
+            .issue(DramCommand::Read, 0, 9 + timing.tccd_cycles(), &timing)
+            .is_ok());
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        // tRAS = 28 ns = ceil(22.4) = 23 cycles.
+        let tras = timing.tras_cycles();
+        assert!(b.check(DramCommand::Precharge, tras - 1).is_err());
+        b.issue(DramCommand::Precharge, 0, tras, &timing).unwrap();
+        assert_eq!(b.state(), BankState::Idle);
+        // ACT must now wait tRP.
+        assert!(b.check(DramCommand::Activate, tras + 1).is_err());
+        assert!(b
+            .issue(
+                DramCommand::Activate,
+                1,
+                tras + timing.trp_cycles(),
+                &timing
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn write_then_read_turnaround() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        let wr_done = b.issue(DramCommand::Write, 0, 9, &timing).unwrap();
+        let rd_ready = b.ready_cycle(DramCommand::Read);
+        assert_eq!(rd_ready, wr_done + timing.twtr_cycles());
+        assert!(rd_ready > 9 + timing.tccd_cycles(), "tWTR dominates tCCD");
+    }
+
+    #[test]
+    fn read_with_autoprecharge_closes_row() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 3, 0, &timing).unwrap();
+        b.issue(DramCommand::ReadAp, 3, 9, &timing).unwrap();
+        assert_eq!(b.state(), BankState::Idle);
+    }
+
+    #[test]
+    fn refresh_blocks_activation_for_trfc() {
+        let mut b = Bank::new();
+        let timing = t();
+        let done = b.issue(DramCommand::Refresh, 0, 100, &timing).unwrap();
+        assert_eq!(done, 100 + timing.trfc_cycles());
+        assert!(b.check(DramCommand::Activate, done - 1).is_err());
+        assert!(b.check(DramCommand::Activate, done).is_ok());
+    }
+
+    #[test]
+    fn auto_precharge_respects_existing_blackout() {
+        // A rank-level blackout injected via block_until must survive
+        // ReadAp/WriteAp's implicit precharge.
+        let timing = t();
+        for cmd in [DramCommand::ReadAp, DramCommand::WriteAp] {
+            let mut b = Bank::new();
+            b.issue(DramCommand::Activate, 3, 0, &timing).unwrap();
+            b.block_until(1000);
+            b.issue(cmd, 3, 9, &timing).unwrap();
+            assert_eq!(b.state(), BankState::Idle);
+            assert!(
+                b.ready_cycle(DramCommand::Activate) >= 1000,
+                "{cmd}: blackout erased (ready at {})",
+                b.ready_cycle(DramCommand::Activate)
+            );
+        }
+    }
+
+    #[test]
+    fn write_ap_respects_tras() {
+        // With a long tRAS, the implicit precharge of WriteAp must still
+        // wait for the row-active minimum from the ACT.
+        let mut timing = t();
+        timing.tras_ns = 200.0; // 160 cycles, far beyond tCL+burst+tWR
+        let mut b = Bank::new();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        b.issue(DramCommand::WriteAp, 0, 9, &timing).unwrap();
+        let ready = b.ready_cycle(DramCommand::Activate);
+        assert!(
+            ready >= timing.tras_cycles() + timing.trp_cycles(),
+            "implicit precharge violated tRAS: next ACT at {ready}"
+        );
+    }
+
+    #[test]
+    fn block_until_only_extends() {
+        let mut b = Bank::new();
+        b.block_until(50);
+        assert_eq!(b.ready_cycle(DramCommand::Activate), 50);
+        b.block_until(10);
+        assert_eq!(b.ready_cycle(DramCommand::Activate), 50);
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        b.issue(DramCommand::Read, 0, 9, &timing).unwrap();
+        b.issue(DramCommand::Read, 0, 13, &timing).unwrap();
+        assert_eq!(b.acts, 1);
+        assert_eq!(b.row_hits, 2);
+    }
+
+    #[test]
+    fn failed_issue_leaves_bank_unchanged() {
+        let mut b = Bank::new();
+        let timing = t();
+        let before = b.clone();
+        assert!(b.issue(DramCommand::Read, 0, 0, &timing).is_err());
+        assert_eq!(b, before);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        const COMMANDS: [DramCommand; 6] = [
+            DramCommand::Activate,
+            DramCommand::Read,
+            DramCommand::ReadAp,
+            DramCommand::Write,
+            DramCommand::WriteAp,
+            DramCommand::Precharge,
+        ];
+
+        proptest! {
+            /// Driving the bank with arbitrary command attempts (issuing
+            /// whenever `check` allows, at the ready cycle otherwise) never
+            /// corrupts the automaton: completions move forward in time,
+            /// rejected commands leave the bank untouched, and column
+            /// commands only ever execute against an open row.
+            #[test]
+            fn prop_bank_is_robust_to_arbitrary_drivers(
+                cmds in proptest::collection::vec(0usize..6, 1..200),
+                jitter in proptest::collection::vec(0u64..8, 1..200),
+            ) {
+                let timing = t();
+                let mut bank = Bank::new();
+                let mut now = 0u64;
+                let mut last_done = 0u64;
+                for (ci, j) in cmds.iter().zip(jitter.iter().cycle()) {
+                    let cmd = COMMANDS[*ci];
+                    now = now.max(bank.ready_cycle(cmd)) + j;
+                    let before = bank.clone();
+                    match bank.issue(cmd, 7, now, &timing) {
+                        Ok(done) => {
+                            prop_assert!(done >= now, "completion before issue");
+                            prop_assert!(done >= last_done || cmd.is_column() == before.open_row().is_none(),
+                                "time went backwards");
+                            last_done = last_done.max(done);
+                            if cmd.is_column() {
+                                prop_assert!(before.open_row().is_some(),
+                                    "column command issued on a closed bank");
+                            }
+                        }
+                        Err(_) => {
+                            prop_assert_eq!(&bank, &before, "failed issue mutated the bank");
+                        }
+                    }
+                }
+            }
+
+            /// `check` and `issue` always agree: if check passes, issue
+            /// succeeds, and vice versa.
+            #[test]
+            fn prop_check_predicts_issue(
+                cmds in proptest::collection::vec(0usize..6, 1..120),
+            ) {
+                let timing = t();
+                let mut bank = Bank::new();
+                let mut now = 0u64;
+                for ci in cmds {
+                    let cmd = COMMANDS[ci];
+                    let ok = bank.check(cmd, now).is_ok();
+                    let result = bank.issue(cmd, 3, now, &timing);
+                    prop_assert_eq!(ok, result.is_ok());
+                    now += 2;
+                }
+            }
+        }
+    }
+}

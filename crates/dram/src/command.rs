@@ -1,0 +1,115 @@
+//! DDR command vocabulary.
+//!
+//! A small, closed set of commands that the bank state machine
+//! ([`crate::bank`]) and the cycle simulator's controller understand. The
+//! vocabulary follows DDR3 (paper Table 2): per-bank activate / read / write
+//! / precharge plus the rank-level all-bank refresh that blocks the rank for
+//! `tRFC`.
+
+use serde::{Deserialize, Serialize};
+
+/// A DDR command as issued by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open (activate) a row into the bank's sense amplifiers.
+    Activate,
+    /// Read one cache block from the open row.
+    Read,
+    /// Read one cache block and auto-precharge afterwards.
+    ReadAp,
+    /// Write one cache block into the open row.
+    Write,
+    /// Write one cache block and auto-precharge afterwards.
+    WriteAp,
+    /// Close (precharge) the open row.
+    Precharge,
+    /// All-bank refresh; occupies the rank for `tRFC`.
+    Refresh,
+}
+
+impl DramCommand {
+    /// Whether the command transfers data on the bus.
+    #[must_use]
+    pub fn is_column(self) -> bool {
+        matches!(
+            self,
+            DramCommand::Read | DramCommand::ReadAp | DramCommand::Write | DramCommand::WriteAp
+        )
+    }
+
+    /// Whether the command is a read-family column command.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, DramCommand::Read | DramCommand::ReadAp)
+    }
+
+    /// Whether the command is a write-family column command.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, DramCommand::Write | DramCommand::WriteAp)
+    }
+
+    /// Whether the command auto-precharges its bank.
+    #[must_use]
+    pub fn auto_precharges(self) -> bool {
+        matches!(self, DramCommand::ReadAp | DramCommand::WriteAp)
+    }
+
+    /// Short mnemonic (e.g. `"ACT"`), as used in trace dumps.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DramCommand::Activate => "ACT",
+            DramCommand::Read => "RD",
+            DramCommand::ReadAp => "RDA",
+            DramCommand::Write => "WR",
+            DramCommand::WriteAp => "WRA",
+            DramCommand::Precharge => "PRE",
+            DramCommand::Refresh => "REF",
+        }
+    }
+}
+
+impl std::fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(DramCommand::Read.is_column());
+        assert!(DramCommand::WriteAp.is_column());
+        assert!(!DramCommand::Activate.is_column());
+        assert!(!DramCommand::Refresh.is_column());
+        assert!(DramCommand::Read.is_read());
+        assert!(DramCommand::ReadAp.is_read());
+        assert!(!DramCommand::Write.is_read());
+        assert!(DramCommand::Write.is_write());
+        assert!(DramCommand::WriteAp.is_write());
+        assert!(!DramCommand::Read.is_write());
+        assert!(DramCommand::ReadAp.auto_precharges());
+        assert!(!DramCommand::Read.auto_precharges());
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let all = [
+            DramCommand::Activate,
+            DramCommand::Read,
+            DramCommand::ReadAp,
+            DramCommand::Write,
+            DramCommand::WriteAp,
+            DramCommand::Precharge,
+            DramCommand::Refresh,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            assert!(seen.insert(c.mnemonic()), "duplicate mnemonic {c}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Error types for the DRAM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::address::RowAddr;
+use crate::command::DramCommand;
+
+/// Errors produced by DRAM device operations.
+///
+/// Every fallible public function in this crate returns this type, so callers
+/// can match on the precise failure instead of parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A row coordinate was outside the device geometry.
+    RowOutOfRange {
+        /// The offending row address.
+        row: RowAddr,
+        /// Number of rows per bank in this device.
+        rows_per_bank: u32,
+    },
+    /// A bank index was outside the device geometry.
+    BankOutOfRange {
+        /// The offending bank index.
+        bank: u8,
+        /// Number of banks in this device.
+        banks: u8,
+    },
+    /// A column (cache-block) index was outside the row.
+    ColumnOutOfRange {
+        /// The offending column index.
+        column: u32,
+        /// Number of cache blocks per row.
+        columns: u32,
+    },
+    /// A command was issued that the bank state machine cannot accept in its
+    /// current state (e.g. `RD` to a precharged bank).
+    IllegalCommand {
+        /// The rejected command.
+        command: DramCommand,
+        /// Human-readable state description at the time of rejection.
+        state: &'static str,
+    },
+    /// A command was issued before the relevant timing constraint elapsed.
+    TimingViolation {
+        /// The rejected command.
+        command: DramCommand,
+        /// Name of the violated parameter (e.g. `"tRCD"`).
+        parameter: &'static str,
+        /// Earliest cycle at which the command would have been legal.
+        ready_at: u64,
+        /// Cycle at which the command was issued.
+        issued_at: u64,
+    },
+    /// Row content of unexpected length was supplied to a write.
+    ContentLengthMismatch {
+        /// Expected length in 64-bit words.
+        expected: usize,
+        /// Supplied length in 64-bit words.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows_per_bank } => write!(
+                f,
+                "row {row} out of range (device has {rows_per_bank} rows per bank)"
+            ),
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (device has {banks} banks)")
+            }
+            DramError::ColumnOutOfRange { column, columns } => {
+                write!(f, "column {column} out of range (row has {columns} blocks)")
+            }
+            DramError::IllegalCommand { command, state } => {
+                write!(f, "command {command:?} illegal in bank state {state}")
+            }
+            DramError::TimingViolation {
+                command,
+                parameter,
+                ready_at,
+                issued_at,
+            } => write!(
+                f,
+                "command {command:?} violates {parameter}: ready at cycle {ready_at}, issued at {issued_at}"
+            ),
+            DramError::ContentLengthMismatch { expected, actual } => write!(
+                f,
+                "row content length mismatch: expected {expected} words, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::RowAddr;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            DramError::RowOutOfRange {
+                row: RowAddr::new(0, 0, 99_999),
+                rows_per_bank: 32_768,
+            },
+            DramError::BankOutOfRange { bank: 9, banks: 8 },
+            DramError::ColumnOutOfRange {
+                column: 130,
+                columns: 128,
+            },
+            DramError::IllegalCommand {
+                command: DramCommand::Read,
+                state: "Idle",
+            },
+            DramError::TimingViolation {
+                command: DramCommand::Activate,
+                parameter: "tRP",
+                ready_at: 100,
+                issued_at: 90,
+            },
+            DramError::ContentLengthMismatch {
+                expected: 1024,
+                actual: 12,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(
+                s.chars().next().unwrap().is_lowercase(),
+                "error message should start lowercase: {s}"
+            );
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DramError>();
+    }
+}

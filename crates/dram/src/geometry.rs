@@ -1,0 +1,278 @@
+//! DRAM organization: channels, ranks, chips, banks, rows, and columns.
+//!
+//! Mirrors Section 2 / Figure 1 of the paper: a module is organized into
+//! ranks of chips, each chip into banks, each bank into a 2-D array of cells
+//! accessed a full row at a time. The quantities that matter to MEMCON are
+//! the number of rows (refresh targets), the row size (8 KB — also the page
+//! granularity PRIL tracks), and the chip density (which sets `tRFC`).
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM chip density. Determines the refresh-cycle time `tRFC` used by the
+/// performance simulator (paper Table 2 scales refresh cost with density).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChipDensity {
+    /// 8 Gb per chip — `tRFC` = 350 ns (paper baseline).
+    Gb8,
+    /// 16 Gb per chip — `tRFC` = 530 ns.
+    Gb16,
+    /// 32 Gb per chip — `tRFC` = 890 ns.
+    Gb32,
+}
+
+impl ChipDensity {
+    /// All densities evaluated in the paper, in ascending order.
+    pub const ALL: [ChipDensity; 3] = [ChipDensity::Gb8, ChipDensity::Gb16, ChipDensity::Gb32];
+
+    /// Refresh-cycle time in nanoseconds for an all-bank refresh command at
+    /// this density (paper Table 2).
+    #[must_use]
+    pub fn trfc_ns(self) -> f64 {
+        match self {
+            ChipDensity::Gb8 => 350.0,
+            ChipDensity::Gb16 => 530.0,
+            ChipDensity::Gb32 => 890.0,
+        }
+    }
+
+    /// Density in gigabits per chip.
+    #[must_use]
+    pub fn gigabits(self) -> u64 {
+        match self {
+            ChipDensity::Gb8 => 8,
+            ChipDensity::Gb16 => 16,
+            ChipDensity::Gb32 => 32,
+        }
+    }
+
+    /// Human-readable label used in experiment output (e.g. `"8Gb"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChipDensity::Gb8 => "8Gb",
+            ChipDensity::Gb16 => "16Gb",
+            ChipDensity::Gb32 => "32Gb",
+        }
+    }
+}
+
+impl std::fmt::Display for ChipDensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Geometry of one DRAM module (rank × chip × bank × row × column).
+///
+/// The unit of content storage in this crate is the *row*: `row_bytes` bytes
+/// (8 KB by default, matching both the paper's row size and its page
+/// granularity). Columns are counted in 64-byte cache blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of ranks on the module.
+    pub ranks: u8,
+    /// Number of chips per rank (data width contributors; content is modelled
+    /// at module granularity so chips matter only for capacity bookkeeping).
+    pub chips_per_rank: u8,
+    /// Number of banks per rank.
+    pub banks: u8,
+    /// Number of rows per bank.
+    pub rows_per_bank: u32,
+    /// Row (and page) size in bytes.
+    pub row_bytes: u32,
+    /// Cache-block size in bytes (the column access granularity).
+    pub block_bytes: u32,
+    /// Chip density (sets `tRFC`).
+    pub density: ChipDensity,
+}
+
+impl DramGeometry {
+    /// The 2 GB module used for the paper's FPGA chip tests and the
+    /// Copy-and-Compare storage-overhead arithmetic: 8 banks × 32768 rows ×
+    /// 8 KB rows (appendix: "a 2 GB module consists of 32768 rows per bank").
+    #[must_use]
+    pub fn module_2gb() -> Self {
+        DramGeometry {
+            ranks: 1,
+            chips_per_rank: 8,
+            banks: 8,
+            rows_per_bank: 32_768,
+            row_bytes: 8192,
+            block_bytes: 64,
+            density: ChipDensity::Gb8,
+        }
+    }
+
+    /// The 8 GB DIMM of the performance evaluation (paper Table 2), at a
+    /// given chip density.
+    #[must_use]
+    pub fn dimm_8gb(density: ChipDensity) -> Self {
+        DramGeometry {
+            ranks: 1,
+            chips_per_rank: 8,
+            banks: 8,
+            rows_per_bank: 131_072,
+            row_bytes: 8192,
+            block_bytes: 64,
+            density,
+        }
+    }
+
+    /// A deliberately tiny geometry for unit tests and property tests where
+    /// exhaustive iteration over all cells must stay fast.
+    #[must_use]
+    pub fn tiny() -> Self {
+        DramGeometry {
+            ranks: 1,
+            chips_per_rank: 1,
+            banks: 2,
+            rows_per_bank: 64,
+            row_bytes: 256,
+            block_bytes: 64,
+            density: ChipDensity::Gb8,
+        }
+    }
+
+    /// Total number of rows across all banks and ranks.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.ranks) * u64::from(self.banks) * u64::from(self.rows_per_bank)
+    }
+
+    /// Total module capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_rows() * u64::from(self.row_bytes)
+    }
+
+    /// Number of cache blocks (columns) per row.
+    #[must_use]
+    pub fn blocks_per_row(&self) -> u32 {
+        self.row_bytes / self.block_bytes
+    }
+
+    /// Number of 64-bit words per row (the content storage granularity).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.row_bytes as usize / 8
+    }
+
+    /// Number of bits per row.
+    #[must_use]
+    pub fn bits_per_row(&self) -> u64 {
+        u64::from(self.row_bytes) * 8
+    }
+
+    /// Fraction of capacity consumed by reserving `reserved_rows_per_bank`
+    /// rows in every bank (the Copy-and-Compare staging region).
+    ///
+    /// The paper's appendix computes 512 reserved rows per bank on the 2 GB
+    /// module as `4096 / 262144 = 1.56 %`.
+    #[must_use]
+    pub fn reserved_fraction(&self, reserved_rows_per_bank: u32) -> f64 {
+        let reserved =
+            u64::from(self.ranks) * u64::from(self.banks) * u64::from(reserved_rows_per_bank);
+        reserved as f64 / self.total_rows() as f64
+    }
+
+    /// Validates internal consistency (non-zero sizes, block divides row).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks == 0 || self.banks == 0 || self.rows_per_bank == 0 {
+            return Err("geometry must have at least one rank, bank, and row".into());
+        }
+        if self.row_bytes == 0 || self.block_bytes == 0 {
+            return Err("row and block sizes must be non-zero".into());
+        }
+        if !self.row_bytes.is_multiple_of(self.block_bytes) {
+            return Err(format!(
+                "block size {} must divide row size {}",
+                self.block_bytes, self.row_bytes
+            ));
+        }
+        if !self.row_bytes.is_multiple_of(8) {
+            return Err("row size must be a multiple of 8 bytes".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        DramGeometry::module_2gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_2gb_matches_paper_appendix() {
+        let g = DramGeometry::module_2gb();
+        assert_eq!(g.total_rows(), 262_144, "8 banks x 32768 rows");
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(g.blocks_per_row(), 128, "8K row / 64B blocks");
+        // Appendix: 512 reserved rows/bank => 1.56% of capacity.
+        let frac = g.reserved_fraction(512);
+        assert!((frac - 0.015625).abs() < 1e-12, "got {frac}");
+    }
+
+    #[test]
+    fn dimm_8gb_capacity() {
+        let g = DramGeometry::dimm_8gb(ChipDensity::Gb8);
+        assert_eq!(g.capacity_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn density_trfc_values_match_table2() {
+        assert_eq!(ChipDensity::Gb8.trfc_ns(), 350.0);
+        assert_eq!(ChipDensity::Gb16.trfc_ns(), 530.0);
+        assert_eq!(ChipDensity::Gb32.trfc_ns(), 890.0);
+    }
+
+    #[test]
+    fn density_ordering_and_labels() {
+        assert!(ChipDensity::Gb8 < ChipDensity::Gb16);
+        assert!(ChipDensity::Gb16 < ChipDensity::Gb32);
+        assert_eq!(ChipDensity::Gb8.to_string(), "8Gb");
+        assert_eq!(ChipDensity::Gb32.gigabits(), 32);
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        for g in [
+            DramGeometry::module_2gb(),
+            DramGeometry::dimm_8gb(ChipDensity::Gb16),
+            DramGeometry::tiny(),
+        ] {
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_block_size() {
+        let mut g = DramGeometry::tiny();
+        g.block_bytes = 48;
+        assert!(g.validate().is_err());
+        g.block_bytes = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn words_per_row() {
+        assert_eq!(DramGeometry::module_2gb().words_per_row(), 1024);
+        assert_eq!(DramGeometry::tiny().words_per_row(), 32);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = DramGeometry::dimm_8gb(ChipDensity::Gb32);
+        let s = serde_json::to_string(&g).unwrap();
+        let back: DramGeometry = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

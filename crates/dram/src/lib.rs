@@ -1,0 +1,61 @@
+//! DRAM device substrate for the MEMCON reproduction.
+//!
+//! This crate models everything about a DRAM module that the MEMCON paper
+//! (Khan et al., MICRO 2017) depends on but treats as an opaque substrate:
+//!
+//! * [`geometry`] — the channel/rank/chip/bank/row/column hierarchy and chip
+//!   densities (8/16/32 Gb) with their refresh-cycle times,
+//! * [`timing`] — DDR3 timing parameters, including the preset that
+//!   reproduces the paper's appendix cost arithmetic exactly,
+//! * [`command`] — the DDR command vocabulary used by the cycle simulator,
+//! * [`address`] — typed row/column/page coordinates and linear mappings,
+//! * [`scramble`] — vendor-internal address scrambling (system addresses do
+//!   *not* correspond to physically adjacent cells; paper Fig. 2a),
+//! * [`remap`] — redundant-column remapping of manufacturing-time faults
+//!   (paper Fig. 2b),
+//! * [`cell`] — bit-exact row content storage with true/anti-cell layout,
+//! * [`bank`] — a timing-checked bank state machine,
+//! * [`module`] — the [`module::DramModule`] façade tying it all together.
+//!
+//! The crate is deliberately *content-faithful*: a module stores real bits so
+//! that the `failure-model` crate can evaluate data-dependent coupling
+//! failures against actual neighbouring cell values after scrambling and
+//! remapping — the exact property that makes system-level failure detection
+//! hard in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use dram::geometry::{DramGeometry, ChipDensity};
+//! use dram::timing::TimingParams;
+//! use dram::module::DramModule;
+//!
+//! let geometry = DramGeometry::module_2gb();
+//! let timing = TimingParams::ddr3_1600();
+//! let module = DramModule::new(geometry, timing, 0xC0FFEE);
+//! assert_eq!(module.geometry().rows_per_bank, 32_768);
+//! assert_eq!(module.timing().refresh_op_ns(), 39.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod address;
+pub mod bank;
+pub mod cell;
+pub mod command;
+pub mod error;
+pub mod geometry;
+pub mod module;
+pub mod remap;
+pub mod scramble;
+pub mod timing;
+
+pub use address::{ColumnAddr, PageId, RowAddr, RowId};
+pub use bank::{Bank, BankState};
+pub use cell::RowContent;
+pub use command::DramCommand;
+pub use error::DramError;
+pub use geometry::{ChipDensity, DramGeometry};
+pub use module::DramModule;
+pub use timing::TimingParams;

@@ -1,0 +1,242 @@
+//! Redundant-column remapping of manufacturing-time faults (paper Fig. 2b).
+//!
+//! Vendors repair faulty columns found during manufacturing test by remapping
+//! them to spare columns at the edge of the cell array. A remapped cell's
+//! *physical* neighbours are therefore in the redundant region — different
+//! for every individual chip — which is the second design issue that defeats
+//! system-level neighbour-pattern testing (Section 2 of the paper).
+//!
+//! [`RemapTable`] models a bank's bit-granularity column repair: the physical
+//! bitline space is `bits_per_row + redundant` positions wide; each faulty
+//! bitline is dead and its logical column lives at a spare position instead.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Column-repair map for one bank.
+///
+/// Maps *internal* (post-scramble) bit positions to *physical* bitline
+/// positions. Non-faulty bitlines map to themselves; faulty ones map into the
+/// redundant region `[bits_per_row, bits_per_row + redundant)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapTable {
+    bits_per_row: u64,
+    redundant: u64,
+    /// internal bit -> physical position in the redundant region.
+    remapped: BTreeMap<u64, u64>,
+    /// physical redundant position -> internal bit (inverse of `remapped`).
+    reverse: BTreeMap<u64, u64>,
+}
+
+impl RemapTable {
+    /// A table with no repairs (fresh die with zero faults).
+    #[must_use]
+    pub fn perfect(bits_per_row: u64, redundant: u64) -> Self {
+        RemapTable {
+            bits_per_row,
+            redundant,
+            remapped: BTreeMap::new(),
+            reverse: BTreeMap::new(),
+        }
+    }
+
+    /// Generates a per-chip repair map: `faults` distinct bitlines chosen by
+    /// `seed` are remapped to the first `faults` spare columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults > redundant` (an unrepairable die would have been
+    /// discarded at manufacturing) or `faults > bits_per_row`.
+    #[must_use]
+    pub fn from_seed(seed: u64, bits_per_row: u64, redundant: u64, faults: u64) -> Self {
+        assert!(
+            faults <= redundant,
+            "cannot repair {faults} faults with {redundant} spare columns"
+        );
+        assert!(faults <= bits_per_row, "more faults than bitlines");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut lines: Vec<u64> = (0..bits_per_row).collect();
+        lines.shuffle(&mut rng);
+        let mut remapped = BTreeMap::new();
+        let mut reverse = BTreeMap::new();
+        for (i, &line) in lines.iter().take(faults as usize).enumerate() {
+            let phys = bits_per_row + i as u64;
+            remapped.insert(line, phys);
+            reverse.insert(phys, line);
+        }
+        RemapTable {
+            bits_per_row,
+            redundant,
+            remapped,
+            reverse,
+        }
+    }
+
+    /// Number of logical bitlines per row.
+    #[must_use]
+    pub fn bits_per_row(&self) -> u64 {
+        self.bits_per_row
+    }
+
+    /// Width of the physical bitline space including spares.
+    #[must_use]
+    pub fn physical_width(&self) -> u64 {
+        self.bits_per_row + self.redundant
+    }
+
+    /// Number of repaired (remapped) bitlines.
+    #[must_use]
+    pub fn repair_count(&self) -> usize {
+        self.remapped.len()
+    }
+
+    /// Whether internal bitline `bit` has been remapped to a spare.
+    #[must_use]
+    pub fn is_remapped(&self, bit: u64) -> bool {
+        self.remapped.contains_key(&bit)
+    }
+
+    /// Physical bitline position of internal bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the row.
+    #[must_use]
+    pub fn physical_of(&self, bit: u64) -> u64 {
+        assert!(bit < self.bits_per_row, "bit {bit} out of row");
+        self.remapped.get(&bit).copied().unwrap_or(bit)
+    }
+
+    /// Internal bit stored at physical position `pos`, or `None` if the
+    /// position holds no live cell (a dead faulty column, or an unused
+    /// spare).
+    #[must_use]
+    pub fn internal_at(&self, pos: u64) -> Option<u64> {
+        if pos < self.bits_per_row {
+            if self.remapped.contains_key(&pos) {
+                None // original column is faulty and disconnected
+            } else {
+                Some(pos)
+            }
+        } else {
+            self.reverse.get(&pos).copied()
+        }
+    }
+
+    /// The live physical neighbours (left, right) of the cell at physical
+    /// position `pos`, as internal bit indices. Edge cells have one
+    /// neighbour; neighbours that are dead columns are skipped over to the
+    /// next live position, matching how adjacent live bitlines couple across
+    /// a disconnected line only weakly (we model the coupling as reaching the
+    /// nearest live line).
+    #[must_use]
+    pub fn live_neighbors(&self, pos: u64) -> (Option<u64>, Option<u64>) {
+        let left = (0..pos).rev().find_map(|p| self.internal_at(p));
+        let right = ((pos + 1)..self.physical_width()).find_map(|p| self.internal_at(p));
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_table_is_identity() {
+        let t = RemapTable::perfect(128, 8);
+        for b in 0..128 {
+            assert!(!t.is_remapped(b));
+            assert_eq!(t.physical_of(b), b);
+            assert_eq!(t.internal_at(b), Some(b));
+        }
+        assert_eq!(t.internal_at(130), None, "unused spare holds no cell");
+    }
+
+    #[test]
+    fn paper_example_neighbors_move_to_spares() {
+        // Fig. 2b: columns 1, 4, 6 of an 8-column array are remapped; the
+        // neighbours of column 1's cell are then columns 4 and 7 — i.e. its
+        // physical neighbours in the redundant region.
+        let mut t = RemapTable::perfect(8, 3);
+        for (i, line) in [1u64, 4, 6].into_iter().enumerate() {
+            let phys = 8 + i as u64;
+            t.remapped.insert(line, phys);
+            t.reverse.insert(phys, line);
+        }
+        assert_eq!(t.physical_of(1), 8);
+        assert_eq!(t.physical_of(4), 9);
+        assert_eq!(t.physical_of(6), 10);
+        // Live neighbours of the repaired column 1 (at physical 8): physical
+        // 7 on the left (internal 7) and physical 9 on the right (internal 4).
+        assert_eq!(t.live_neighbors(8), (Some(7), Some(4)));
+    }
+
+    #[test]
+    fn from_seed_respects_fault_count() {
+        let t = RemapTable::from_seed(42, 256, 16, 10);
+        assert_eq!(t.repair_count(), 10);
+        let remapped: Vec<u64> = (0..256).filter(|&b| t.is_remapped(b)).collect();
+        assert_eq!(remapped.len(), 10);
+        for b in remapped {
+            let p = t.physical_of(b);
+            assert!((256..272).contains(&p));
+            assert_eq!(t.internal_at(p), Some(b));
+            assert_eq!(t.internal_at(b), None, "faulty original is dead");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot repair")]
+    fn too_many_faults_panics() {
+        let _ = RemapTable::from_seed(0, 64, 2, 3);
+    }
+
+    #[test]
+    fn live_neighbors_skip_dead_columns() {
+        let t = RemapTable::from_seed(1, 64, 8, 5);
+        // For any live physical position, neighbours must be live internal
+        // bits distinct from the cell itself.
+        for pos in 0..t.physical_width() {
+            let Some(me) = t.internal_at(pos) else {
+                continue;
+            };
+            let (l, r) = t.live_neighbors(pos);
+            for n in [l, r].into_iter().flatten() {
+                assert_ne!(n, me);
+                assert!(n < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = RemapTable::from_seed(5, 128, 8, 4);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: RemapTable = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_physical_mapping_is_injective(seed in any::<u64>(), faults in 0u64..16) {
+            let t = RemapTable::from_seed(seed, 128, 16, faults);
+            let mut seen = std::collections::HashSet::new();
+            for b in 0..128u64 {
+                prop_assert!(seen.insert(t.physical_of(b)), "collision at bit {}", b);
+            }
+        }
+
+        #[test]
+        fn prop_internal_at_inverts_physical_of(seed in any::<u64>(), faults in 0u64..16) {
+            let t = RemapTable::from_seed(seed, 128, 16, faults);
+            for b in 0..128u64 {
+                prop_assert_eq!(t.internal_at(t.physical_of(b)), Some(b));
+            }
+        }
+    }
+}

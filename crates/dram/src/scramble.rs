@@ -1,0 +1,262 @@
+//! Vendor-internal address scrambling (paper Fig. 2a).
+//!
+//! DRAM vendors scramble the address space internally: neighbouring *system*
+//! addresses do not correspond to neighbouring *physical* cells, the mapping
+//! differs per chip generation, and it is not exposed outside the vendor.
+//! This is the first of the two design issues that make system-level
+//! detection of data-dependent failures hard (Section 2 of the paper).
+//!
+//! [`Scrambler`] is the interface the failure model uses to translate between
+//! the two spaces. MEMCON itself never calls it — that is the point of the
+//! paper — but the *simulated physics* must, so that exhaustive
+//! neighbour-pattern testing at the system level genuinely fails to reach
+//! physical neighbours, just as on real chips.
+//!
+//! All provided scramblers are bijections built from self-inverse or
+//! trivially invertible primitives (XOR masks and rotations), so the
+//! round-trip property holds exactly and cheaply.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A bijective mapping between system and internal coordinates for one bank.
+///
+/// Row scrambling relocates whole rows; bit scrambling permutes bit positions
+/// (bitlines) within a row. Both directions are exposed because the failure
+/// model walks internal neighbourhoods and must attribute failures back to
+/// system-visible bits.
+pub trait Scrambler: std::fmt::Debug + Send + Sync {
+    /// Internal row index of system row `row`.
+    fn to_internal_row(&self, row: u32) -> u32;
+    /// System row index of internal row `row` (inverse of
+    /// [`Scrambler::to_internal_row`]).
+    fn to_system_row(&self, row: u32) -> u32;
+    /// Internal bitline position of system bit `bit` within a row.
+    fn to_internal_bit(&self, bit: u64) -> u64;
+    /// System bit position of internal bitline `bit` (inverse of
+    /// [`Scrambler::to_internal_bit`]).
+    fn to_system_bit(&self, bit: u64) -> u64;
+}
+
+/// The identity mapping — useful for tests and for modelling hypothetical
+/// scramble-free devices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityScrambler;
+
+impl Scrambler for IdentityScrambler {
+    fn to_internal_row(&self, row: u32) -> u32 {
+        row
+    }
+    fn to_system_row(&self, row: u32) -> u32 {
+        row
+    }
+    fn to_internal_bit(&self, bit: u64) -> u64 {
+        bit
+    }
+    fn to_system_bit(&self, bit: u64) -> u64 {
+        bit
+    }
+}
+
+/// A permutation of the bit positions of a `width`-bit address, composed
+/// with an XOR mask: `y = shuffle_address_bits(x) ^ mask`.
+///
+/// Permuting *address bits* (not addresses) is how real scramblers behave:
+/// two addresses differing in one low bit land `2^p` apart internally, so
+/// system adjacency is destroyed while the map stays a cheap exact bijection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitPermutation {
+    width: u32,
+    /// `perm[i]` = destination position of source address-bit `i`.
+    perm: Vec<u32>,
+    /// `inv[perm[i]] = i`.
+    inv: Vec<u32>,
+    mask: u64,
+}
+
+impl BitPermutation {
+    fn from_rng(rng: &mut SmallRng, width: u32) -> Self {
+        use rand::seq::SliceRandom;
+        let mut perm: Vec<u32> = (0..width).collect();
+        perm.shuffle(rng);
+        let mut inv = vec![0u32; width as usize];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p as usize] = i as u32;
+        }
+        let mask = if width == 0 {
+            0
+        } else {
+            rng.gen_range(0..(1u64 << width))
+        };
+        BitPermutation {
+            width,
+            perm,
+            inv,
+            mask,
+        }
+    }
+
+    fn forward(&self, x: u64) -> u64 {
+        debug_assert!(self.width == 64 || x < (1u64 << self.width));
+        let mut y = 0u64;
+        for (i, &p) in self.perm.iter().enumerate() {
+            y |= ((x >> i) & 1) << p;
+        }
+        y ^ self.mask
+    }
+
+    fn backward(&self, y: u64) -> u64 {
+        let y = y ^ self.mask;
+        let mut x = 0u64;
+        for (p, &i) in self.inv.iter().enumerate() {
+            x |= ((y >> p) & 1) << i;
+        }
+        x
+    }
+}
+
+/// A vendor-generation-specific scrambler: independent address-bit
+/// permutations plus XOR masks for the row space and the bitline space.
+///
+/// Different seeds model different vendors/generations (the paper notes
+/// vendors scramble differently per generation), while staying exactly
+/// invertible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorScrambler {
+    rows: u32,
+    bits: u64,
+    row_map: BitPermutation,
+    bit_map: BitPermutation,
+}
+
+impl VendorScrambler {
+    /// Creates a scrambler for a bank of `rows` rows × `bits_per_row` bits,
+    /// with mapping parameters drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `bits_per_row` is not a power of two (all
+    /// supported geometries are).
+    #[must_use]
+    pub fn from_seed(seed: u64, rows: u32, bits_per_row: u64) -> Self {
+        assert!(rows.is_power_of_two(), "rows must be a power of two");
+        assert!(
+            bits_per_row.is_power_of_two(),
+            "bits per row must be a power of two"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let row_map = BitPermutation::from_rng(&mut rng, rows.trailing_zeros());
+        let bit_map = BitPermutation::from_rng(&mut rng, bits_per_row.trailing_zeros());
+        VendorScrambler {
+            rows,
+            bits: bits_per_row,
+            row_map,
+            bit_map,
+        }
+    }
+}
+
+impl Scrambler for VendorScrambler {
+    fn to_internal_row(&self, row: u32) -> u32 {
+        debug_assert!(row < self.rows);
+        self.row_map.forward(u64::from(row)) as u32
+    }
+
+    fn to_system_row(&self, row: u32) -> u32 {
+        debug_assert!(row < self.rows);
+        self.row_map.backward(u64::from(row)) as u32
+    }
+
+    fn to_internal_bit(&self, bit: u64) -> u64 {
+        debug_assert!(bit < self.bits);
+        self.bit_map.forward(bit)
+    }
+
+    fn to_system_bit(&self, bit: u64) -> u64 {
+        debug_assert!(bit < self.bits);
+        self.bit_map.backward(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let s = IdentityScrambler;
+        assert_eq!(s.to_internal_row(42), 42);
+        assert_eq!(s.to_system_row(42), 42);
+        assert_eq!(s.to_internal_bit(1000), 1000);
+        assert_eq!(s.to_system_bit(1000), 1000);
+    }
+
+    #[test]
+    fn vendor_roundtrip_exhaustive_small() {
+        let s = VendorScrambler::from_seed(7, 64, 256);
+        let mut seen_rows = std::collections::HashSet::new();
+        for r in 0..64 {
+            let i = s.to_internal_row(r);
+            assert!(i < 64);
+            assert_eq!(s.to_system_row(i), r);
+            assert!(seen_rows.insert(i), "row mapping must be injective");
+        }
+        let mut seen_bits = std::collections::HashSet::new();
+        for b in 0..256 {
+            let i = s.to_internal_bit(b);
+            assert!(i < 256);
+            assert_eq!(s.to_system_bit(i), b);
+            assert!(seen_bits.insert(i), "bit mapping must be injective");
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let a = VendorScrambler::from_seed(1, 1024, 65536);
+        let b = VendorScrambler::from_seed(2, 1024, 65536);
+        let same = (0..1024).all(|r| a.to_internal_row(r) == b.to_internal_row(r));
+        assert!(!same, "two seeds produced identical row scrambles");
+    }
+
+    #[test]
+    fn scrambling_breaks_adjacency() {
+        // The property that motivates MEMCON: system-adjacent rows are not
+        // internally adjacent (for almost all seeds).
+        let s = VendorScrambler::from_seed(3, 32_768, 65_536);
+        let adjacent_preserved = (0u32..1000)
+            .filter(|&r| {
+                let a = s.to_internal_row(r);
+                let b = s.to_internal_row(r + 1);
+                a.abs_diff(b) == 1
+            })
+            .count();
+        assert!(
+            adjacent_preserved < 10,
+            "scrambler preserved adjacency {adjacent_preserved}/1000 times"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = VendorScrambler::from_seed(0, 100, 256);
+    }
+
+    #[test]
+    fn trait_object_safety() {
+        let boxed: Box<dyn Scrambler> = Box::new(VendorScrambler::from_seed(9, 64, 256));
+        assert_eq!(boxed.to_system_row(boxed.to_internal_row(5)), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(seed in any::<u64>(), row in 0u32..32_768, bit in 0u64..65_536) {
+            let s = VendorScrambler::from_seed(seed, 32_768, 65_536);
+            prop_assert_eq!(s.to_system_row(s.to_internal_row(row)), row);
+            prop_assert_eq!(s.to_internal_row(s.to_system_row(row)), row);
+            prop_assert_eq!(s.to_system_bit(s.to_internal_bit(bit)), bit);
+            prop_assert_eq!(s.to_internal_bit(s.to_system_bit(bit)), bit);
+        }
+    }
+}

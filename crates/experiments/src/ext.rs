@@ -1,0 +1,159 @@
+//! Extension experiments beyond the paper's figures: the quantified versions
+//! of claims the paper makes in prose or leaves to future work.
+//!
+//! * **Energy** — the abstract claims refresh reduction "improves energy
+//!   efficiency"; we quantify DRAM energy per density and refresh policy.
+//! * **RowClone Copy-and-Compare** (footnote 6) — in-DRAM copy shrinks the
+//!   Copy-and-Compare cost and its MinWriteInterval.
+//! * **Storage overhead** (Section 6.4) — PRIL SRAM and staging-region
+//!   arithmetic for real module sizes.
+
+use dram::geometry::{ChipDensity, DramGeometry};
+use memcon::config::MemconConfig;
+use memcon::cost::{CostModel, TestMode};
+use memcon::overhead::storage_overhead;
+use memsim::config::{RefreshPolicy, SystemConfig};
+use memsim::energy::EnergyReport;
+use memsim::system::System;
+use memtrace::cpu::spec_tpc_pool;
+
+use crate::output::{heading, pct, RunOptions, TextTable};
+
+/// Energy per (density, policy): total and refresh share.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Chip density.
+    pub density: ChipDensity,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Energy breakdown.
+    pub report: EnergyReport,
+}
+
+/// Runs the energy sweep on a memory-intensive single-core workload.
+#[must_use]
+pub fn compute_energy(opts: &RunOptions) -> Vec<EnergyRow> {
+    let mut rows = Vec::new();
+    for density in ChipDensity::ALL {
+        for (policy, label) in [
+            (RefreshPolicy::baseline_16ms(), "16 ms baseline"),
+            (
+                RefreshPolicy::Reduced {
+                    baseline_interval_ms: 16.0,
+                    reduction: 0.70,
+                },
+                "MEMCON (70% red)",
+            ),
+        ] {
+            let config = SystemConfig::new(1, density, policy);
+            let mut sys = System::new(config.clone(), vec![spec_tpc_pool()[0]], opts.seed);
+            let stats = sys.run(opts.instructions);
+            rows.push(EnergyRow {
+                density,
+                policy: label,
+                report: EnergyReport::from_stats(&stats.ctrl, stats.total_cycles, &config.timing),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders all extension experiments.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let mut out = heading("Ext", "Extension experiments (energy, RowClone, storage)");
+
+    // Energy.
+    let mut t = TextTable::new(vec![
+        "Density",
+        "Policy",
+        "Total (uJ)",
+        "Refresh (uJ)",
+        "Refresh share",
+    ]);
+    let energy = compute_energy(opts);
+    for r in &energy {
+        t.row(vec![
+            r.density.to_string(),
+            r.policy.to_string(),
+            format!("{:.1}", r.report.total_nj() / 1000.0),
+            format!("{:.1}", r.report.refresh_nj / 1000.0),
+            pct(r.report.refresh_share()),
+        ]);
+    }
+    out.push_str("\nDRAM energy (mcf, single core):\n");
+    out.push_str(&t.render());
+
+    // RowClone.
+    let m = CostModel::paper_default();
+    let mut t = TextTable::new(vec!["Copy-and-Compare variant", "Test cost", "MinWriteInterval"]);
+    t.row(vec![
+        "through controller (paper)".to_string(),
+        format!("{:.0} ns", m.test_cost_ns(TestMode::CopyAndCompare)),
+        format!("{:.0} ms", m.min_write_interval_ms(TestMode::CopyAndCompare)),
+    ]);
+    t.row(vec![
+        "in-DRAM copy (RowClone, footnote 6)".to_string(),
+        format!("{:.0} ns", m.copy_and_compare_rowclone_ns()),
+        format!("{:.0} ms", m.min_write_interval_rowclone_ms()),
+    ]);
+    out.push_str("\nRowClone-accelerated Copy-and-Compare:\n");
+    out.push_str(&t.render());
+
+    // Storage overhead.
+    let mut t = TextTable::new(vec!["Memory", "Pages", "Write-map", "Write-buffer", "Staging"]);
+    for gb in [2u64, 8, 32] {
+        let config = MemconConfig::paper_default().with_test_mode(TestMode::CopyAndCompare);
+        let o = storage_overhead(
+            &config,
+            &DramGeometry::module_2gb(),
+            gb << 30,
+            8192,
+        );
+        t.row(vec![
+            format!("{gb} GB"),
+            o.pages.to_string(),
+            format!("{} KB", o.write_map_bytes / 1024),
+            format!("{:.1} KB", o.write_buffer_bytes as f64 / 1024.0),
+            format!("{:.2}%", o.staging_fraction * 100.0),
+        ]);
+    }
+    out.push_str("\nPRIL storage overhead (Section 6.4 arithmetic):\n");
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcon_saves_energy_at_every_density() {
+        let rows = compute_energy(&RunOptions::quick());
+        for density in ChipDensity::ALL {
+            let base = rows
+                .iter()
+                .find(|r| r.density == density && r.policy.contains("baseline"))
+                .unwrap();
+            let memcon = rows
+                .iter()
+                .find(|r| r.density == density && r.policy.contains("MEMCON"))
+                .unwrap();
+            assert!(
+                memcon.report.total_nj() < base.report.total_nj(),
+                "{density}: MEMCON {} >= baseline {}",
+                memcon.report.total_nj(),
+                base.report.total_nj()
+            );
+            assert!(memcon.report.refresh_nj < 0.5 * base.report.refresh_nj);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_three_sections() {
+        let s = render(&RunOptions::quick());
+        assert!(s.contains("DRAM energy"));
+        assert!(s.contains("RowClone"));
+        assert!(s.contains("storage overhead"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 11: probability that the remaining interval length exceeds 1024 ms,
+//! as a function of the current interval length (the DHR property PRIL
+//! exploits).
+//!
+//! Paper: very low for CIL ≤ 256 ms, roughly 0.5–0.8 at CIL = 512 ms,
+//! approaching 1 beyond 16 s.
+
+use memtrace::stats::p_ril_gt_given_cil;
+use memtrace::workload::WorkloadProfile;
+
+use crate::output::{f, heading, RunOptions, TextTable};
+
+/// The CIL abscissae shown in the rendered table.
+pub const SHOWN_CILS_MS: [f64; 7] = [1.0, 16.0, 128.0, 512.0, 1024.0, 4096.0, 16_384.0];
+
+/// Per-workload conditional probabilities.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// `(workload, [(cil, p)])`.
+    pub rows: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Fig11 {
+    /// Mean probability at a given CIL across workloads.
+    #[must_use]
+    pub fn mean_at(&self, cil: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|(_, pts)| pts.iter().find(|p| p.0 == cil).map(|p| p.1))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Computes the conditionals over closed intervals for all 12 workloads.
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig11 {
+    let rows = WorkloadProfile::all()
+        .into_iter()
+        .map(|w| {
+            let trace = crate::output::cached_trace(&w, opts);
+            let pts = p_ril_gt_given_cil(&trace.closed_intervals(), 1024.0, &SHOWN_CILS_MS);
+            (w.name, pts)
+        })
+        .collect();
+    Fig11 { rows }
+}
+
+/// Renders Fig. 11.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut header = vec!["Workload".to_string()];
+    header.extend(SHOWN_CILS_MS.iter().map(|c| format!("{c:.0}ms")));
+    let mut t = TextTable::new(header);
+    for (name, pts) in &r.rows {
+        let mut row = vec![name.clone()];
+        row.extend(pts.iter().map(|p| f(p.1, 2)));
+        t.row(row);
+    }
+    format!(
+        "{}{}\nMean P(RIL > 1024 ms) at CIL 512 ms: {:.2} (paper: 0.5-0.8)\n",
+        heading("Fig 11", "P(RIL > 1024 ms) as a function of CIL"),
+        t.render(),
+        r.mean_at(512.0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dhr_shape() {
+        let r = compute(&RunOptions::quick());
+        assert_eq!(r.rows.len(), 12);
+        let small = r.mean_at(1.0);
+        let mid = r.mean_at(512.0);
+        let large = r.mean_at(16_384.0);
+        assert!(small < 0.3, "P at CIL=1 too high: {small}");
+        assert!((0.3..1.0).contains(&mid), "P at CIL=512: {mid}");
+        assert!(large > mid - 0.1, "P should keep rising: {large} vs {mid}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 12: coverage of write-interval time when predicting at a given
+//! current interval length.
+//!
+//! Waiting longer before predicting loses the time already elapsed: coverage
+//! decreases with CIL. Paper: 65–85 % average coverage at CIL 512–2048 ms.
+
+use memtrace::stats::coverage_given_cil;
+use memtrace::workload::WorkloadProfile;
+
+use crate::fig11::SHOWN_CILS_MS;
+use crate::output::{f, heading, RunOptions, TextTable};
+
+/// Per-workload coverage curves.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// `(workload, [(cil, coverage)])`.
+    pub rows: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Fig12 {
+    /// Mean coverage at a given CIL.
+    #[must_use]
+    pub fn mean_at(&self, cil: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|(_, pts)| pts.iter().find(|p| p.0 == cil).map(|p| p.1))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Computes coverage over intervals including censored tails (idle time at
+/// the end of the trace is coverable too).
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig12 {
+    let rows = WorkloadProfile::all()
+        .into_iter()
+        .map(|w| {
+            let trace = crate::output::cached_trace(&w, opts);
+            let pts = coverage_given_cil(&trace.intervals_with_tail(), 1024.0, &SHOWN_CILS_MS);
+            (w.name, pts)
+        })
+        .collect();
+    Fig12 { rows }
+}
+
+/// Renders Fig. 12.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut header = vec!["Workload".to_string()];
+    header.extend(SHOWN_CILS_MS.iter().map(|c| format!("{c:.0}ms")));
+    let mut t = TextTable::new(header);
+    for (name, pts) in &r.rows {
+        let mut row = vec![name.clone()];
+        row.extend(pts.iter().map(|p| f(p.1, 2)));
+        t.row(row);
+    }
+    format!(
+        "{}{}\nMean coverage at CIL 512/1024 ms: {:.2}/{:.2} (paper: 65-85% at 512-2048 ms)\n",
+        heading("Fig 12", "Coverage of write-interval time vs CIL"),
+        t.render(),
+        r.mean_at(512.0),
+        r.mean_at(1024.0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_high_and_decreasing() {
+        let r = compute(&RunOptions::quick());
+        for (name, pts) in &r.rows {
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].1 <= w[0].1 + 1e-9,
+                    "{name}: coverage increased with CIL: {w:?}"
+                );
+            }
+        }
+        let at_1024 = r.mean_at(1024.0);
+        assert!((0.5..1.0).contains(&at_1024), "coverage at 1024: {at_1024}");
+    }
+}

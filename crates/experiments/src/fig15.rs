@@ -1,0 +1,152 @@
+//! Fig. 15: MEMCON's performance improvement over the aggressive 16 ms
+//! baseline, modelling 60 % and 75 % refresh reductions (the band measured
+//! in Fig. 14) with 256 concurrent tests injected per 64 ms window.
+//!
+//! Paper: single-core 10/17/40 % (min, 60 % reduction) to 12/22/50 % (max,
+//! 75 %) and four-core 10/23/52 % to 17/29/65 % for 8/16/32 Gb chips.
+
+use dram::geometry::ChipDensity;
+use memsim::config::{RefreshPolicy, SystemConfig};
+use memsim::system::{SimStats, System};
+use memsim::testinject::TestInjectConfig;
+use memtrace::cpu::{random_mixes, CpuWorkloadProfile};
+
+use crate::output::{heading, pct, RunOptions, TextTable};
+
+/// The refresh-reduction points evaluated (the Fig. 14 band).
+pub const REDUCTIONS: [f64; 2] = [0.60, 0.75];
+
+/// Runs one simulation; `reduction = None` is the 16 ms baseline.
+#[must_use]
+pub fn run_config(
+    cores: usize,
+    density: ChipDensity,
+    reduction: Option<f64>,
+    profiles: Vec<CpuWorkloadProfile>,
+    opts: &RunOptions,
+    mix_seed: u64,
+) -> SimStats {
+    let policy = match reduction {
+        None => RefreshPolicy::baseline_16ms(),
+        Some(r) => RefreshPolicy::Reduced {
+            baseline_interval_ms: 16.0,
+            reduction: r,
+        },
+    };
+    let config = SystemConfig::new(cores, density, policy);
+    let mut system = System::new(config, profiles, opts.seed ^ mix_seed);
+    if reduction.is_some() {
+        // MEMCON runs carry the online-testing traffic (Table 3's 256-test
+        // operating point, as in the paper's full results).
+        system = system.with_test_injection(TestInjectConfig::read_and_compare(256));
+    }
+    system.run(opts.instructions)
+}
+
+/// Mean speedups per (cores, density, reduction).
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// `(cores, density, reduction, mean speedup, max speedup)`.
+    pub points: Vec<(usize, ChipDensity, f64, f64, f64)>,
+}
+
+impl Fig15 {
+    /// Looks up the mean speedup of a configuration.
+    #[must_use]
+    pub fn mean(&self, cores: usize, density: ChipDensity, reduction: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.0 == cores && p.1 == density && p.2 == reduction)
+            .map(|p| p.3)
+    }
+}
+
+/// Runs the full sweep over `opts.mixes` workload mixes.
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig15 {
+    let mixes = random_mixes(opts.mixes, 4, opts.seed);
+    let mut points = Vec::new();
+    for cores in [1usize, 4] {
+        for density in ChipDensity::ALL {
+            // Baselines per mix, reused across the two reduction points.
+            let baselines: Vec<SimStats> = mixes
+                .iter()
+                .enumerate()
+                .map(|(i, mix)| {
+                    let profiles = mix[..cores].to_vec();
+                    run_config(cores, density, None, profiles, opts, i as u64)
+                })
+                .collect();
+            for reduction in REDUCTIONS {
+                let mut speedups = Vec::new();
+                for (i, mix) in mixes.iter().enumerate() {
+                    let profiles = mix[..cores].to_vec();
+                    let stats =
+                        run_config(cores, density, Some(reduction), profiles, opts, i as u64);
+                    speedups.push(stats.speedup_over(&baselines[i]));
+                }
+                let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+                let max = speedups.iter().cloned().fold(0.0, f64::max);
+                points.push((cores, density, reduction, mean, max));
+            }
+        }
+    }
+    Fig15 { points }
+}
+
+/// Renders Fig. 15.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut t = TextTable::new(vec![
+        "Cores",
+        "Density",
+        "Reduction",
+        "Mean speedup",
+        "Mean improvement",
+        "Max speedup",
+    ]);
+    for (cores, density, reduction, mean, max) in &r.points {
+        t.row(vec![
+            cores.to_string(),
+            density.to_string(),
+            pct(*reduction),
+            format!("{mean:.3}"),
+            pct(mean - 1.0),
+            format!("{max:.3}"),
+        ]);
+    }
+    format!(
+        "{}{}\n(paper: 1-core 10/17/40% to 12/22/50%, 4-core 10/23/52% to\n\
+         17/29/65% for 8/16/32 Gb; includes 256 injected tests per 64 ms)\n",
+        heading("Fig 15", "MEMCON speedup over the 16 ms baseline"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_shape_matches_paper() {
+        let r = compute(&RunOptions::quick());
+        for cores in [1usize, 4] {
+            // Grows with density.
+            let g8 = r.mean(cores, ChipDensity::Gb8, 0.75).unwrap();
+            let g16 = r.mean(cores, ChipDensity::Gb16, 0.75).unwrap();
+            let g32 = r.mean(cores, ChipDensity::Gb32, 0.75).unwrap();
+            assert!(g8 > 1.0, "{cores}-core 8Gb speedup {g8}");
+            assert!(g16 > g8, "{cores}-core: 16Gb {g16} <= 8Gb {g8}");
+            assert!(g32 > g16, "{cores}-core: 32Gb {g32} <= 16Gb {g16}");
+            // 75% reduction beats 60%.
+            for d in ChipDensity::ALL {
+                let lo = r.mean(cores, d, 0.60).unwrap();
+                let hi = r.mean(cores, d, 0.75).unwrap();
+                assert!(hi >= lo, "{cores}-core {d}: 75% {hi} < 60% {lo}");
+            }
+            // Magnitudes in the paper's ballpark at 32 Gb (tens of percent).
+            assert!((1.2..2.0).contains(&g32), "{cores}-core 32Gb {g32}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 17: execution-time coverage of PRIL — the fraction of page-time
+//! spent at LO-REF. Paper: ~95 % on average, insensitive to CIL.
+
+use crate::fig14::{self, Fig14, QUANTA_MS};
+use crate::output::{heading, pct, RunOptions, TextTable};
+
+/// Same engine runs as Fig. 14 (shared computation).
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig14 {
+    fig14::compute(opts)
+}
+
+/// Mean LO-REF coverage at a quantum.
+#[must_use]
+pub fn mean_coverage_at(r: &Fig14, quantum_ms: f64) -> f64 {
+    let runs = r.at_quantum(quantum_ms);
+    runs.iter().map(|x| x.report.lo_coverage).sum::<f64>() / runs.len().max(1) as f64
+}
+
+/// Renders Fig. 17.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut header = vec!["Workload".to_string()];
+    header.extend(QUANTA_MS.iter().map(|q| format!("CIL {q:.0} ms")));
+    let mut t = TextTable::new(header);
+    let mut workloads: Vec<String> = r.runs.iter().map(|x| x.workload.clone()).collect();
+    workloads.dedup();
+    for w in workloads {
+        let mut row = vec![w.clone()];
+        for q in QUANTA_MS {
+            let run = r
+                .runs
+                .iter()
+                .find(|x| x.workload == w && x.quantum_ms == q)
+                .expect("all combinations computed");
+            row.push(pct(run.report.lo_coverage));
+        }
+        t.row(row);
+    }
+    format!(
+        "{}{}\nMean LO-REF coverage at CIL 512/1024/2048: {} / {} / {} (paper: ~95%)\n",
+        heading("Fig 17", "Execution-time coverage of PRIL (LO-REF residency)"),
+        t.render(),
+        pct(mean_coverage_at(&r, 512.0)),
+        pct(mean_coverage_at(&r, 1024.0)),
+        pct(mean_coverage_at(&r, 2048.0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_high() {
+        let r = compute(&RunOptions::quick());
+        for q in QUANTA_MS {
+            let mean = mean_coverage_at(&r, q);
+            assert!((0.75..1.0).contains(&mean), "coverage at CIL {q}: {mean}");
+        }
+    }
+}

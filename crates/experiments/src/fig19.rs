@@ -1,0 +1,107 @@
+//! Fig. 19: sensitivity to cache size — halving every write interval.
+//!
+//! A smaller LLC evicts dirty lines sooner, compressing write intervals.
+//! The paper halves all intervals and shows (a) the distribution shifts
+//! left only slightly and (b) `P(RIL > 1024 ms | CIL)` barely changes, so
+//! MEMCON is insensitive to cache size.
+
+use memtrace::stats::{log2_histogram, p_ril_gt_given_cil};
+use memtrace::workload::WorkloadProfile;
+
+use crate::output::{f, heading, RunOptions, TextTable};
+
+/// Full-vs-halved comparison for one workload.
+#[derive(Debug, Clone)]
+pub struct Fig19 {
+    /// Sub-1 ms interval fraction, full and halved.
+    pub sub_ms: (f64, f64),
+    /// Fraction of intervals ≥ 1024 ms, full and halved.
+    pub long: (f64, f64),
+    /// `P(RIL > 1024 | CIL)` at CIL ∈ {512, 1024, 2048}, full and halved.
+    pub ril: Vec<(f64, f64, f64)>,
+}
+
+/// Computes the comparison on ACBrotherhood (the paper's example).
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig19 {
+    // Interval conditionals need a decent closed-interval sample.
+    let w = WorkloadProfile::ac_brotherhood().scaled(opts.scale.max(0.5));
+    let full = w.generate(opts.seed);
+    let half = full.halved_intervals();
+    let fi = full.closed_intervals();
+    let hi = half.closed_intervals();
+
+    let stats = |intervals: &[memtrace::trace::Interval]| {
+        let h = log2_histogram(intervals);
+        let sub = h[0].fraction;
+        let long: f64 = h.iter().filter(|b| b.lo_ms >= 1024.0).map(|b| b.fraction).sum();
+        (sub, long)
+    };
+    let (fs, fl) = stats(&fi);
+    let (hs, hl) = stats(&hi);
+    let cils = [512.0, 1024.0, 2048.0];
+    let pf = p_ril_gt_given_cil(&fi, 1024.0, &cils);
+    let ph = p_ril_gt_given_cil(&hi, 1024.0, &cils);
+    let ril = cils
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, pf[i].1, ph[i].1))
+        .collect();
+    Fig19 {
+        sub_ms: (fs, hs),
+        long: (fl, hl),
+        ril,
+    }
+}
+
+/// Renders Fig. 19.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut t = TextTable::new(vec!["Statistic", "Full intervals", "Halved intervals"]);
+    t.row(vec![
+        "sub-1ms interval share".to_string(),
+        format!("{:.1}%", r.sub_ms.0 * 100.0),
+        format!("{:.1}%", r.sub_ms.1 * 100.0),
+    ]);
+    t.row(vec![
+        ">=1024 ms interval share".to_string(),
+        format!("{:.3}%", r.long.0 * 100.0),
+        format!("{:.3}%", r.long.1 * 100.0),
+    ]);
+    for (cil, pf, ph) in &r.ril {
+        t.row(vec![
+            format!("P(RIL>1024) at CIL {cil:.0} ms"),
+            f(*pf, 2),
+            f(*ph, 2),
+        ]);
+    }
+    format!(
+        "{}{}\nConclusion: halving write intervals (smaller cache) barely moves\n\
+         the long-interval prediction probabilities — MEMCON is cache-size\n\
+         insensitive, as in the paper.\n",
+        heading("Fig 19", "Sensitivity to halved write intervals (cache size)"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_shifts_slightly_but_preserves_prediction() {
+        let r = compute(&RunOptions::quick());
+        // Distribution shifts left: sub-ms share grows (or stays).
+        assert!(r.sub_ms.1 >= r.sub_ms.0 - 0.01);
+        // Long-interval share shrinks but stays the time-dominant class.
+        assert!(r.long.1 <= r.long.0 + 1e-9);
+        // P(RIL > 1024 | CIL) changes only modestly at the working points.
+        for (cil, pf, ph) in &r.ril {
+            assert!(
+                (pf - ph).abs() < 0.35,
+                "CIL {cil}: full {pf} vs halved {ph}"
+            );
+        }
+    }
+}

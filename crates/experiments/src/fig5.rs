@@ -1,0 +1,102 @@
+//! Fig. 5: the tradeoff between testing frequency and average cost
+//! (conceptual in the paper; quantified here from the cost model).
+//!
+//! For a row whose writes recur every `W` ms, MEMCON's long-run average cost
+//! rate is `(C_test + R·max(W/LO − 1, 0)) / W`; staying at HI-REF costs
+//! `R / HI` per ms. Infrequent testing (large `W`) undercuts HI-REF;
+//! frequent testing exceeds it — motivating selective testing.
+
+use memcon::cost::{CostModel, TestMode};
+
+use crate::output::{heading, RunOptions, TextTable};
+
+/// One point of the tradeoff curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Write interval in ms (inverse testing frequency).
+    pub write_interval_ms: f64,
+    /// MEMCON average cost (ns of latency per ms of time).
+    pub memcon_rate: f64,
+    /// HI-REF average cost for comparison.
+    pub hi_rate: f64,
+}
+
+/// Computes the curve for the paper's Read-and-Compare configuration.
+#[must_use]
+pub fn compute(_opts: &RunOptions) -> Vec<TradeoffPoint> {
+    let m = CostModel::paper_default();
+    let hi_rate = m.refresh_op_ns / m.hi_ms;
+    [16.0, 64.0, 128.0, 256.0, 448.0, 560.0, 864.0, 1024.0, 4096.0, 32_768.0]
+        .into_iter()
+        .map(|w| TradeoffPoint {
+            write_interval_ms: w,
+            memcon_rate: m.accumulated_memcon_ns(TestMode::ReadAndCompare, w) / w,
+            hi_rate,
+        })
+        .collect()
+}
+
+/// Renders Fig. 5.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let pts = compute(opts);
+    let mut t = TextTable::new(vec![
+        "Write interval",
+        "MEMCON avg cost (ns/ms)",
+        "HI-REF avg cost (ns/ms)",
+        "Cheaper",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            format!("{:.0} ms", p.write_interval_ms),
+            format!("{:.3}", p.memcon_rate),
+            format!("{:.3}", p.hi_rate),
+            if p.memcon_rate <= p.hi_rate {
+                "MEMCON".to_string()
+            } else {
+                "HI-REF".to_string()
+            },
+        ]);
+    }
+    format!(
+        "{}{}",
+        heading("Fig 5", "Testing frequency vs average cost tradeoff"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_testing_loses_infrequent_testing_wins() {
+        let pts = compute(&RunOptions::quick());
+        let first = pts.first().unwrap(); // 16 ms writes
+        assert!(first.memcon_rate > first.hi_rate, "frequent testing must cost more");
+        let last = pts.last().unwrap(); // 32 s writes
+        assert!(last.memcon_rate < last.hi_rate, "infrequent testing must win");
+    }
+
+    #[test]
+    fn crossover_at_min_write_interval() {
+        let pts = compute(&RunOptions::quick());
+        for p in pts {
+            let expect_memcon = p.write_interval_ms >= 560.0;
+            assert_eq!(
+                p.memcon_rate <= p.hi_rate,
+                expect_memcon,
+                "at {} ms",
+                p.write_interval_ms
+            );
+        }
+    }
+
+    #[test]
+    fn memcon_rate_decreases_with_interval() {
+        let pts = compute(&RunOptions::quick());
+        for w in pts.windows(2) {
+            assert!(w[1].memcon_rate <= w[0].memcon_rate + 1e-12);
+        }
+    }
+}

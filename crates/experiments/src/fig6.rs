@@ -1,0 +1,109 @@
+//! Fig. 6: accumulated cost over time and the MinWriteInterval.
+//!
+//! Reproduces the paper's numbers exactly: Read-and-Compare crosses HI-REF
+//! at 560 ms and Copy-and-Compare at 864 ms (LO-REF 64 ms); 480/448 ms at
+//! LO-REF 128/256 ms.
+
+use dram::timing::TimingParams;
+use memcon::cost::{CostModel, TestMode};
+
+use crate::output::{heading, RunOptions, TextTable};
+
+/// The computed MinWriteIntervals for every mode × LO-REF combination.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(mode, lo_ms, min_write_interval_ms)`.
+    pub intervals: Vec<(TestMode, f64, f64)>,
+    /// Accumulated-cost series at LO = 64 ms:
+    /// `(t_ms, hi_ns, read_compare_ns, copy_compare_ns)`.
+    pub series: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Computes the figure.
+#[must_use]
+pub fn compute(_opts: &RunOptions) -> Fig6 {
+    let timing = TimingParams::ddr3_1600();
+    let mut intervals = Vec::new();
+    for lo in [64.0, 128.0, 256.0] {
+        let m = CostModel::new(&timing, 128, 16.0, lo);
+        for mode in TestMode::ALL {
+            intervals.push((mode, lo, m.min_write_interval_ms(mode)));
+        }
+    }
+    let series = CostModel::paper_default().fig6_series(2000.0);
+    Fig6 { intervals, series }
+}
+
+/// Renders Fig. 6.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut t = TextTable::new(vec!["Test mode", "LO-REF", "MinWriteInterval"]);
+    for (mode, lo, mwi) in &r.intervals {
+        t.row(vec![
+            mode.to_string(),
+            format!("{lo:.0} ms"),
+            format!("{mwi:.0} ms"),
+        ]);
+    }
+    let mut s = TextTable::new(vec![
+        "t (ms)",
+        "HI-REF (ns)",
+        "Read&Compare (ns)",
+        "Copy&Compare (ns)",
+    ]);
+    for (t_ms, hi, rc, cc) in r.series.iter().step_by(8) {
+        s.row(vec![
+            format!("{t_ms:.0}"),
+            format!("{hi:.0}"),
+            format!("{rc:.0}"),
+            format!("{cc:.0}"),
+        ]);
+    }
+    format!(
+        "{}{}\nAccumulated cost (every 128 ms shown):\n{}",
+        heading("Fig 6", "Determining MinWriteInterval"),
+        t.render(),
+        s.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_exact() {
+        let r = compute(&RunOptions::quick());
+        let get = |mode: TestMode, lo: f64| {
+            r.intervals
+                .iter()
+                .find(|(m, l, _)| *m == mode && *l == lo)
+                .unwrap()
+                .2
+        };
+        assert_eq!(get(TestMode::ReadAndCompare, 64.0), 560.0);
+        assert_eq!(get(TestMode::CopyAndCompare, 64.0), 864.0);
+        assert_eq!(get(TestMode::ReadAndCompare, 128.0), 480.0);
+        assert_eq!(get(TestMode::ReadAndCompare, 256.0), 448.0);
+    }
+
+    #[test]
+    fn band_is_448_to_864() {
+        let r = compute(&RunOptions::quick());
+        let min = r.intervals.iter().map(|i| i.2).fold(f64::INFINITY, f64::min);
+        let max = r.intervals.iter().map(|i| i.2).fold(0.0, f64::max);
+        assert_eq!((min, max), (448.0, 864.0));
+    }
+
+    #[test]
+    fn series_crosses() {
+        let r = compute(&RunOptions::quick());
+        let at = |t: f64| r.series.iter().find(|p| p.0 == t).unwrap();
+        // Before 560 ms, HI is cheaper than Read&Compare; after, costlier.
+        assert!(at(544.0).1 < at(544.0).2);
+        assert!(at(560.0).1 > at(560.0).2);
+        assert!(at(848.0).1 < at(848.0).3);
+        assert!(at(864.0).1 > at(864.0).3);
+    }
+}

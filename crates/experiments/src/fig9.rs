@@ -1,0 +1,70 @@
+//! Fig. 9: execution time is dominated by long write intervals.
+//!
+//! The paper reports that intervals of at least 1024 ms account for 89.5 %
+//! of all write-interval time on average across the 12 workloads.
+
+use memtrace::stats::time_fraction_ge_ms;
+use memtrace::workload::WorkloadProfile;
+
+use crate::output::{heading, pct, RunOptions, TextTable};
+
+/// Per-workload long-interval time fractions.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// `(workload, fraction of interval time in >=1024 ms intervals)`.
+    pub rows: Vec<(String, f64)>,
+}
+
+impl Fig9 {
+    /// Mean across workloads.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.rows.iter().map(|r| r.1).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+}
+
+/// Computes the fractions over closed intervals.
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Fig9 {
+    let rows = WorkloadProfile::all()
+        .into_iter()
+        .map(|w| {
+            let trace = crate::output::cached_trace(&w, opts);
+            let frac = time_fraction_ge_ms(&trace.closed_intervals(), 1024.0);
+            (w.name, frac)
+        })
+        .collect();
+    Fig9 { rows }
+}
+
+/// Renders Fig. 9.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut t = TextTable::new(vec!["Workload", ">=1024 ms share", "<1024 ms share"]);
+    for (name, frac) in &r.rows {
+        t.row(vec![name.clone(), pct(*frac), pct(1.0 - *frac)]);
+    }
+    format!(
+        "{}{}\nAverage: {} of write-interval time in long intervals (paper: 89.5%)\n",
+        heading("Fig 9", "Execution time is dominated by long write intervals"),
+        t.render(),
+        pct(r.mean())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_intervals_dominate_everywhere() {
+        let r = compute(&RunOptions::quick());
+        assert_eq!(r.rows.len(), 12);
+        for (name, frac) in &r.rows {
+            assert!(*frac > 0.6, "{name}: long share {frac}");
+        }
+        let mean = r.mean();
+        assert!((0.75..=1.0).contains(&mean), "mean {mean} (paper 89.5%)");
+    }
+}

@@ -1,0 +1,99 @@
+//! Regenerates every table and figure of the MEMCON paper's evaluation.
+//!
+//! One module per experiment; each exposes
+//!
+//! * `compute(&RunOptions) -> …` — the raw series/rows, and
+//! * `render(&RunOptions) -> String` — the same data formatted like the
+//!   paper's table/figure, ready for `EXPERIMENTS.md`.
+//!
+//! The `memcon-experiments` binary dispatches on the experiment id
+//! (`fig3`, `fig15`, `table3`, …, or `all`).
+//!
+//! Absolute numbers are not expected to match the paper (our substrate is a
+//! simulator, not the authors' FPGA + testbed); the *shape* — orderings,
+//! approximate factors, crossovers — is the reproduction target, and each
+//! module's tests pin that shape.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ext;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use output::RunOptions;
+
+/// Every experiment id, in paper order (plus the extension experiments).
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
+    "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "ext",
+];
+
+/// Runs one experiment by id, returning its rendered output.
+///
+/// # Errors
+///
+/// Returns an error message for an unknown id.
+pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<String, String> {
+    match id {
+        "table1" => Ok(table1::render(opts)),
+        "table2" => Ok(table2::render(opts)),
+        "fig3" => Ok(fig3::render(opts)),
+        "fig4" => Ok(fig4::render(opts)),
+        "fig5" => Ok(fig5::render(opts)),
+        "fig6" => Ok(fig6::render(opts)),
+        "fig7" => Ok(fig7::render(opts)),
+        "fig8" => Ok(fig8::render(opts)),
+        "fig9" => Ok(fig9::render(opts)),
+        "fig11" => Ok(fig11::render(opts)),
+        "fig12" => Ok(fig12::render(opts)),
+        "fig14" => Ok(fig14::render(opts)),
+        "fig15" => Ok(fig15::render(opts)),
+        "fig16" => Ok(fig16::render(opts)),
+        "table3" => Ok(table3::render(opts)),
+        "fig17" => Ok(fig17::render(opts)),
+        "fig18" => Ok(fig18::render(opts)),
+        "fig19" => Ok(fig19::render(opts)),
+        "ext" => Ok(ext::render(opts)),
+        other => Err(format!(
+            "unknown experiment '{other}'; known: {}",
+            ALL_EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        assert!(run_experiment("fig99", &RunOptions::quick()).is_err());
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        // Only check dispatch on the cheapest experiments; the heavy ones
+        // have their own module tests.
+        for id in ["table1", "table2", "fig5", "fig6"] {
+            assert!(run_experiment(id, &RunOptions::quick()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `memcon-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! memcon-experiments [--quick] <experiment>|all
+//! ```
+//!
+//! Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11
+//! fig12 fig14 fig15 fig16 table3 fig17 fig18 fig19
+
+use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = if quick {
+        RunOptions::quick()
+    } else {
+        RunOptions::full()
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        eprintln!(
+            "usage: memcon-experiments [--quick] <experiment>... | all\n\
+             experiments: {}",
+            ALL_EXPERIMENTS.join(" ")
+        );
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if targets == ["all"] {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        targets
+    };
+    for id in ids {
+        match run_experiment(id, &opts) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

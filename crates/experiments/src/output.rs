@@ -1,0 +1,219 @@
+//! Shared experiment options and table-rendering helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling experiment fidelity vs runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Workload footprint scale (1.0 = the calibrated scaled-down default).
+    pub scale: f64,
+    /// Instructions per core for cycle simulations.
+    pub instructions: u64,
+    /// Number of multiprogrammed mixes for Figs. 15/16 (paper: 30).
+    pub mixes: usize,
+    /// Rows per bank of the chip-test module (Figs. 3/4).
+    pub rows_per_bank: u32,
+    /// Content snapshots per benchmark for Fig. 4 (paper: per 100 M
+    /// instructions over 0.5 B ⇒ 5).
+    pub snapshots: u32,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Full-fidelity settings (used for EXPERIMENTS.md).
+    #[must_use]
+    pub fn full() -> Self {
+        RunOptions {
+            scale: 0.5,
+            instructions: 300_000,
+            mixes: 30,
+            rows_per_bank: 2048,
+            snapshots: 5,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Reduced settings for unit tests and Criterion benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        RunOptions {
+            scale: 0.1,
+            instructions: 60_000,
+            mixes: 4,
+            rows_per_bank: 256,
+            snapshots: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions::full()
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|&w| "-".repeat(w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The scaled chip-test geometry Figs. 3 and 4 run on: the paper's 2 GB
+/// module shape (8 banks, 8 KB rows) with `opts.rows_per_bank` rows so the
+/// sweep fits in host memory; failing-row *fractions* are scale-free.
+#[must_use]
+pub fn chip_test_geometry(opts: &RunOptions) -> dram::geometry::DramGeometry {
+    dram::geometry::DramGeometry {
+        rows_per_bank: opts.rows_per_bank,
+        ..dram::geometry::DramGeometry::module_2gb()
+    }
+}
+
+/// Generates (and memoizes) the write trace of `workload` at the options'
+/// scale and seed. Figs. 7–14 and 19 all consume the identical trace; the
+/// cache keeps `all` from regenerating it once per figure.
+#[must_use]
+pub fn cached_trace(
+    workload: &memtrace::workload::WorkloadProfile,
+    opts: &RunOptions,
+) -> std::sync::Arc<memtrace::trace::WriteTrace> {
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Key = (String, u64, u64);
+    type Cache = Mutex<Vec<(Key, Arc<memtrace::trace::WriteTrace>)>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let key: Key = (workload.name.clone(), opts.scale.to_bits(), opts.seed);
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some((_, hit)) = cache
+        .lock()
+        .expect("trace cache poisoned")
+        .iter()
+        .find(|(k, _)| *k == key)
+    {
+        return Arc::clone(hit);
+    }
+    let trace = Arc::new(workload.clone().scaled(opts.scale).generate(opts.seed));
+    cache
+        .lock()
+        .expect("trace cache poisoned")
+        .push((key, Arc::clone(&trace)));
+    trace
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with the given precision.
+#[must_use]
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Standard experiment heading.
+#[must_use]
+pub fn heading(id: &str, title: &str) -> String {
+    format!("== {id}: {title} ==\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("long-name"));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[3].rfind("22").unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.756), "75.6%");
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert!(heading("fig6", "MinWriteInterval").contains("fig6"));
+    }
+
+    #[test]
+    fn options_presets() {
+        assert!(RunOptions::full().rows_per_bank > RunOptions::quick().rows_per_bank);
+        assert_eq!(RunOptions::default(), RunOptions::full());
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 1: the evaluated long-running workloads.
+
+use memtrace::workload::WorkloadProfile;
+
+use crate::output::{heading, RunOptions, TextTable};
+
+/// The workload roster (straight from the profiles).
+#[must_use]
+pub fn compute(_opts: &RunOptions) -> Vec<WorkloadProfile> {
+    WorkloadProfile::all()
+}
+
+/// Renders Table 1.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let mut t = TextTable::new(vec!["Application", "Type", "Time (s)", "Mem (GB)", "Threads"]);
+    for w in compute(opts) {
+        t.row(vec![
+            w.name.clone(),
+            w.kind.clone(),
+            format!("{:.1}", w.duration_s),
+            format!("{:.1}", w.mem_gb),
+            w.threads.to_string(),
+        ]);
+    }
+    format!(
+        "{}{}",
+        heading("Table 1", "Evaluated long-running workloads"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_12_workloads() {
+        let s = render(&RunOptions::quick());
+        for name in ["ACBrother", "Netflix", "SystemMgt", "VideoEnc"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert_eq!(s.lines().count(), 15); // heading + header + rule + 12
+    }
+}

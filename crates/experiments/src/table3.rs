@@ -1,0 +1,116 @@
+//! Table 3: performance loss due to the extra accesses of online testing.
+//!
+//! Paper: 0.54 / 1.03 / 1.88 % on a single core and 0.05 / 0.09 / 0.48 % on
+//! four cores for 256 / 512 / 1024 concurrent tests per 64 ms window —
+//! testing overhead is negligible.
+
+use dram::geometry::ChipDensity;
+use memsim::config::{RefreshPolicy, SystemConfig};
+use memsim::system::System;
+use memsim::testinject::TestInjectConfig;
+use memtrace::cpu::random_mixes;
+
+use crate::output::{heading, RunOptions, TextTable};
+
+/// Concurrent-test operating points.
+pub const TEST_COUNTS: [u32; 3] = [256, 512, 1024];
+
+/// Mean slowdown per (cores, concurrent tests).
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// `(cores, tests, mean slowdown)`.
+    pub points: Vec<(usize, u32, f64)>,
+}
+
+impl Table3 {
+    /// Looks up a slowdown.
+    #[must_use]
+    pub fn slowdown(&self, cores: usize, tests: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.0 == cores && p.1 == tests)
+            .map(|p| p.2)
+    }
+}
+
+/// Runs the sweep: MEMCON-rate refresh with and without injected tests.
+#[must_use]
+pub fn compute(opts: &RunOptions) -> Table3 {
+    let policy = RefreshPolicy::Reduced {
+        baseline_interval_ms: 16.0,
+        reduction: 0.70,
+    };
+    let mixes = random_mixes(opts.mixes, 4, opts.seed);
+    let mut points = Vec::new();
+    for cores in [1usize, 4] {
+        let ideal: Vec<u64> = mixes
+            .iter()
+            .enumerate()
+            .map(|(i, mix)| {
+                let config = SystemConfig::new(cores, ChipDensity::Gb8, policy);
+                let stats = System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
+                    .run(opts.instructions);
+                stats.per_core_cycles.iter().sum()
+            })
+            .collect();
+        for tests in TEST_COUNTS {
+            let mut slowdowns = Vec::new();
+            for (i, mix) in mixes.iter().enumerate() {
+                let config = SystemConfig::new(cores, ChipDensity::Gb8, policy);
+                let stats = System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
+                    .with_test_injection(TestInjectConfig::read_and_compare(tests))
+                    .run(opts.instructions);
+                let cycles: u64 = stats.per_core_cycles.iter().sum();
+                slowdowns.push(cycles as f64 / ideal[i] as f64 - 1.0);
+            }
+            points.push((
+                cores,
+                tests,
+                slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+            ));
+        }
+    }
+    Table3 { points }
+}
+
+/// Renders Table 3.
+#[must_use]
+pub fn render(opts: &RunOptions) -> String {
+    let r = compute(opts);
+    let mut header = vec!["Cores".to_string()];
+    header.extend(TEST_COUNTS.iter().map(|t| format!("{t} tests")));
+    let mut t = TextTable::new(header);
+    for cores in [1usize, 4] {
+        let mut row = vec![format!("{cores}-core")];
+        for tests in TEST_COUNTS {
+            row.push(format!("{:.2}%", r.slowdown(cores, tests).unwrap() * 100.0));
+        }
+        t.row(row);
+    }
+    format!(
+        "{}{}\n(paper: 0.54/1.03/1.88% single-core, 0.05/0.09/0.48% four-core)\n",
+        heading("Table 3", "Performance loss due to testing accesses"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_small_and_grows_with_test_count() {
+        let r = compute(&RunOptions::quick());
+        for cores in [1usize, 4] {
+            let s256 = r.slowdown(cores, 256).unwrap();
+            let s1024 = r.slowdown(cores, 1024).unwrap();
+            assert!(s256 > -0.01, "{cores}-core 256: {s256}");
+            assert!(s256 < 0.05, "{cores}-core 256 overhead too big: {s256}");
+            assert!(s1024 < 0.10, "{cores}-core 1024 overhead too big: {s1024}");
+            assert!(
+                s1024 >= s256 - 0.005,
+                "{cores}-core: overhead should grow with tests ({s256} -> {s1024})"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Calibration scratchpad: measures the Fig. 4 statistics on a scaled
+//! module so the model parameters can be tuned against the paper's targets
+//! (ALL-FAIL ≈ 13.5 % of rows; program content 0.38 %–5.6 %).
+
+use dram::geometry::{ChipDensity, DramGeometry};
+use dram::module::DramModule;
+use dram::timing::TimingParams;
+use failure_model::model::CouplingFailureModel;
+use failure_model::params::FailureModelParams;
+use failure_model::tester::ChipTester;
+use failure_model::SpecBenchmark;
+
+fn main() {
+    let geometry = DramGeometry {
+        ranks: 1,
+        chips_per_rank: 8,
+        banks: 8,
+        rows_per_bank: 2048,
+        row_bytes: 8192,
+        block_bytes: 64,
+        density: ChipDensity::Gb8,
+    };
+    let interval_ms = 328.0;
+    let module = DramModule::new(geometry, TimingParams::ddr3_1600(), 0xC0FFEE);
+    let model = CouplingFailureModel::new(FailureModelParams::calibrated());
+    let all_fail = model.worst_case_failing_row_fraction(&module, interval_ms);
+    println!("ALL FAIL: {:.2}% (target 13.5%)", all_fail * 100.0);
+
+    let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
+
+    // Pure-class rates first.
+    use failure_model::ContentProfile;
+    let classes: [(&str, ContentProfile); 5] = [
+        ("pure-zero", ContentProfile::zeroes()),
+        ("pure-random", ContentProfile::random_data()),
+        ("pure-pointer", ContentProfile { zero: 0.0, random: 0.0, pointer: 1.0, small_int: 0.0, text: 0.0 }),
+        ("pure-smallint", ContentProfile { zero: 0.0, random: 0.0, pointer: 0.0, small_int: 1.0, text: 0.0 }),
+        ("pure-text", ContentProfile { zero: 0.0, random: 0.0, pointer: 0.0, small_int: 0.0, text: 1.0 }),
+    ];
+    for (name, profile) in classes {
+        let words = geometry.words_per_row();
+        tester.fill_with(|row| profile.row_content(99, 0, row, words));
+        let _ = tester.idle_ms(interval_ms);
+        println!("{:<14} {:>6.2}%", name, tester.read_back().failing_row_fraction() * 100.0);
+    }
+
+    for bench in SpecBenchmark::ALL {
+        let profile = bench.profile();
+        let words = geometry.words_per_row();
+        let mut fracs = Vec::new();
+        for snapshot in 0..3u32 {
+            tester.fill_with(|row| profile.row_content(bench as u64, snapshot, row, words));
+            let _ = tester.idle_ms(interval_ms);
+            fracs.push(tester.read_back().failing_row_fraction() * 100.0);
+        }
+        let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        println!(
+            "{:<10} {:>6.2}%  (snapshots: {:?})",
+            bench.name(),
+            avg,
+            fracs.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Data-dependent DRAM failure substrate for the MEMCON reproduction.
+//!
+//! The paper characterizes real DDR3 chips with an FPGA-based SoftMC
+//! infrastructure: fill memory with content, let it idle for a refresh
+//! interval, read it back, and count flipped bits. We do not have that
+//! hardware, so this crate implements a *physically-motivated simulation* of
+//! the same experiment:
+//!
+//! * [`params`] — the retention/coupling parameter set, calibrated so the
+//!   published statistics hold (≈13.5 % of rows can fail with *some* content,
+//!   0.38 %–5.6 % fail with program content — paper Fig. 4),
+//! * [`model`] — the bitline-coupling failure model: every cell has a base
+//!   retention time from a lognormal tail, and aggressor neighbours holding
+//!   the opposite *charge* (after scrambling, remapping, and true/anti-cell
+//!   polarity from the `dram` crate) accelerate its leakage,
+//! * [`patterns`] — manufacturing-style test data patterns (solid, stripes,
+//!   checkerboard, random) used for exhaustive "ALL FAIL" testing,
+//! * [`tester`] — a SoftMC-like [`tester::ChipTester`]: fill → idle → read
+//!   back, operating purely on system addresses, like the real instrument,
+//! * [`content`] — synthetic SPEC CPU2006-like memory images, one statistical
+//!   profile per benchmark of paper Fig. 4,
+//! * [`temperature`] — the retention/temperature scaling used to map the
+//!   paper's 4 s @ 45 °C test to 328 ms @ 85 °C,
+//! * [`math`] — the numerically verified normal-distribution helpers the
+//!   model samples with.
+//!
+//! The model is **opaque to the system side**: MEMCON and the memory
+//! controller only ever observe "this row, with this content, at this refresh
+//! interval, flips these bits", exactly as with a real chip.
+//!
+//! # Example
+//!
+//! ```
+//! use dram::geometry::DramGeometry;
+//! use dram::timing::TimingParams;
+//! use dram::module::DramModule;
+//! use failure_model::tester::ChipTester;
+//! use failure_model::patterns::TestPattern;
+//! use failure_model::params::FailureModelParams;
+//!
+//! let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 42);
+//! let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
+//! tester.fill_pattern(&TestPattern::Checkerboard);
+//! let failures = tester.idle_ms(328.0);
+//! let report = tester.read_back();
+//! assert_eq!(report.flipped_bits(), failures.len() as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod content;
+pub mod math;
+pub mod model;
+pub mod params;
+pub mod patterns;
+pub mod temperature;
+pub mod tester;
+
+pub use content::{ContentProfile, SpecBenchmark};
+pub use model::{CellFailure, CouplingFailureModel};
+pub use params::FailureModelParams;
+pub use patterns::TestPattern;
+pub use temperature::Celsius;
+pub use tester::{ChipTester, ReadBackReport};

@@ -1,0 +1,544 @@
+//! The bitline-coupling data-dependent failure model.
+//!
+//! Every DRAM cell has a *base retention time* drawn from the tail of a
+//! lognormal distribution. Neighbouring cells that hold the opposite
+//! **charge** act as aggressors: parasitic bitline (horizontal) and wordline
+//! (vertical) coupling accelerates the victim's leakage by a per-cell weight.
+//! A charged cell loses its data during a refresh interval `R` iff
+//!
+//! ```text
+//! retention / (1 + Σ aggressor weights) < R
+//! ```
+//!
+//! Because aggressor geometry lives in the chip's *internal* space — after
+//! vendor scrambling ([`dram::scramble`]), column repair ([`dram::remap`]),
+//! and true/anti-cell polarity ([`dram::cell`]) — the same system-level data
+//! pattern excites different cells on every chip, which is precisely the
+//! property that motivates MEMCON.
+//!
+//! Cells with retention far above any interval of interest can never fail,
+//! so only the sparse "band" of potentially vulnerable cells is materialized,
+//! deterministically per `(chip seed, rank, bank, row)`: the model is a pure
+//! function of the chip identity, like real silicon.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dram::address::RowAddr;
+use dram::module::DramModule;
+
+use crate::math::poisson_sample;
+use crate::params::FailureModelParams;
+
+/// One materialized potentially-vulnerable cell within a row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VulnerableCell {
+    /// Internal (post-scramble, pre-remap) bitline index within the row.
+    pub internal_bit: u64,
+    /// Base retention time in seconds at the 85 °C reference.
+    pub retention_s: f64,
+    /// Aggressor weight of the left bitline neighbour.
+    pub w_left: f64,
+    /// Aggressor weight of the right bitline neighbour.
+    pub w_right: f64,
+    /// Aggressor weight of the wordline neighbour above.
+    pub w_up: f64,
+    /// Aggressor weight of the wordline neighbour below.
+    pub w_down: f64,
+}
+
+impl VulnerableCell {
+    /// Maximum possible aggressor sum for this cell.
+    #[must_use]
+    pub fn max_sum(&self) -> f64 {
+        self.w_left + self.w_right + self.w_up + self.w_down
+    }
+
+    /// Whether the cell fails at `interval_ms` (85 °C-equivalent) with
+    /// aggressor sum `sum`.
+    #[must_use]
+    pub fn fails(&self, interval_ms: f64, sum: f64) -> bool {
+        self.retention_s / (1.0 + sum) * 1000.0 < interval_ms
+    }
+
+    /// Whether the cell is *weak*: it fails at `interval_ms` even with no
+    /// aggressors (data-independently). The paper's footnote 1 notes these
+    /// are trivially detectable; the model tracks them separately.
+    #[must_use]
+    pub fn is_weak(&self, interval_ms: f64) -> bool {
+        self.fails(interval_ms, 0.0)
+    }
+}
+
+/// One observed cell failure, in both internal and system coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Rank of the failing cell.
+    pub rank: u8,
+    /// Bank of the failing cell.
+    pub bank: u8,
+    /// Internal row index.
+    pub internal_row: u32,
+    /// Internal bitline index.
+    pub internal_bit: u64,
+    /// System-visible row address (what the memory controller sees flip).
+    pub system_row: RowAddr,
+    /// System-visible bit offset within the row.
+    pub system_bit: u64,
+}
+
+/// The coupling failure model. Stateless apart from its parameters; all
+/// chip-specific structure is derived from the module's chip seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CouplingFailureModel {
+    params: FailureModelParams,
+}
+
+impl CouplingFailureModel {
+    /// Creates a model with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation.
+    #[must_use]
+    pub fn new(params: FailureModelParams) -> Self {
+        params.validate().expect("invalid failure-model parameters");
+        CouplingFailureModel { params }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &FailureModelParams {
+        &self.params
+    }
+
+    fn row_seed(chip_seed: u64, rank: u8, bank: u8, internal_row: u32) -> u64 {
+        // splitmix64-style mixing of the coordinates.
+        let mut z = chip_seed
+            ^ (u64::from(rank) << 56)
+            ^ (u64::from(bank) << 48)
+            ^ u64::from(internal_row);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The materialized vulnerable cells of one internal row. Deterministic
+    /// in `(chip_seed, rank, bank, internal_row)`.
+    ///
+    /// Each non-weak cell's retention is `R_cal · (1 + θ)` with aggression
+    /// threshold `θ = Σmax_cell · u^shape`: at the calibration interval the
+    /// cell fails exactly when its hostile-neighbour weight sum exceeds `θ`.
+    /// Weak cells get retention just below `R_cal` and fail unconditionally
+    /// (when charged).
+    #[must_use]
+    pub fn vulnerable_cells(
+        &self,
+        chip_seed: u64,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        bits_per_row: u64,
+    ) -> Vec<VulnerableCell> {
+        let mut rng = SmallRng::seed_from_u64(Self::row_seed(chip_seed, rank, bank, internal_row));
+        let lambda = self.params.cells_per_row(bits_per_row);
+        let count = poisson_sample(&mut rng, lambda);
+        let r_cal_s = self.params.calibration_interval_ms / 1000.0;
+        let (h_lo, h_hi) = self.params.horizontal_weight;
+        let (v_lo, v_hi) = self.params.vertical_weight;
+        (0..count)
+            .map(|_| {
+                let internal_bit = rng.gen_range(0..bits_per_row);
+                let w_left = rng.gen_range(h_lo..=h_hi);
+                let w_right = rng.gen_range(h_lo..=h_hi);
+                let w_up = rng.gen_range(v_lo..=v_hi);
+                let w_down = rng.gen_range(v_lo..=v_hi);
+                let retention_s = if rng.gen::<f64>() < self.params.weak_fraction {
+                    // Weak cell: retention just below the calibration
+                    // interval; fails data-independently.
+                    r_cal_s * rng.gen_range(0.6..1.0)
+                } else {
+                    let max_sum = w_left + w_right + w_up + w_down;
+                    let u: f64 = rng.gen();
+                    let theta = max_sum * u.powf(self.params.threshold_shape);
+                    r_cal_s * (1.0 + theta)
+                };
+                VulnerableCell {
+                    internal_bit,
+                    retention_s,
+                    w_left,
+                    w_right,
+                    w_up,
+                    w_down,
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates one internal row of `module` against the current content at
+    /// an (85 °C-equivalent) refresh interval, returning the failures.
+    ///
+    /// Does not modify the module; see [`CouplingFailureModel::apply`] for
+    /// committing the flips.
+    #[must_use]
+    pub fn evaluate_row(
+        &self,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        interval_ms: f64,
+    ) -> Vec<CellFailure> {
+        let g = *module.geometry();
+        let bits = g.bits_per_row();
+        let rows = g.rows_per_bank;
+        let probe_addr = RowAddr::new(rank, bank, 0);
+        let remap = module.remap_for(probe_addr);
+        let mut out = Vec::new();
+        for cell in self.vulnerable_cells(module.chip_seed(), rank, bank, internal_row, bits) {
+            let victim_charged =
+                module.charge_at_internal(rank, bank, internal_row, cell.internal_bit);
+            if !victim_charged {
+                continue; // only charged cells leak to a flip
+            }
+            let phys = remap.physical_of(cell.internal_bit);
+            let (left, right) = remap.live_neighbors(phys);
+            let mut sum = 0.0;
+            if let Some(lb) = left {
+                if module.charge_at_internal(rank, bank, internal_row, lb) != victim_charged {
+                    sum += cell.w_left;
+                }
+            }
+            if let Some(rb) = right {
+                if module.charge_at_internal(rank, bank, internal_row, rb) != victim_charged {
+                    sum += cell.w_right;
+                }
+            }
+            if internal_row > 0
+                && module.charge_at_internal(rank, bank, internal_row - 1, cell.internal_bit)
+                    != victim_charged
+            {
+                sum += cell.w_up;
+            }
+            if internal_row + 1 < rows
+                && module.charge_at_internal(rank, bank, internal_row + 1, cell.internal_bit)
+                    != victim_charged
+            {
+                sum += cell.w_down;
+            }
+            if cell.fails(interval_ms, sum) {
+                let (system_row, system_bit) =
+                    module.internal_to_system(rank, bank, internal_row, cell.internal_bit);
+                out.push(CellFailure {
+                    rank,
+                    bank,
+                    internal_row,
+                    internal_bit: cell.internal_bit,
+                    system_row,
+                    system_bit,
+                });
+            }
+        }
+        out
+    }
+
+    /// Evaluates the *system-addressed* row `addr` (translating through the
+    /// chip's scrambler to the internal row) against the current content at
+    /// `interval_ms` — the view an online tester like MEMCON has.
+    #[must_use]
+    pub fn evaluate_system_row(
+        &self,
+        module: &DramModule,
+        addr: RowAddr,
+        interval_ms: f64,
+    ) -> Vec<CellFailure> {
+        let internal_row = module.scrambler_for(addr).to_internal_row(addr.row);
+        self.evaluate_row(module, addr.rank, addr.bank, internal_row, interval_ms)
+    }
+
+    /// Evaluates every row of the module, returning all failures for the
+    /// current content at `interval_ms`.
+    #[must_use]
+    pub fn evaluate_module(&self, module: &DramModule, interval_ms: f64) -> Vec<CellFailure> {
+        let g = *module.geometry();
+        let mut out = Vec::new();
+        for rank in 0..g.ranks {
+            for bank in 0..g.banks {
+                for row in 0..g.rows_per_bank {
+                    out.extend(self.evaluate_row(module, rank, bank, row, interval_ms));
+                }
+            }
+        }
+        out
+    }
+
+    /// Commits a set of failures to the module content: each failing
+    /// (charged) cell discharges, flipping its system-visible bit.
+    pub fn apply(&self, module: &mut DramModule, failures: &[CellFailure]) {
+        for f in failures {
+            module
+                .row_mut(f.system_row)
+                .expect("failure address must be valid")
+                .flip_bit(f.system_bit);
+        }
+    }
+
+    /// Physics-side oracle: can this internal row fail at `interval_ms` with
+    /// *some* data content (the paper's "ALL FAIL" reference)? True iff some
+    /// vulnerable cell fails under maximal aggression.
+    #[must_use]
+    pub fn row_can_fail(
+        &self,
+        chip_seed: u64,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        bits_per_row: u64,
+        interval_ms: f64,
+    ) -> bool {
+        self.vulnerable_cells(chip_seed, rank, bank, internal_row, bits_per_row)
+            .iter()
+            .any(|c| c.fails(interval_ms, c.max_sum()))
+    }
+
+    /// Physics-side oracle: fraction of rows in the module that can fail at
+    /// `interval_ms` with some content.
+    #[must_use]
+    pub fn worst_case_failing_row_fraction(
+        &self,
+        module: &DramModule,
+        interval_ms: f64,
+    ) -> f64 {
+        let g = *module.geometry();
+        let bits = g.bits_per_row();
+        let mut failing = 0u64;
+        for rank in 0..g.ranks {
+            for bank in 0..g.banks {
+                for row in 0..g.rows_per_bank {
+                    if self.row_can_fail(module.chip_seed(), rank, bank, row, bits, interval_ms) {
+                        failing += 1;
+                    }
+                }
+            }
+        }
+        failing as f64 / g.total_rows() as f64
+    }
+}
+
+impl Default for CouplingFailureModel {
+    fn default() -> Self {
+        CouplingFailureModel::new(FailureModelParams::calibrated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::cell::RowContent;
+    use dram::geometry::DramGeometry;
+    use dram::timing::TimingParams;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_module(seed: u64) -> DramModule {
+        // 2 banks x 64 rows x 256 B rows (2048 bits): small but non-trivial.
+        DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), seed)
+    }
+
+    #[test]
+    fn vulnerable_cells_are_deterministic() {
+        let m = CouplingFailureModel::default();
+        let a = m.vulnerable_cells(7, 0, 1, 33, 65_536);
+        let b = m.vulnerable_cells(7, 0, 1, 33, 65_536);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vulnerable_cells_differ_across_rows_and_chips() {
+        let m = CouplingFailureModel::default();
+        // Over many rows, at least some must have distinct cell sets per chip.
+        let count = |seed: u64| -> usize {
+            (0..2000u32)
+                .map(|r| m.vulnerable_cells(seed, 0, 0, r, 65_536).len())
+                .sum()
+        };
+        let a = count(1);
+        let b = count(2);
+        // Poisson sums with different seeds virtually never collide exactly
+        // AND have identical per-row layouts; compare layouts directly.
+        let la: Vec<_> = (0..2000u32)
+            .map(|r| m.vulnerable_cells(1, 0, 0, r, 65_536))
+            .collect();
+        let lb: Vec<_> = (0..2000u32)
+            .map(|r| m.vulnerable_cells(2, 0, 0, r, 65_536))
+            .collect();
+        assert_ne!(la, lb, "counts were {a} vs {b}");
+    }
+
+    #[test]
+    fn cell_count_matches_poisson_rate() {
+        let m = CouplingFailureModel::default();
+        let bits = 65_536u64;
+        let rows = 20_000u32;
+        let total: usize = (0..rows)
+            .map(|r| m.vulnerable_cells(99, 0, 0, r, bits).len())
+            .sum();
+        let expected = m.params().cells_per_row(bits) * f64::from(rows);
+        let got = total as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt().max(1.0),
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn retention_samples_stay_in_band() {
+        let m = CouplingFailureModel::default();
+        let r_cal = m.params().calibration_interval_ms / 1000.0;
+        let max = r_cal * (1.0 + m.params().max_aggressor_sum());
+        for r in 0..5000u32 {
+            for c in m.vulnerable_cells(3, 0, 0, r, 65_536) {
+                assert!(c.retention_s > 0.0);
+                assert!(
+                    c.retention_s <= max * 1.0001,
+                    "retention {} above band",
+                    c.retention_s
+                );
+                if c.is_weak(m.params().calibration_interval_ms) {
+                    assert!(c.retention_s < r_cal);
+                } else {
+                    assert!(c.retention_s >= r_cal);
+                    // Threshold semantics: fails at calibration interval
+                    // under maximal aggression.
+                    assert!(c.fails(m.params().calibration_interval_ms, c.max_sum() + 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_cells_are_rare_compared_to_band() {
+        let m = CouplingFailureModel::default();
+        let mut band = 0u64;
+        let mut weak = 0u64;
+        for r in 0..50_000u32 {
+            for c in m.vulnerable_cells(5, 0, 0, r, 65_536) {
+                band += 1;
+                if c.is_weak(328.0) {
+                    weak += 1;
+                }
+            }
+        }
+        assert!(band > 0);
+        assert!(
+            (weak as f64) < 0.25 * band as f64,
+            "weak {weak} of {band} band cells"
+        );
+    }
+
+    #[test]
+    fn no_failures_with_zero_interval() {
+        let m = CouplingFailureModel::default();
+        let module = test_module(11);
+        assert!(m.evaluate_module(&module, 0.0).is_empty());
+    }
+
+    #[test]
+    fn failures_monotone_in_interval() {
+        let m = CouplingFailureModel::default();
+        let mut module = test_module(13);
+        // Random content maximizes aggressor excitation.
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(0);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        let mut last = 0;
+        for interval in [64.0, 328.0, 1000.0, 4000.0, 16_000.0] {
+            let n = m.evaluate_module(&module, interval).len();
+            assert!(
+                n >= last,
+                "failure count must grow with interval: {n} < {last} at {interval}"
+            );
+            last = n;
+        }
+    }
+
+    #[test]
+    fn worst_case_dominates_any_content() {
+        let m = CouplingFailureModel::default();
+        let mut module = test_module(17);
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(1);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        let interval = 4000.0;
+        let failures = m.evaluate_module(&module, interval);
+        for f in &failures {
+            assert!(
+                m.row_can_fail(
+                    module.chip_seed(),
+                    f.rank,
+                    f.bank,
+                    f.internal_row,
+                    module.geometry().bits_per_row(),
+                    interval
+                ),
+                "observed failure in a row the oracle says cannot fail"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_flips_exactly_the_failing_bits() {
+        let m = CouplingFailureModel::default();
+        let mut module = test_module(19);
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(2);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        let golden = module.clone();
+        let failures = m.evaluate_module(&module, 16_000.0);
+        let unique: std::collections::HashSet<_> =
+            failures.iter().map(|f| (f.system_row, f.system_bit)).collect();
+        assert_eq!(unique.len(), failures.len(), "duplicate failure records");
+        m.apply(&mut module, &failures);
+        let mut flipped = 0u64;
+        for id in 0..module.geometry().total_rows() {
+            flipped += golden.read_row_id(id).hamming_distance(module.read_row_id(id));
+        }
+        assert_eq!(flipped, failures.len() as u64);
+    }
+
+    #[test]
+    fn failures_are_content_dependent() {
+        // The headline property (paper Fig. 3): the same chip fails in
+        // different cells under different content. Use a module large enough
+        // to hold a few dozen vulnerable cells.
+        let m = CouplingFailureModel::default();
+        let g = dram::geometry::DramGeometry {
+            ranks: 1,
+            chips_per_rank: 1,
+            banks: 2,
+            rows_per_bank: 512,
+            row_bytes: 1024,
+            block_bytes: 64,
+            density: dram::geometry::ChipDensity::Gb8,
+        };
+        let mut module = DramModule::new(g, TimingParams::ddr3_1600(), 23);
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(3);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        let a: std::collections::HashSet<_> = m
+            .evaluate_module(&module, 60_000.0)
+            .into_iter()
+            .map(|f| (f.system_row, f.system_bit))
+            .collect();
+        module.fill_with(|_| RowContent::zeroed(words));
+        let b: std::collections::HashSet<_> = m
+            .evaluate_module(&module, 60_000.0)
+            .into_iter()
+            .map(|f| (f.system_row, f.system_bit))
+            .collect();
+        assert!(!a.is_empty(), "random content should trigger failures");
+        assert_ne!(a, b, "failure sets should depend on content");
+    }
+}

@@ -1,0 +1,212 @@
+//! Manufacturing-style test data patterns.
+//!
+//! Manufacturers detect data-dependent failures by exhaustively testing with
+//! patterns designed to maximize cell-to-cell interference (paper Section 2).
+//! At the *system* level the classic patterns lose their adversarial power —
+//! scrambling means a system-space checkerboard is not an internal-space
+//! checkerboard — which the paper demonstrates and this crate reproduces
+//! (see the Fig. 3 experiment). The suite here is what the paper's FPGA
+//! infrastructure would write.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dram::address::RowId;
+use dram::cell::RowContent;
+use dram::module::DramModule;
+
+/// A module-wide test data pattern, defined over system addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestPattern {
+    /// All zeros.
+    Solid0,
+    /// All ones.
+    Solid1,
+    /// Alternating bits, phase flipped every row (classic checkerboard).
+    Checkerboard,
+    /// Inverted checkerboard.
+    CheckerboardInv,
+    /// Even rows all-zero, odd rows all-one.
+    RowStripe,
+    /// Inverted row stripe.
+    RowStripeInv,
+    /// Alternating bit columns (0101… in every row).
+    ColStripe,
+    /// Inverted column stripe.
+    ColStripeInv,
+    /// Pseudo-random content from the given seed.
+    Random(u64),
+}
+
+impl TestPattern {
+    /// The deterministic part of a manufacturing suite (all non-random
+    /// patterns).
+    pub const DETERMINISTIC: [TestPattern; 8] = [
+        TestPattern::Solid0,
+        TestPattern::Solid1,
+        TestPattern::Checkerboard,
+        TestPattern::CheckerboardInv,
+        TestPattern::RowStripe,
+        TestPattern::RowStripeInv,
+        TestPattern::ColStripe,
+        TestPattern::ColStripeInv,
+    ];
+
+    /// A full suite: the deterministic patterns followed by `n_random`
+    /// seeded random patterns — the paper's Fig. 3 uses a suite of 100.
+    #[must_use]
+    pub fn suite(n_random: usize) -> Vec<TestPattern> {
+        let mut v: Vec<TestPattern> = Self::DETERMINISTIC.to_vec();
+        v.extend((0..n_random as u64).map(TestPattern::Random));
+        v
+    }
+
+    /// Content of system row `row_id` under this pattern.
+    #[must_use]
+    pub fn row_content(&self, row_id: RowId, words: usize) -> RowContent {
+        match self {
+            TestPattern::Solid0 => RowContent::zeroed(words),
+            TestPattern::Solid1 => RowContent::ones(words),
+            TestPattern::Checkerboard => {
+                let w = if row_id.is_multiple_of(2) {
+                    0x5555_5555_5555_5555
+                } else {
+                    0xAAAA_AAAA_AAAA_AAAA
+                };
+                RowContent::from_words(vec![w; words])
+            }
+            TestPattern::CheckerboardInv => {
+                let w = if row_id.is_multiple_of(2) {
+                    0xAAAA_AAAA_AAAA_AAAA
+                } else {
+                    0x5555_5555_5555_5555
+                };
+                RowContent::from_words(vec![w; words])
+            }
+            TestPattern::RowStripe => {
+                if row_id.is_multiple_of(2) {
+                    RowContent::zeroed(words)
+                } else {
+                    RowContent::ones(words)
+                }
+            }
+            TestPattern::RowStripeInv => {
+                if row_id.is_multiple_of(2) {
+                    RowContent::ones(words)
+                } else {
+                    RowContent::zeroed(words)
+                }
+            }
+            TestPattern::ColStripe => {
+                RowContent::from_words(vec![0x5555_5555_5555_5555; words])
+            }
+            TestPattern::ColStripeInv => {
+                RowContent::from_words(vec![0xAAAA_AAAA_AAAA_AAAA; words])
+            }
+            TestPattern::Random(seed) => {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(row_id));
+                RowContent::from_words((0..words).map(|_| rng.gen()).collect())
+            }
+        }
+    }
+
+    /// Writes this pattern into every row of `module`.
+    pub fn fill(&self, module: &mut DramModule) {
+        let words = module.geometry().words_per_row();
+        module.fill_with(|id| self.row_content(id, words));
+    }
+
+    /// Short label for experiment output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TestPattern::Solid0 => "solid0".into(),
+            TestPattern::Solid1 => "solid1".into(),
+            TestPattern::Checkerboard => "checker".into(),
+            TestPattern::CheckerboardInv => "checker~".into(),
+            TestPattern::RowStripe => "rowstripe".into(),
+            TestPattern::RowStripeInv => "rowstripe~".into(),
+            TestPattern::ColStripe => "colstripe".into(),
+            TestPattern::ColStripeInv => "colstripe~".into(),
+            TestPattern::Random(s) => format!("rand{s}"),
+        }
+    }
+}
+
+impl std::fmt::Display for TestPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::geometry::DramGeometry;
+    use dram::timing::TimingParams;
+
+    #[test]
+    fn solid_patterns() {
+        assert_eq!(TestPattern::Solid0.row_content(0, 4).popcount(), 0);
+        assert_eq!(TestPattern::Solid1.row_content(0, 4).popcount(), 256);
+    }
+
+    #[test]
+    fn checkerboard_alternates_by_row() {
+        let even = TestPattern::Checkerboard.row_content(0, 1);
+        let odd = TestPattern::Checkerboard.row_content(1, 1);
+        assert_eq!(even.as_words()[0], 0x5555_5555_5555_5555);
+        assert_eq!(odd.as_words()[0], 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(even.hamming_distance(&odd), 64);
+    }
+
+    #[test]
+    fn inverses_are_inverses() {
+        for (a, b) in [
+            (TestPattern::Checkerboard, TestPattern::CheckerboardInv),
+            (TestPattern::RowStripe, TestPattern::RowStripeInv),
+            (TestPattern::ColStripe, TestPattern::ColStripeInv),
+        ] {
+            for row in 0..4 {
+                let ca = a.row_content(row, 2);
+                let cb = b.row_content(row, 2);
+                assert_eq!(ca.inverted(), cb, "{a} vs {b} at row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_row() {
+        let a = TestPattern::Random(5).row_content(10, 8);
+        let b = TestPattern::Random(5).row_content(10, 8);
+        let c = TestPattern::Random(6).row_content(10, 8);
+        let d = TestPattern::Random(5).row_content(11, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn suite_has_expected_size_and_unique_labels() {
+        let suite = TestPattern::suite(92);
+        assert_eq!(suite.len(), 100);
+        let labels: std::collections::HashSet<_> = suite.iter().map(TestPattern::label).collect();
+        assert_eq!(labels.len(), 100);
+    }
+
+    #[test]
+    fn fill_writes_every_row() {
+        let mut m = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 0);
+        TestPattern::Solid1.fill(&mut m);
+        for id in 0..m.geometry().total_rows() {
+            assert_eq!(
+                m.read_row_id(id).popcount(),
+                m.geometry().bits_per_row()
+            );
+        }
+        TestPattern::RowStripe.fill(&mut m);
+        assert_eq!(m.read_row_id(0).popcount(), 0);
+        assert_eq!(m.read_row_id(1).popcount(), m.geometry().bits_per_row());
+    }
+}

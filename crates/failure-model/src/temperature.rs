@@ -1,0 +1,98 @@
+//! Retention/temperature scaling.
+//!
+//! DRAM retention shortens exponentially with temperature. The paper tests
+//! chips with a 4 s refresh interval at 45 °C and states this "corresponds to
+//! a refresh interval of 328 ms at 85 °C" (their Section 5, following Liu et
+//! al. ISCA'13). We adopt exactly that equivalence: retention scales by
+//! `4000/328 ≈ 12.2×` over those 40 °C, i.e. a factor of
+//! `(4000/328)^(ΔT/40)` per ΔT.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference operating temperature at which the failure model's retention
+/// parameters are defined (worst-case DDR3 operating point).
+pub const REFERENCE_CELSIUS: f64 = 85.0;
+
+/// Retention multiplier across the paper's calibration pair (4 s @ 45 °C ↔
+/// 328 ms @ 85 °C).
+const CALIBRATION_FACTOR: f64 = 4000.0 / 328.0;
+const CALIBRATION_DELTA: f64 = 40.0;
+
+/// A temperature in degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// The paper's chip-test temperature (45 °C).
+    pub const TEST: Celsius = Celsius(45.0);
+    /// The worst-case operating temperature (85 °C) the model is calibrated
+    /// at.
+    pub const REFERENCE: Celsius = Celsius(REFERENCE_CELSIUS);
+
+    /// Multiplier on retention time relative to the 85 °C reference: > 1 when
+    /// cooler, < 1 when hotter.
+    #[must_use]
+    pub fn retention_scale(self) -> f64 {
+        let delta = REFERENCE_CELSIUS - self.0;
+        CALIBRATION_FACTOR.powf(delta / CALIBRATION_DELTA)
+    }
+
+    /// Converts a refresh interval used at this temperature into the
+    /// equivalent interval at the 85 °C reference — the form the failure
+    /// model consumes.
+    ///
+    /// `Celsius::TEST.equivalent_interval_ms(4000.0)` ≈ 328 ms, matching the
+    /// paper's Section 5.
+    #[must_use]
+    pub fn equivalent_interval_ms(self, interval_ms: f64) -> f64 {
+        interval_ms / self.retention_scale()
+    }
+}
+
+impl std::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}°C", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_pair() {
+        let eq = Celsius::TEST.equivalent_interval_ms(4000.0);
+        assert!((eq - 328.0).abs() < 1e-9, "4 s @ 45C should be 328 ms @ 85C, got {eq}");
+    }
+
+    #[test]
+    fn reference_is_identity() {
+        assert!((Celsius::REFERENCE.retention_scale() - 1.0).abs() < 1e-12);
+        assert!((Celsius::REFERENCE.equivalent_interval_ms(64.0) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_is_harsher() {
+        // At 95 °C a 64 ms interval stresses cells like a longer interval at
+        // 85 °C (DDR3 doubles the refresh rate above 85 °C for this reason).
+        let eq = Celsius(95.0).equivalent_interval_ms(64.0);
+        assert!(eq > 64.0, "got {eq}");
+        let cooler = Celsius(55.0).equivalent_interval_ms(64.0);
+        assert!(cooler < 64.0, "got {cooler}");
+    }
+
+    #[test]
+    fn scale_is_monotone_in_temperature() {
+        let mut last = f64::INFINITY;
+        for t in [25.0, 45.0, 65.0, 85.0, 95.0] {
+            let s = Celsius(t).retention_scale();
+            assert!(s < last, "retention must shrink as temperature rises");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Celsius(45.0).to_string(), "45°C");
+    }
+}

@@ -1,0 +1,279 @@
+//! SoftMC-like chip tester: fill → idle → read back.
+//!
+//! [`ChipTester`] reproduces the paper's FPGA test loop (Section 5):
+//!
+//! 1. **fill** the module with content (a test pattern or a program image),
+//! 2. **idle** for a refresh interval at the ambient temperature — the
+//!    failure model decides which cells leak past recovery,
+//! 3. **read back** and diff against the content as written.
+//!
+//! Like the real instrument, the tester only manipulates *system* addresses;
+//! the internal scrambling/remapping/polarity stay hidden inside the module
+//! and the failure physics.
+
+use dram::address::{iter_rows, RowAddr};
+use dram::cell::RowContent;
+use dram::module::DramModule;
+
+use crate::model::{CellFailure, CouplingFailureModel};
+use crate::params::FailureModelParams;
+use crate::patterns::TestPattern;
+use crate::temperature::Celsius;
+
+/// Result of a read-back comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadBackReport {
+    /// Rows that changed since the fill, with the flipped bit offsets.
+    pub failing_rows: Vec<(RowAddr, Vec<u64>)>,
+    /// Total rows compared.
+    pub total_rows: u64,
+}
+
+impl ReadBackReport {
+    /// Total number of flipped bits.
+    #[must_use]
+    pub fn flipped_bits(&self) -> u64 {
+        self.failing_rows.iter().map(|(_, bits)| bits.len() as u64).sum()
+    }
+
+    /// Number of rows containing at least one flip.
+    #[must_use]
+    pub fn failing_row_count(&self) -> u64 {
+        self.failing_rows.len() as u64
+    }
+
+    /// Fraction of rows containing at least one flip.
+    #[must_use]
+    pub fn failing_row_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.failing_row_count() as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Whether the test observed no failures at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failing_rows.is_empty()
+    }
+}
+
+/// The fill → idle → read-back instrument.
+#[derive(Debug, Clone)]
+pub struct ChipTester {
+    module: DramModule,
+    model: CouplingFailureModel,
+    temperature: Celsius,
+    golden: Vec<RowContent>,
+}
+
+impl ChipTester {
+    /// Wraps a module with the given failure-model parameters at the 85 °C
+    /// reference temperature.
+    #[must_use]
+    pub fn new(module: DramModule, params: FailureModelParams) -> Self {
+        let golden = (0..module.geometry().total_rows())
+            .map(|id| module.read_row_id(id).clone())
+            .collect();
+        ChipTester {
+            module,
+            model: CouplingFailureModel::new(params),
+            temperature: Celsius::REFERENCE,
+            golden,
+        }
+    }
+
+    /// Sets the ambient test temperature (the paper tests at 45 °C with a
+    /// 4 s interval, equivalent to 328 ms at 85 °C).
+    #[must_use]
+    pub fn with_temperature(mut self, temperature: Celsius) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// The module under test.
+    #[must_use]
+    pub fn module(&self) -> &DramModule {
+        &self.module
+    }
+
+    /// The failure model in use.
+    #[must_use]
+    pub fn model(&self) -> &CouplingFailureModel {
+        &self.model
+    }
+
+    /// Consumes the tester, returning the module in its current state.
+    #[must_use]
+    pub fn into_module(self) -> DramModule {
+        self.module
+    }
+
+    fn snapshot(&mut self) {
+        for (id, slot) in self.golden.iter_mut().enumerate() {
+            *slot = self.module.read_row_id(id as u64).clone();
+        }
+    }
+
+    /// Fills the module with a test pattern and snapshots it as the golden
+    /// image.
+    pub fn fill_pattern(&mut self, pattern: &TestPattern) {
+        pattern.fill(&mut self.module);
+        self.snapshot();
+    }
+
+    /// Fills the module with arbitrary per-row content and snapshots it.
+    pub fn fill_with(&mut self, f: impl FnMut(u64) -> RowContent) {
+        self.module.fill_with(f);
+        self.snapshot();
+    }
+
+    /// Lets the module sit unrefreshed for `interval_ms` of wall time at the
+    /// ambient temperature. Failing cells flip in the module content; the
+    /// failures are also returned directly (the physics-side view — a real
+    /// instrument would only learn them from [`ChipTester::read_back`]).
+    pub fn idle_ms(&mut self, interval_ms: f64) -> Vec<CellFailure> {
+        let equivalent = self.temperature.equivalent_interval_ms(interval_ms);
+        let failures = self.model.evaluate_module(&self.module, equivalent);
+        self.model.apply(&mut self.module, &failures);
+        failures
+    }
+
+    /// Reads every row back and diffs against the golden image.
+    #[must_use]
+    pub fn read_back(&self) -> ReadBackReport {
+        let g = *self.module.geometry();
+        let mut failing_rows = Vec::new();
+        for addr in iter_rows(&g) {
+            let id = addr.to_row_id(&g);
+            let diff = self.golden[id as usize].diff_bits(self.module.read_row_id(id));
+            if !diff.is_empty() {
+                failing_rows.push((addr, diff));
+            }
+        }
+        ReadBackReport {
+            failing_rows,
+            total_rows: g.total_rows(),
+        }
+    }
+
+    /// Restores the golden image (models refreshing/rewriting the rows
+    /// before the next test).
+    pub fn restore(&mut self) {
+        for (id, row) in self.golden.iter().enumerate() {
+            *self
+                .module
+                .row_mut(RowAddr::from_row_id(id as u64, self.module.geometry()))
+                .expect("golden rows are in range") = row.clone();
+        }
+    }
+
+    /// Runs a whole pattern suite: for each pattern, fill → idle →
+    /// read back, returning the per-pattern report.
+    pub fn run_suite(
+        &mut self,
+        patterns: &[TestPattern],
+        interval_ms: f64,
+    ) -> Vec<(TestPattern, ReadBackReport)> {
+        patterns
+            .iter()
+            .map(|p| {
+                self.fill_pattern(p);
+                let _ = self.idle_ms(interval_ms);
+                (*p, self.read_back())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::geometry::DramGeometry;
+    use dram::timing::TimingParams;
+
+    fn tester(seed: u64) -> ChipTester {
+        let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), seed);
+        ChipTester::new(module, FailureModelParams::calibrated())
+    }
+
+    #[test]
+    fn clean_before_idle() {
+        let mut t = tester(1);
+        t.fill_pattern(&TestPattern::Random(0));
+        let report = t.read_back();
+        assert!(report.is_clean());
+        assert_eq!(report.total_rows, 128);
+    }
+
+    #[test]
+    fn readback_matches_physics_failures() {
+        let mut t = tester(2);
+        t.fill_pattern(&TestPattern::Random(1));
+        // Long idle at reference temperature to force failures on the tiny
+        // module.
+        let failures = t.idle_ms(60_000.0);
+        let report = t.read_back();
+        assert_eq!(report.flipped_bits(), failures.len() as u64);
+        if !failures.is_empty() {
+            assert!(!report.is_clean());
+        }
+    }
+
+    #[test]
+    fn restore_clears_failures() {
+        let mut t = tester(3);
+        t.fill_pattern(&TestPattern::Random(2));
+        let _ = t.idle_ms(120_000.0);
+        t.restore();
+        assert!(t.read_back().is_clean());
+    }
+
+    #[test]
+    fn temperature_scales_failure_count() {
+        // The same wall-clock idle produces fewer failures when cooler.
+        let mut hot = tester(4);
+        hot.fill_pattern(&TestPattern::Random(3));
+        let hot_fail = hot.idle_ms(120_000.0).len();
+
+        let mut cold = tester(4).with_temperature(Celsius(45.0));
+        cold.fill_pattern(&TestPattern::Random(3));
+        let cold_fail = cold.idle_ms(120_000.0).len();
+        assert!(
+            cold_fail <= hot_fail,
+            "cold {cold_fail} should not exceed hot {hot_fail}"
+        );
+    }
+
+    #[test]
+    fn suite_runs_all_patterns() {
+        let mut t = tester(5);
+        let patterns = TestPattern::suite(2);
+        let results = t.run_suite(&patterns, 30_000.0);
+        assert_eq!(results.len(), 10);
+        for (_, report) in &results {
+            assert_eq!(report.total_rows, 128);
+        }
+    }
+
+    #[test]
+    fn failing_row_fraction_bounds() {
+        let mut t = tester(6);
+        t.fill_pattern(&TestPattern::Random(7));
+        let _ = t.idle_ms(500_000.0);
+        let r = t.read_back();
+        let f = r.failing_row_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert_eq!(r.failing_row_count() == 0, r.is_clean());
+    }
+
+    #[test]
+    fn empty_report_fraction_is_zero() {
+        let r = ReadBackReport {
+            failing_rows: vec![],
+            total_rows: 0,
+        };
+        assert_eq!(r.failing_row_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Row signatures and SEC-DED word ECC for the Copy-and-Compare test mode.
+//!
+//! In Copy-and-Compare, the in-test row's content is staged in memory and
+//! only a compact check value stays in the controller (paper Section 3.3:
+//! "only the ECC information is calculated and stored in the memory
+//! controller"). Two codes are provided:
+//!
+//! * [`Crc64`] — a whole-row CRC-64/ECMA-182 signature: detects *that* the
+//!   row changed during the test window (any burst of flips),
+//! * [`Hamming72`] — per-64-bit-word Hamming SEC-DED: locates and corrects a
+//!   single flipped bit per word and detects double flips, which is what a
+//!   conventional DIMM ECC would contribute.
+
+use serde::{Deserialize, Serialize};
+
+/// CRC-64/ECMA-182 (the polynomial used by e.g. XZ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc64 {
+    table: [u64; 256],
+}
+
+/// The CRC-64/ECMA-182 generator polynomial (normal form).
+pub const CRC64_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+impl Crc64 {
+    /// Builds the lookup table.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut table = [0u64; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = (i as u64) << 56;
+            for _ in 0..8 {
+                crc = if crc & (1 << 63) != 0 {
+                    (crc << 1) ^ CRC64_POLY
+                } else {
+                    crc << 1
+                };
+            }
+            *slot = crc;
+        }
+        Crc64 { table }
+    }
+
+    /// Signature of a row given as 64-bit words.
+    #[must_use]
+    pub fn row_signature(&self, words: &[u64]) -> u64 {
+        let mut crc = u64::MAX;
+        for w in words {
+            for byte in w.to_le_bytes() {
+                let idx = ((crc >> 56) as u8 ^ byte) as usize;
+                crc = (crc << 8) ^ self.table[idx];
+            }
+        }
+        !crc
+    }
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Crc64::new()
+    }
+}
+
+/// Outcome of a SEC-DED decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeResult {
+    /// Codeword clean; data returned as stored.
+    Clean(u64),
+    /// Exactly one bit flipped; corrected data returned with the flipped
+    /// codeword bit position.
+    Corrected {
+        /// The corrected data word.
+        data: u64,
+        /// Flipped bit position within the 72-bit codeword.
+        bit: u32,
+    },
+    /// An uncorrectable (double-bit) error was detected.
+    DoubleError,
+}
+
+/// Hamming(72, 64) SEC-DED: 64 data bits, 7 Hamming parity bits, 1 overall
+/// parity bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hamming72;
+
+impl Hamming72 {
+    /// Number of Hamming parity bits.
+    const P: u32 = 7;
+
+    /// Expands 64 data bits into codeword positions: positions that are
+    /// powers of two (1, 2, 4, …, 64) hold parity; position 0 holds the
+    /// overall parity; data fills the rest of 1..=71.
+    fn data_positions() -> impl Iterator<Item = u32> {
+        (1u32..72).filter(|p| !p.is_power_of_two())
+    }
+
+    /// Encodes a data word into a 72-bit codeword (returned as `u128`).
+    #[must_use]
+    pub fn encode(&self, data: u64) -> u128 {
+        let mut cw: u128 = 0;
+        for (i, pos) in Self::data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                cw |= 1u128 << pos;
+            }
+        }
+        // Hamming parity bits at powers of two.
+        for p in 0..Self::P {
+            let mask = 1u32 << p;
+            let mut parity = 0u32;
+            for pos in 1u32..72 {
+                if pos & mask != 0 && (cw >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                cw |= 1u128 << mask;
+            }
+        }
+        // Overall parity at position 0 (makes the whole codeword even).
+        if (cw.count_ones() % 2) == 1 {
+            cw |= 1;
+        }
+        cw
+    }
+
+    /// Decodes a codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    #[must_use]
+    pub fn decode(&self, mut cw: u128) -> DecodeResult {
+        let mut syndrome = 0u32;
+        for p in 0..Self::P {
+            let mask = 1u32 << p;
+            let mut parity = 0u32;
+            for pos in 1u32..72 {
+                if pos & mask != 0 && (cw >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            // Include the parity bit itself (it sits at position `mask`,
+            // which has `pos & mask != 0`, so it is already covered).
+            syndrome |= parity << p;
+        }
+        let overall_even = cw.count_ones().is_multiple_of(2);
+        let result_bit = match (syndrome, overall_even) {
+            (0, true) => None,            // clean
+            (0, false) => Some(0),        // overall parity bit itself flipped
+            (s, false) => Some(s),        // single-bit error at position s
+            (_, true) => return DecodeResult::DoubleError,
+        };
+        match result_bit {
+            None => DecodeResult::Clean(self.extract(cw)),
+            Some(bit) => {
+                cw ^= 1u128 << bit;
+                DecodeResult::Corrected {
+                    data: self.extract(cw),
+                    bit,
+                }
+            }
+        }
+    }
+
+    fn extract(&self, cw: u128) -> u64 {
+        let mut data = 0u64;
+        for (i, pos) in Self::data_positions().enumerate() {
+            if (cw >> pos) & 1 == 1 {
+                data |= 1 << i;
+            }
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc_known_value() {
+        // CRC-64/ECMA-182 of "123456789" is 0x6C40DF5F0B497347; feed the
+        // bytes through a padded word path equivalent: check determinism and
+        // sensitivity instead (the row API is word-based).
+        let crc = Crc64::new();
+        let a = crc.row_signature(&[1, 2, 3]);
+        let b = crc.row_signature(&[1, 2, 3]);
+        let c = crc.row_signature(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips_everywhere() {
+        let crc = Crc64::new();
+        let row = vec![0xDEAD_BEEF_u64; 16];
+        let base = crc.row_signature(&row);
+        for word in 0..16 {
+            for bit in [0u32, 17, 63] {
+                let mut flipped = row.clone();
+                flipped[word] ^= 1u64 << bit;
+                assert_ne!(crc.row_signature(&flipped), base);
+            }
+        }
+    }
+
+    #[test]
+    fn crc_order_sensitive() {
+        let crc = Crc64::new();
+        assert_ne!(crc.row_signature(&[1, 2]), crc.row_signature(&[2, 1]));
+    }
+
+    #[test]
+    fn hamming_roundtrip_clean() {
+        let h = Hamming72;
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 1, 1 << 63] {
+            let cw = h.encode(data);
+            assert_eq!(h.decode(cw), DecodeResult::Clean(data));
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_every_single_bit_flip() {
+        let h = Hamming72;
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let cw = h.encode(data);
+        for bit in 0..72u32 {
+            let corrupted = cw ^ (1u128 << bit);
+            match h.decode(corrupted) {
+                DecodeResult::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "wrong correction for bit {bit}");
+                    assert_eq!(b, bit, "located wrong bit");
+                }
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_detects_double_flips() {
+        let h = Hamming72;
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let cw = h.encode(data);
+        let mut detected = 0;
+        let mut total = 0;
+        for a in 0..72u32 {
+            for b in (a + 1)..72u32 {
+                total += 1;
+                let corrupted = cw ^ (1u128 << a) ^ (1u128 << b);
+                if h.decode(corrupted) == DecodeResult::DoubleError {
+                    detected += 1;
+                }
+            }
+        }
+        assert_eq!(detected, total, "SEC-DED must flag all double flips");
+    }
+
+    #[test]
+    fn codeword_uses_72_bits() {
+        let cw = Hamming72.encode(u64::MAX);
+        assert_eq!(cw >> 72, 0, "codeword must fit in 72 bits");
+        assert!(cw.count_ones() >= 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in any::<u64>()) {
+            let h = Hamming72;
+            prop_assert_eq!(h.decode(h.encode(data)), DecodeResult::Clean(data));
+        }
+
+        #[test]
+        fn prop_single_flip_corrected(data in any::<u64>(), bit in 0u32..72) {
+            let h = Hamming72;
+            let corrupted = h.encode(data) ^ (1u128 << bit);
+            match h.decode(corrupted) {
+                DecodeResult::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+                other => prop_assert!(false, "expected correction, got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn prop_crc_differs_on_change(a in proptest::collection::vec(any::<u64>(), 1..8),
+                                      idx in 0usize..8, bit in 0u32..64) {
+            let crc = Crc64::new();
+            let idx = idx % a.len();
+            let mut b = a.clone();
+            b[idx] ^= 1u64 << bit;
+            prop_assert_ne!(crc.row_signature(&a), crc.row_signature(&b));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The end-to-end MEMCON engine.
+//!
+//! Feed a page-granularity write trace through [`MemconEngine::run`] and it
+//! executes the full mechanism of paper Sections 3–4 on a faithful timeline:
+//!
+//! 1. every write sends its page to HI-REF (and aborts any in-flight test of
+//!    that page — the content under test just changed),
+//! 2. PRIL watches writes across quanta; at each quantum boundary its
+//!    candidates (pages idle for more than a quantum) start content tests,
+//!    bounded by the concurrent-test budget,
+//! 3. a test keeps the row unrefreshed for one LO-REF window, then the
+//!    failure oracle delivers the verdict: clean rows drop to LO-REF,
+//!    failing rows stay at HI-REF,
+//! 4. time-in-state is integrated exactly, yielding the refresh-operation
+//!    reduction (Fig. 14), LO-REF coverage (Fig. 17), and the
+//!    testing-vs-refresh time split (Fig. 18), including the misprediction
+//!    accounting (a test is mispredicted when its page is rewritten before
+//!    `MinWriteInterval` elapses, so the test cost is never amortized).
+
+use serde::{Deserialize, Serialize};
+
+use memtrace::trace::WriteTrace;
+
+use crate::config::MemconConfig;
+use crate::cost::CostModel;
+use crate::pril::{PageId, Pril, PrilStats};
+use crate::refreshmgr::{PageState, RefreshManager};
+use crate::testengine::{FailureOracle, RateOracle, TestEngine, TestEngineStats};
+
+/// Default Bernoulli failing-row rate for trace-scale runs (the middle of
+/// the paper's Fig. 4 band of 0.38–5.6 %).
+pub const DEFAULT_FAIL_RATE: f64 = 0.015;
+
+/// Everything the paper's Figs. 14, 17, and 18 need from one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemconReport {
+    /// Refresh-operation reduction vs the all-HI-REF baseline (Fig. 14).
+    pub refresh_reduction: f64,
+    /// The reduction if every page ran at LO-REF always (75 % for 16/64 ms).
+    pub upper_bound: f64,
+    /// Fraction of page-time at LO-REF (Fig. 17).
+    pub lo_coverage: f64,
+    /// Fraction of page-time under test.
+    pub testing_fraction: f64,
+    /// Refresh operations MEMCON performed.
+    pub refresh_ops: f64,
+    /// Refresh operations the baseline would have performed.
+    pub baseline_ops: f64,
+    /// Completed tests whose LO-REF residency amortized the cost
+    /// (no write within MinWriteInterval).
+    pub tests_correct: u64,
+    /// Tests whose page was rewritten too soon (including aborts).
+    pub tests_mispredicted: u64,
+    /// Latency spent on refresh operations, ns.
+    pub refresh_time_ns: f64,
+    /// Latency the baseline would spend on refresh, ns.
+    pub baseline_refresh_time_ns: f64,
+    /// Latency spent on correctly predicted tests, ns.
+    pub test_time_correct_ns: f64,
+    /// Latency spent on mispredicted/aborted tests, ns.
+    pub test_time_mispredicted_ns: f64,
+    /// Trace duration, ns.
+    pub duration_ns: u64,
+    /// Pages tracked.
+    pub n_pages: u64,
+}
+
+impl MemconReport {
+    /// Fig. 18's y-value: MEMCON's refresh+testing time normalized to the
+    /// baseline's refresh time.
+    #[must_use]
+    pub fn normalized_refresh_and_test_time(&self) -> f64 {
+        if self.baseline_refresh_time_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.refresh_time_ns + self.test_time_correct_ns + self.test_time_mispredicted_ns)
+            / self.baseline_refresh_time_ns
+    }
+}
+
+/// Combined statistics (report + component internals) for diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineInternals {
+    /// PRIL statistics.
+    pub pril: PrilStats,
+    /// Test-engine statistics.
+    pub tests: TestEngineStats,
+}
+
+/// The MEMCON engine.
+#[derive(Debug)]
+pub struct MemconEngine {
+    config: MemconConfig,
+    cost: CostModel,
+    pril: Pril,
+    tests: TestEngine,
+    n_pages: u64,
+    /// Final per-page states of the last completed run.
+    last_states: Vec<PageState>,
+    /// Per-page content-generation counter (bumped by every write).
+    generation: Vec<u64>,
+    /// Pending amortization anchor: Some(test start) while the page sits at
+    /// LO-REF un-rewritten.
+    lo_anchor: Vec<Option<u64>>,
+    tests_correct: u64,
+    tests_mispredicted: u64,
+}
+
+impl MemconEngine {
+    /// Creates an engine with the default rate oracle
+    /// ([`DEFAULT_FAIL_RATE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn new(config: MemconConfig, n_pages: u64) -> Self {
+        Self::with_oracle(
+            config,
+            n_pages,
+            Box::new(RateOracle::new(DEFAULT_FAIL_RATE, 0x5EED)),
+        )
+    }
+
+    /// Creates an engine with an explicit failure oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn with_oracle(config: MemconConfig, n_pages: u64, oracle: Box<dyn FailureOracle>) -> Self {
+        config.validate().expect("invalid MEMCON configuration");
+        let cost = config.cost_model();
+        // Staging: the paper reserves 512 rows/bank on an 8-bank module.
+        let staging = 512 * 8;
+        let tests = TestEngine::new(
+            oracle,
+            config.test_mode,
+            config.lo_ms,
+            config.concurrent_tests,
+            staging,
+        );
+        MemconEngine {
+            cost,
+            pril: Pril::new(n_pages, config.write_buffer_capacity),
+            tests,
+            n_pages,
+            last_states: Vec::new(),
+            generation: vec![0; n_pages as usize],
+            lo_anchor: vec![None; n_pages as usize],
+            tests_correct: 0,
+            tests_mispredicted: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MemconConfig {
+        &self.config
+    }
+
+    /// Runs the engine over a complete trace and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace pages exceed the engine's page count.
+    pub fn run(&mut self, trace: &WriteTrace) -> MemconReport {
+        assert!(
+            trace.n_pages() <= self.n_pages,
+            "trace has more pages than the engine tracks"
+        );
+        // Each run starts fresh: clear predictor state, in-flight tests, and
+        // per-page bookkeeping left over from any previous trace.
+        self.pril = Pril::new(self.n_pages, self.config.write_buffer_capacity);
+        self.tests.cancel_all();
+        self.tests.stats = TestEngineStats::default();
+        self.generation.iter_mut().for_each(|g| *g = 0);
+        self.lo_anchor.iter_mut().for_each(|a| *a = None);
+        self.tests_correct = 0;
+        self.tests_mispredicted = 0;
+        let mut mgr = RefreshManager::new(self.n_pages, self.config.hi_ms, self.config.lo_ms);
+        if self.config.steady_state_start {
+            // The trace window opens on a long-running system: every page
+            // holding static content was tested before the window; clean
+            // pages already sit at LO-REF (failing ones stay HI-REF). These
+            // pre-window tests are not counted in this run's statistics.
+            for page in 0..self.n_pages {
+                if !self.tests.oracle_mut().page_fails(page, 0) {
+                    mgr.transition(page, PageState::LoRef, 0);
+                    // No amortization anchor: the test cost was paid before
+                    // the window, so it never counts as a misprediction.
+                }
+            }
+        }
+        let quantum_ns = (self.config.quantum_ms * 1e6) as u64;
+        let mwi_ns = (self.config.min_write_interval_ms() * 1e6) as u64;
+        let duration = trace.duration_ns();
+
+        let mut events = trace.events().iter().peekable();
+        let mut next_quantum = quantum_ns;
+
+        loop {
+            let t_event = events.peek().map(|e| e.time_ns);
+            let t_test = self.tests.next_completion_ns();
+            let t_quantum = (next_quantum <= duration).then_some(next_quantum);
+            // Earliest happening; completions tie-break first so a test that
+            // ends exactly when a write arrives completes before the write
+            // invalidates it (the write targets the *new* content).
+            let next = [t_test, t_quantum, t_event].into_iter().flatten().min();
+            let Some(now) = next else { break };
+            if now > duration {
+                break;
+            }
+
+            if t_test == Some(now) {
+                self.handle_completions(now, &mut mgr, duration);
+                continue;
+            }
+            if t_quantum == Some(now) {
+                self.handle_quantum(now, &mut mgr);
+                next_quantum += quantum_ns;
+                continue;
+            }
+            let e = *events.next().expect("event peeked");
+            self.handle_write(e.page, e.time_ns, &mut mgr, mwi_ns);
+        }
+        // Drain tests completing exactly at the horizon.
+        self.handle_completions(duration, &mut mgr, duration);
+        mgr.finalize(duration);
+
+        // Censored LO residencies: pages still at LO-REF at the end count as
+        // correct — the paper classifies a test as mispredicted only when an
+        // early rewrite is actually observed.
+        for anchor in &mut self.lo_anchor {
+            if anchor.take().is_some() {
+                self.tests_correct += 1;
+            }
+        }
+
+        self.last_states = (0..self.n_pages).map(|p| mgr.state(p)).collect();
+        let test_cost = self.cost.test_cost_ns(self.config.test_mode);
+        let refresh_ops = mgr.refresh_ops();
+        let baseline_ops = mgr.baseline_ops();
+        MemconReport {
+            refresh_reduction: mgr.reduction(),
+            upper_bound: self.cost.upper_bound_reduction(),
+            lo_coverage: mgr.lo_coverage(),
+            testing_fraction: mgr.testing_fraction(),
+            refresh_ops,
+            baseline_ops,
+            tests_correct: self.tests_correct,
+            tests_mispredicted: self.tests_mispredicted,
+            refresh_time_ns: refresh_ops * self.cost.refresh_op_ns,
+            baseline_refresh_time_ns: baseline_ops * self.cost.refresh_op_ns,
+            test_time_correct_ns: self.tests_correct as f64 * test_cost,
+            test_time_mispredicted_ns: self.tests_mispredicted as f64 * test_cost,
+            duration_ns: duration,
+            n_pages: self.n_pages,
+        }
+    }
+
+    /// Final per-page refresh states of the most recent run (empty before
+    /// any run). The reliability guarantee is that every page reported
+    /// `LoRef` here passed a content test after its last write.
+    #[must_use]
+    pub fn final_states(&self) -> &[PageState] {
+        &self.last_states
+    }
+
+    /// Post-run component statistics.
+    #[must_use]
+    pub fn internals(&self) -> EngineInternals {
+        EngineInternals {
+            pril: self.pril.stats,
+            tests: self.tests.stats,
+        }
+    }
+
+    fn handle_write(&mut self, page: PageId, now: u64, mgr: &mut RefreshManager, mwi_ns: u64) {
+        self.generation[page as usize] += 1;
+        if self.tests.abort(page) {
+            // The content under test changed before the verdict: the test
+            // can never be amortized.
+            self.tests_mispredicted += 1;
+            mgr.transition(page, PageState::HiRef, now);
+        } else {
+            match mgr.state(page) {
+                PageState::LoRef => {
+                    if let Some(start) = self.lo_anchor[page as usize].take() {
+                        if now - start >= mwi_ns {
+                            self.tests_correct += 1;
+                        } else {
+                            self.tests_mispredicted += 1;
+                        }
+                    }
+                    mgr.transition(page, PageState::HiRef, now);
+                }
+                PageState::HiRef => {} // already aggressive; no transition
+                PageState::Testing => unreachable!("abort() handles in-test pages"),
+            }
+        }
+        self.pril.on_write(page);
+    }
+
+    fn handle_quantum(&mut self, now: u64, mgr: &mut RefreshManager) {
+        for page in self.pril.end_quantum() {
+            debug_assert_eq!(mgr.state(page), PageState::HiRef);
+            let generation = self.generation[page as usize];
+            if self.tests.try_start(page, generation, now) {
+                mgr.transition(page, PageState::Testing, now);
+            }
+        }
+    }
+
+    fn handle_completions(&mut self, now: u64, mgr: &mut RefreshManager, duration: u64) {
+        for outcome in self.tests.poll(now) {
+            let end = outcome.end_ns.min(duration);
+            if outcome.failed {
+                mgr.transition(outcome.page, PageState::HiRef, end);
+                // A detected failure is a *correct* engagement of the
+                // mechanism: the test did its protective job.
+                self.tests_correct += 1;
+            } else {
+                mgr.transition(outcome.page, PageState::LoRef, end);
+                self.lo_anchor[outcome.page as usize] = Some(outcome.start_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::trace::{WriteEvent, WriteTrace};
+    use memtrace::workload::WorkloadProfile;
+
+    const MS: u64 = 1_000_000;
+
+    fn ev(t_ms: u64, page: u64) -> WriteEvent {
+        WriteEvent {
+            time_ns: t_ms * MS,
+            page,
+        }
+    }
+
+    fn cfg() -> MemconConfig {
+        MemconConfig::paper_default()
+    }
+
+    fn clean_engine(n_pages: u64) -> MemconEngine {
+        MemconEngine::with_oracle(cfg(), n_pages, Box::new(RateOracle::new(0.0, 0)))
+    }
+
+    #[test]
+    fn idle_page_reaches_lo_ref() {
+        // One write at t=0, then 20 s of silence: tested after two quanta,
+        // LO-REF for the rest.
+        let trace = WriteTrace::new(vec![ev(0, 0)], 20_480 * MS, 1);
+        let mut e = clean_engine(1);
+        let r = e.run(&trace);
+        // Test starts at 2048 ms (first boundary after the full idle
+        // quantum following the write quantum), completes at 2112 ms.
+        // LO time = 20480 - 2112 = 18368 ms of 20480 => ~89.7% coverage.
+        assert!(
+            (r.lo_coverage - 18_368.0 / 20_480.0).abs() < 1e-6,
+            "coverage {}",
+            r.lo_coverage
+        );
+        assert_eq!(r.tests_correct, 1);
+        assert_eq!(r.tests_mispredicted, 0);
+        assert!(r.refresh_reduction > 0.6);
+        assert!(r.refresh_reduction < r.upper_bound);
+    }
+
+    #[test]
+    fn busy_page_stays_hi_ref() {
+        // Writes every 100 ms: never a full idle quantum, never tested.
+        let events: Vec<WriteEvent> = (0..200).map(|i| ev(i * 100, 0)).collect();
+        let trace = WriteTrace::new(events, 20_000 * MS, 1);
+        let mut e = clean_engine(1);
+        let r = e.run(&trace);
+        assert_eq!(r.lo_coverage, 0.0);
+        assert_eq!(e.internals().tests.started, 0);
+        assert!(r.refresh_reduction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn failing_rows_stay_hi_ref() {
+        let trace = WriteTrace::new(vec![ev(0, 0)], 20_480 * MS, 1);
+        let mut e = MemconEngine::with_oracle(cfg(), 1, Box::new(RateOracle::new(1.0, 0)));
+        let r = e.run(&trace);
+        assert_eq!(r.lo_coverage, 0.0);
+        assert_eq!(e.internals().tests.failed, 1);
+        // Testing time (64 ms of 20480) is unrefreshed, so reduction is
+        // marginally positive but tiny.
+        assert!(r.refresh_reduction < 0.01);
+    }
+
+    #[test]
+    fn early_rewrite_counts_as_misprediction() {
+        // Write at 0; idle through quantum 1; tested at 2048 (ends 2112);
+        // rewritten at 2200 ms — far below MinWriteInterval (560 ms) after
+        // the test started.
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(2200, 0)], 4096 * MS, 1);
+        let mut e = clean_engine(1);
+        let r = e.run(&trace);
+        assert_eq!(r.tests_mispredicted, 1);
+        // The rewrite re-qualifies the page: written once in quantum
+        // (2048..3072], idle in (3072..4096] => re-tested at 4096 = horizon.
+        assert_eq!(r.tests_correct, 0);
+    }
+
+    #[test]
+    fn write_during_test_aborts_and_counts_mispredicted() {
+        // Write at 0; tested at 2048; write at 2080 lands mid-test.
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(2080, 0)], 4096 * MS, 1);
+        let mut e = clean_engine(1);
+        let r = e.run(&trace);
+        assert_eq!(e.internals().tests.aborted, 1);
+        assert_eq!(r.tests_mispredicted, 1);
+        assert_eq!(r.lo_coverage, 0.0);
+    }
+
+    #[test]
+    fn late_rewrite_counts_as_correct() {
+        // Rewrite 5 s after the test: well past MinWriteInterval.
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(7000, 0)], 8192 * MS, 1);
+        let mut e = clean_engine(1);
+        let r = e.run(&trace);
+        assert_eq!(r.tests_correct, 1);
+        assert_eq!(r.tests_mispredicted, 0);
+    }
+
+    #[test]
+    fn concurrent_test_budget_limits_starts() {
+        let mut config = cfg();
+        config.concurrent_tests = 2;
+        // 10 pages all written at t=0 and idle after.
+        let events: Vec<WriteEvent> = (0..10).map(|p| ev(0, p)).collect();
+        let trace = WriteTrace::new(events, 4096 * MS, 10);
+        let mut e = MemconEngine::with_oracle(config, 10, Box::new(RateOracle::new(0.0, 0)));
+        let _ = e.run(&trace);
+        let t = e.internals().tests;
+        assert_eq!(t.started, 2, "only two slots at the 2048 ms boundary");
+        assert!(t.rejected >= 8);
+    }
+
+    #[test]
+    fn quantum_size_matters_for_test_onset() {
+        for quantum in [512.0, 1024.0, 2048.0] {
+            let trace = WriteTrace::new(vec![ev(0, 0)], 20_480 * MS, 1);
+            let mut e = MemconEngine::with_oracle(
+                cfg().with_quantum_ms(quantum),
+                1,
+                Box::new(RateOracle::new(0.0, 0)),
+            );
+            let r = e.run(&trace);
+            // Earlier quanta => earlier LO-REF => more coverage.
+            let expected_lo_ms = 20_480.0 - (2.0 * quantum + 64.0);
+            assert!(
+                (r.lo_coverage - expected_lo_ms / 20_480.0).abs() < 1e-6,
+                "quantum {quantum}: coverage {}",
+                r.lo_coverage
+            );
+        }
+    }
+
+    #[test]
+    fn real_workload_reduction_in_paper_band() {
+        // Paper Fig. 14: reductions of 64.7-74.5% against the 75% bound.
+        let trace = WorkloadProfile::netflix().scaled(0.05).generate(3);
+        let mut e = MemconEngine::new(cfg(), trace.n_pages());
+        let r = e.run(&trace);
+        assert!(
+            (0.55..0.75).contains(&r.refresh_reduction),
+            "reduction {}",
+            r.refresh_reduction
+        );
+        assert!(r.lo_coverage > 0.7, "coverage {}", r.lo_coverage);
+        assert!(r.normalized_refresh_and_test_time() < 0.45);
+    }
+
+    #[test]
+    fn fig18_testing_time_is_negligible() {
+        let trace = WorkloadProfile::ac_brotherhood().scaled(0.05).generate(5);
+        let mut e = MemconEngine::new(cfg(), trace.n_pages());
+        let r = e.run(&trace);
+        let test_frac = (r.test_time_correct_ns + r.test_time_mispredicted_ns)
+            / r.baseline_refresh_time_ns;
+        // Paper: testing is ~0.01% of baseline refresh time. Our simulated
+        // pages are rewritten (and hence retested) orders of magnitude more
+        // often than the real multi-minute traces' pages to fit the
+        // simulation window, so the normalized testing share is inflated;
+        // it must still be far below the refresh share (~25-35%).
+        assert!(test_frac < 0.05, "testing fraction {test_frac}");
+    }
+
+    #[test]
+    fn engine_is_reusable_across_runs() {
+        // A second run() must start fresh: same trace, same report, even
+        // when the first run left a test in flight at the horizon.
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(2200, 0)], 4096 * MS, 1);
+        let mut e = clean_engine(1);
+        let first = e.run(&trace);
+        let second = e.run(&trace);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "more pages than the engine")]
+    fn trace_page_bound_checked() {
+        let trace = WriteTrace::new(vec![ev(0, 5)], 100 * MS, 6);
+        let mut e = clean_engine(2);
+        let _ = e.run(&trace);
+    }
+}

@@ -1,0 +1,378 @@
+//! PRIL — Probabilistic Remaining Interval Length prediction (paper
+//! Section 4.2, Fig. 13).
+//!
+//! PRIL exploits the decreasing hazard rate of Pareto-distributed write
+//! intervals: a page that has stayed unwritten for a whole quantum is likely
+//! to stay unwritten long enough to amortize a test. The hardware is two
+//! bit-vector *write-maps* and two bounded *write-buffers* over consecutive
+//! quanta:
+//!
+//! * on a write, a page seen for the **first time** this quantum enters the
+//!   current buffer (step ¶ of Fig. 13); a page seen **again** is evicted —
+//!   its interval is clearly shorter than a quantum (step ·); a write also
+//!   evicts the page from the *previous* buffer (step ¸),
+//! * at quantum end, pages still in the previous buffer were written exactly
+//!   once in the old quantum and never since — their current interval
+//!   already exceeds one quantum, so they become test candidates (step ¹),
+//! * buffers and maps then swap (step º).
+//!
+//! When the current buffer overflows, the new page is simply not tracked
+//! (it stays at HI-REF — a lost opportunity, never a correctness issue),
+//! matching the paper's footnote 10.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Page identifier (8 KB granularity).
+pub type PageId = u64;
+
+/// Which pages a quantum tracker keeps as candidates (the paper's footnote 8
+/// design choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackingPolicy {
+    /// Track only pages written **exactly once** per quantum (the paper's
+    /// choice: repeat-written pages are unlikely to idle long, and dropping
+    /// them keeps the buffer small).
+    SingleWrite,
+    /// Track every written page (ablation baseline: larger buffer pressure,
+    /// marginally more candidates).
+    AnyWrite,
+}
+
+/// Statistics PRIL accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrilStats {
+    /// Writes observed.
+    pub writes: u64,
+    /// First-in-quantum writes inserted into the buffer.
+    pub inserted: u64,
+    /// Pages evicted because of a repeat write in the same quantum.
+    pub evicted_repeat: u64,
+    /// Pages evicted from the previous buffer by a write in the current
+    /// quantum.
+    pub evicted_previous: u64,
+    /// Writes discarded because the buffer was full (page stays HI-REF).
+    pub overflowed: u64,
+    /// Test candidates produced at quantum boundaries.
+    pub candidates: u64,
+    /// Quantum boundaries processed.
+    pub quanta: u64,
+}
+
+/// One write-map + write-buffer pair for a single quantum.
+#[derive(Debug, Clone, Default)]
+struct QuantumTracker {
+    /// Bit per page: written at least once this quantum.
+    map: Vec<u64>,
+    /// Pages written exactly once this quantum (bounded).
+    buffer: HashSet<PageId>,
+}
+
+impl QuantumTracker {
+    fn new(n_pages: u64) -> Self {
+        QuantumTracker {
+            map: vec![0; (n_pages as usize).div_ceil(64)],
+            buffer: HashSet::new(),
+        }
+    }
+
+    fn map_get(&self, page: PageId) -> bool {
+        (self.map[(page / 64) as usize] >> (page % 64)) & 1 == 1
+    }
+
+    fn map_set(&mut self, page: PageId) {
+        self.map[(page / 64) as usize] |= 1 << (page % 64);
+    }
+
+    fn clear(&mut self) {
+        self.map.iter_mut().for_each(|w| *w = 0);
+        self.buffer.clear();
+    }
+}
+
+/// The PRIL predictor.
+#[derive(Debug)]
+pub struct Pril {
+    current: QuantumTracker,
+    previous: QuantumTracker,
+    capacity: usize,
+    n_pages: u64,
+    policy: TrackingPolicy,
+    /// Accumulated statistics.
+    pub stats: PrilStats,
+}
+
+impl Pril {
+    /// Creates a predictor for `n_pages` pages with the given write-buffer
+    /// capacity, tracking single-write pages (the paper's policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(n_pages: u64, capacity: usize) -> Self {
+        Pril::with_policy(n_pages, capacity, TrackingPolicy::SingleWrite)
+    }
+
+    /// Creates a predictor with an explicit tracking policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_policy(n_pages: u64, capacity: usize, policy: TrackingPolicy) -> Self {
+        assert!(capacity > 0, "write buffer needs capacity");
+        Pril {
+            current: QuantumTracker::new(n_pages),
+            previous: QuantumTracker::new(n_pages),
+            capacity,
+            n_pages,
+            policy,
+            stats: PrilStats::default(),
+        }
+    }
+
+    /// Number of pages tracked.
+    #[must_use]
+    pub fn n_pages(&self) -> u64 {
+        self.n_pages
+    }
+
+    /// Current write-buffer occupancy.
+    #[must_use]
+    pub fn buffer_len(&self) -> usize {
+        self.current.buffer.len()
+    }
+
+    /// Whether `page` is currently a candidate-in-waiting (written exactly
+    /// once in the previous quantum, unwritten since).
+    #[must_use]
+    pub fn is_pending_candidate(&self, page: PageId) -> bool {
+        self.previous.buffer.contains(&page)
+    }
+
+    /// Processes a write access to `page` (Fig. 13, left side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn on_write(&mut self, page: PageId) {
+        assert!(page < self.n_pages, "page {page} out of range");
+        self.stats.writes += 1;
+        // Step ¸: a write in this quantum disqualifies the page from the
+        // previous quantum's candidacy.
+        if self.previous.buffer.remove(&page) {
+            self.stats.evicted_previous += 1;
+        }
+        if self.current.map_get(page) {
+            // Step ·: repeat write — interval shorter than a quantum.
+            // Under the paper's single-write policy the page is dropped;
+            // the any-write ablation keeps it (its *current interval* still
+            // restarts via the map, but candidacy survives).
+            if self.policy == TrackingPolicy::SingleWrite
+                && self.current.buffer.remove(&page)
+            {
+                self.stats.evicted_repeat += 1;
+            }
+        } else {
+            // Step ¶: first write this quantum.
+            self.current.map_set(page);
+            if self.current.buffer.len() < self.capacity {
+                self.current.buffer.insert(page);
+                self.stats.inserted += 1;
+            } else {
+                self.stats.overflowed += 1;
+            }
+        }
+    }
+
+    /// Ends the quantum (Fig. 13, right side): returns the test candidates
+    /// (pages written exactly once in the previous quantum and untouched in
+    /// this one), clears the previous tracker, and swaps.
+    pub fn end_quantum(&mut self) -> Vec<PageId> {
+        self.stats.quanta += 1;
+        let candidates: Vec<PageId> = self.previous.buffer.drain().collect();
+        self.stats.candidates += candidates.len() as u64;
+        self.previous.clear();
+        std::mem::swap(&mut self.current, &mut self.previous);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pril() -> Pril {
+        Pril::new(1024, 64)
+    }
+
+    #[test]
+    fn single_write_then_idle_quantum_becomes_candidate() {
+        let mut p = pril();
+        p.on_write(5);
+        assert_eq!(p.buffer_len(), 1);
+        assert!(!p.is_pending_candidate(5), "still in the current quantum");
+        assert!(p.end_quantum().is_empty(), "no previous-quantum pages yet");
+        assert!(p.is_pending_candidate(5), "awaiting one idle quantum");
+        // Page 5 is now in the previous buffer; an idle quantum passes.
+        let candidates = p.end_quantum();
+        assert_eq!(candidates, vec![5]);
+        assert!(!p.is_pending_candidate(5));
+    }
+
+    #[test]
+    fn repeat_write_in_same_quantum_disqualifies() {
+        let mut p = pril();
+        p.on_write(7);
+        p.on_write(7);
+        assert!(p.end_quantum().is_empty());
+        assert!(p.end_quantum().is_empty(), "page 7 was written twice");
+        assert_eq!(p.stats.evicted_repeat, 1);
+    }
+
+    #[test]
+    fn write_in_next_quantum_disqualifies() {
+        let mut p = pril();
+        p.on_write(9);
+        let _ = p.end_quantum();
+        p.on_write(9); // written again before proving a long interval
+        assert!(p.end_quantum().is_empty());
+        assert_eq!(p.stats.evicted_previous, 1);
+        // …but that second write was a first-of-its-quantum write, so page 9
+        // is again a candidate-in-waiting.
+        assert_eq!(p.end_quantum(), vec![9]);
+    }
+
+    #[test]
+    fn third_write_same_quantum_after_requalification() {
+        let mut p = pril();
+        p.on_write(3);
+        p.on_write(3);
+        p.on_write(3);
+        // Map says already-written; buffer empty; no candidate ever.
+        assert!(p.end_quantum().is_empty());
+        assert!(p.end_quantum().is_empty());
+    }
+
+    #[test]
+    fn overflow_discards_new_pages() {
+        let mut p = Pril::new(1024, 2);
+        p.on_write(1);
+        p.on_write(2);
+        p.on_write(3); // buffer full — page 3 untracked
+        assert_eq!(p.stats.overflowed, 1);
+        let _ = p.end_quantum();
+        let mut c = p.end_quantum();
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2], "page 3 was lost to overflow");
+    }
+
+    #[test]
+    fn overflowed_page_can_requalify_later() {
+        let mut p = Pril::new(1024, 1);
+        p.on_write(1);
+        p.on_write(2); // overflow
+        let _ = p.end_quantum();
+        p.on_write(2); // fresh quantum, space available
+        let _ = p.end_quantum();
+        assert_eq!(p.end_quantum(), vec![2]);
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let mut p = pril();
+        for page in [1u64, 2, 3, 2, 1, 4] {
+            p.on_write(page);
+        }
+        let _ = p.end_quantum();
+        let mut c = p.end_quantum();
+        c.sort_unstable();
+        // 1 and 2 were written twice; only 3 and 4 qualify.
+        assert_eq!(c, vec![3, 4]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = pril();
+        p.on_write(1);
+        p.on_write(1);
+        p.on_write(2);
+        let _ = p.end_quantum();
+        let _ = p.end_quantum();
+        assert_eq!(p.stats.writes, 3);
+        assert_eq!(p.stats.inserted, 2);
+        assert_eq!(p.stats.evicted_repeat, 1);
+        assert_eq!(p.stats.quanta, 2);
+        assert_eq!(p.stats.candidates, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_page() {
+        pril().on_write(5000);
+    }
+
+    #[test]
+    fn any_write_policy_keeps_repeat_written_pages() {
+        let mut single = Pril::new(64, 16);
+        let mut any = Pril::with_policy(64, 16, TrackingPolicy::AnyWrite);
+        for p in [&mut single, &mut any] {
+            p.on_write(3);
+            p.on_write(3); // repeat in the same quantum
+            let _ = p.end_quantum();
+        }
+        assert!(single.end_quantum().is_empty(), "single-write drops page 3");
+        assert_eq!(any.end_quantum(), vec![3], "any-write keeps page 3");
+    }
+
+    #[test]
+    fn any_write_still_disqualified_by_next_quantum_write() {
+        let mut p = Pril::with_policy(64, 16, TrackingPolicy::AnyWrite);
+        p.on_write(9);
+        p.on_write(9);
+        let _ = p.end_quantum();
+        p.on_write(9); // write in the observation quantum
+        assert!(p.end_quantum().is_empty());
+    }
+
+    proptest! {
+        /// Ground truth: a page is a candidate at the end of quantum Q iff
+        /// it was written exactly once in quantum Q−1 and not at all in Q
+        /// (with an unbounded buffer).
+        #[test]
+        fn prop_matches_ground_truth(writes in proptest::collection::vec((0u64..32, 0usize..6), 0..200)) {
+            let n_quanta = 6;
+            let mut p = Pril::new(32, 10_000);
+            let mut per_quantum: Vec<Vec<u64>> = vec![Vec::new(); n_quanta];
+            for (page, q) in writes {
+                per_quantum[q].push(page);
+            }
+            for q in 0..n_quanta {
+                let mut sorted = per_quantum[q].clone();
+                sorted.sort_unstable();
+                for &page in &sorted {
+                    p.on_write(page);
+                }
+                let mut got = p.end_quantum();
+                got.sort_unstable();
+                if q == 0 {
+                    prop_assert!(got.is_empty());
+                    continue;
+                }
+                let prev = &per_quantum[q - 1];
+                let cur = &per_quantum[q];
+                let mut expect: Vec<u64> = (0..32)
+                    .filter(|page| {
+                        prev.iter().filter(|&&x| x == *page).count() == 1
+                            && !cur.contains(page)
+                    })
+                    .collect();
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect, "quantum {}", q);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-page refresh-state tracking with exact time-in-state integration.
+//!
+//! Every page is in one of three states:
+//!
+//! * **HI-REF** — refreshed every `hi_ms` (the default after any write),
+//! * **Testing** — deliberately unrefreshed for one test window,
+//! * **LO-REF** — refreshed every `lo_ms` (after passing a content test).
+//!
+//! The manager integrates the time each page spends in each state, from
+//! which the refresh-operation count, the reduction over the all-HI-REF
+//! baseline (paper Fig. 14), and the LO-REF execution-time coverage
+//! (paper Fig. 17) all follow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pril::PageId;
+
+/// Refresh state of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Aggressively refreshed (every write lands a page here).
+    HiRef,
+    /// Under an in-flight content test (unrefreshed by design).
+    Testing,
+    /// Passed a content test; refreshed at the low rate.
+    LoRef,
+}
+
+/// Time-in-state accounting for all pages.
+#[derive(Debug, Clone)]
+pub struct RefreshManager {
+    hi_ms: f64,
+    lo_ms: f64,
+    states: Vec<PageState>,
+    since_ns: Vec<u64>,
+    hi_time_ns: f64,
+    testing_time_ns: f64,
+    lo_time_ns: f64,
+    finalized_at_ns: Option<u64>,
+}
+
+impl RefreshManager {
+    /// Creates a manager with every page at HI-REF from time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < hi_ms < lo_ms`.
+    #[must_use]
+    pub fn new(n_pages: u64, hi_ms: f64, lo_ms: f64) -> Self {
+        assert!(hi_ms > 0.0 && lo_ms > hi_ms, "need 0 < HI < LO");
+        RefreshManager {
+            hi_ms,
+            lo_ms,
+            states: vec![PageState::HiRef; n_pages as usize],
+            since_ns: vec![0; n_pages as usize],
+            hi_time_ns: 0.0,
+            testing_time_ns: 0.0,
+            lo_time_ns: 0.0,
+            finalized_at_ns: None,
+        }
+    }
+
+    /// Number of pages tracked.
+    #[must_use]
+    pub fn n_pages(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Current state of `page`.
+    #[must_use]
+    pub fn state(&self, page: PageId) -> PageState {
+        self.states[page as usize]
+    }
+
+    fn accumulate(&mut self, page: PageId, now_ns: u64) {
+        let idx = page as usize;
+        let dt = (now_ns - self.since_ns[idx]) as f64;
+        match self.states[idx] {
+            PageState::HiRef => self.hi_time_ns += dt,
+            PageState::Testing => self.testing_time_ns += dt,
+            PageState::LoRef => self.lo_time_ns += dt,
+        }
+        self.since_ns[idx] = now_ns;
+    }
+
+    /// Moves `page` to `state` at time `now_ns`, accumulating the time spent
+    /// in the previous state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards for this page or the manager is
+    /// already finalized.
+    pub fn transition(&mut self, page: PageId, state: PageState, now_ns: u64) {
+        assert!(
+            self.finalized_at_ns.is_none(),
+            "manager is finalized; no more transitions"
+        );
+        assert!(
+            now_ns >= self.since_ns[page as usize],
+            "time moved backwards for page {page}"
+        );
+        self.accumulate(page, now_ns);
+        self.states[page as usize] = state;
+    }
+
+    /// Closes the books at `end_ns`, accumulating every page's final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double finalization or if `end_ns` precedes a page's last
+    /// transition.
+    pub fn finalize(&mut self, end_ns: u64) {
+        assert!(self.finalized_at_ns.is_none(), "already finalized");
+        for page in 0..self.states.len() as u64 {
+            assert!(end_ns >= self.since_ns[page as usize]);
+            self.accumulate(page, end_ns);
+        }
+        self.finalized_at_ns = Some(end_ns);
+    }
+
+    /// Total page-time integrated so far, ns.
+    #[must_use]
+    pub fn total_page_time_ns(&self) -> f64 {
+        self.hi_time_ns + self.testing_time_ns + self.lo_time_ns
+    }
+
+    /// Refresh operations performed: HI time at the HI rate plus LO time at
+    /// the LO rate (rows under test are deliberately unrefreshed).
+    #[must_use]
+    pub fn refresh_ops(&self) -> f64 {
+        self.hi_time_ns / (self.hi_ms * 1e6) + self.lo_time_ns / (self.lo_ms * 1e6)
+    }
+
+    /// Refresh operations the all-HI-REF baseline would perform over the
+    /// same page-time.
+    #[must_use]
+    pub fn baseline_ops(&self) -> f64 {
+        self.total_page_time_ns() / (self.hi_ms * 1e6)
+    }
+
+    /// Refresh-operation reduction vs the baseline (paper Fig. 14).
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        let base = self.baseline_ops();
+        if base <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.refresh_ops() / base
+        }
+    }
+
+    /// Fraction of page-time spent at LO-REF (paper Fig. 17 "coverage").
+    #[must_use]
+    pub fn lo_coverage(&self) -> f64 {
+        let total = self.total_page_time_ns();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.lo_time_ns / total
+        }
+    }
+
+    /// Fraction of page-time spent under test.
+    #[must_use]
+    pub fn testing_fraction(&self) -> f64 {
+        let total = self.total_page_time_ns();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.testing_time_ns / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn all_hi_gives_zero_reduction() {
+        let mut m = RefreshManager::new(4, 16.0, 64.0);
+        m.finalize(1000 * MS);
+        assert_eq!(m.reduction(), 0.0);
+        assert_eq!(m.lo_coverage(), 0.0);
+        // 4 pages x 1000 ms / 16 ms = 250 ops.
+        assert!((m.refresh_ops() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_lo_hits_upper_bound() {
+        let mut m = RefreshManager::new(2, 16.0, 64.0);
+        m.transition(0, PageState::LoRef, 0);
+        m.transition(1, PageState::LoRef, 0);
+        m.finalize(6400 * MS);
+        assert!((m.reduction() - 0.75).abs() < 1e-9, "got {}", m.reduction());
+        assert!((m.lo_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_and_half() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.transition(0, PageState::LoRef, 0);
+        m.transition(0, PageState::HiRef, 500 * MS);
+        m.finalize(1000 * MS);
+        // 500 ms LO (7.8125 ops) + 500 ms HI (31.25 ops) vs 62.5 baseline.
+        assert!((m.lo_coverage() - 0.5).abs() < 1e-9);
+        let expected_red = 1.0 - (500.0 / 64.0 + 500.0 / 16.0) / (1000.0 / 16.0);
+        assert!((m.reduction() - expected_red).abs() < 1e-9);
+    }
+
+    #[test]
+    fn testing_time_is_unrefreshed_but_tracked() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.transition(0, PageState::Testing, 0);
+        m.transition(0, PageState::LoRef, 64 * MS);
+        m.finalize(128 * MS);
+        assert!((m.testing_fraction() - 0.5).abs() < 1e-9);
+        // Ops: only the LO period contributes one op worth of time.
+        assert!((m.refresh_ops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_queries() {
+        let mut m = RefreshManager::new(2, 16.0, 64.0);
+        assert_eq!(m.state(0), PageState::HiRef);
+        m.transition(0, PageState::Testing, 10 * MS);
+        assert_eq!(m.state(0), PageState::Testing);
+        assert_eq!(m.state(1), PageState::HiRef);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn rejects_backwards_time() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.transition(0, PageState::LoRef, 100);
+        m.transition(0, PageState::HiRef, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finalized")]
+    fn rejects_double_finalize() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.finalize(100);
+        m.finalize(200);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized; no more transitions")]
+    fn rejects_transition_after_finalize() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.finalize(100);
+        m.transition(0, PageState::LoRef, 200);
+    }
+
+    #[test]
+    fn empty_manager() {
+        let mut m = RefreshManager::new(0, 16.0, 64.0);
+        m.finalize(100);
+        assert_eq!(m.reduction(), 0.0);
+        assert_eq!(m.lo_coverage(), 0.0);
+    }
+}

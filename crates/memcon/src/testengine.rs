@@ -1,0 +1,564 @@
+//! Online-test orchestration: slots, staging region, redirection, oracles.
+//!
+//! A test keeps its row idle for one LO-REF interval, then re-reads and
+//! compares. The engine enforces the concurrent-test budget (paper Table 3),
+//! and for Copy-and-Compare manages the reserved staging region (512 rows
+//! per bank ≈ 1.56 % of a 2 GB module, paper appendix) together with the
+//! request-redirection table the memory controller would consult while a
+//! row is in test.
+//!
+//! Whether a row *fails* its test is decided by a [`FailureOracle`]:
+//!
+//! * [`ContentOracle`] runs the real physics — it regenerates the page's
+//!   content in a simulated chip and evaluates the coupling failure model
+//!   (used by integration tests and content-level experiments),
+//! * [`RateOracle`] draws from a per-workload failing-row rate (the Fig. 4
+//!   fractions), which is what trace-scale engine runs use.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dram::address::RowAddr;
+use dram::module::DramModule;
+use failure_model::content::ContentProfile;
+use failure_model::model::CouplingFailureModel;
+
+use crate::cost::TestMode;
+use crate::pril::PageId;
+
+/// Decides whether a page's current content fails at the LO-REF interval.
+pub trait FailureOracle: std::fmt::Debug {
+    /// Tests `page`'s content (the `generation` counter distinguishes
+    /// successive contents of the same page across writes).
+    fn page_fails(&mut self, page: PageId, generation: u64) -> bool;
+}
+
+/// Bernoulli oracle at a fixed failing-row rate (paper Fig. 4: 0.38–5.6 %
+/// of rows fail with program content).
+#[derive(Debug)]
+pub struct RateOracle {
+    rate: f64,
+    rng: SmallRng,
+}
+
+impl RateOracle {
+    /// Creates an oracle failing each test independently with probability
+    /// `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is a probability.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        RateOracle {
+            rate,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FailureOracle for RateOracle {
+    fn page_fails(&mut self, _page: PageId, _generation: u64) -> bool {
+        self.rng.gen::<f64>() < self.rate
+    }
+}
+
+/// Physics-backed oracle: regenerates the page's content inside a simulated
+/// chip and runs the coupling failure model at the LO-REF interval.
+#[derive(Debug)]
+pub struct ContentOracle {
+    module: DramModule,
+    model: CouplingFailureModel,
+    profile: ContentProfile,
+    lo_ms: f64,
+    content_seed: u64,
+}
+
+impl ContentOracle {
+    /// Creates an oracle over `module`, regenerating content from `profile`.
+    /// `lo_ms` is the refresh interval tested at (85 °C-equivalent).
+    ///
+    /// The failure model should be anchored near the tested interval
+    /// (`FailureModelParams::calibrated_at(lo_ms)`): with the default 328 ms
+    /// anchoring, content-dependent failures cannot occur at 64 ms and the
+    /// oracle degenerates to "never fails".
+    #[must_use]
+    pub fn new(
+        module: DramModule,
+        model: CouplingFailureModel,
+        profile: ContentProfile,
+        lo_ms: f64,
+        content_seed: u64,
+    ) -> Self {
+        ContentOracle {
+            module,
+            model,
+            profile,
+            lo_ms,
+            content_seed,
+        }
+    }
+}
+
+impl FailureOracle for ContentOracle {
+    fn page_fails(&mut self, page: PageId, generation: u64) -> bool {
+        let g = *self.module.geometry();
+        let addr = RowAddr::from_row_id(page % g.total_rows(), &g);
+        let words = g.words_per_row();
+        let content =
+            self.profile
+                .row_content(self.content_seed ^ page, generation as u32, page, words);
+        self.module
+            .write_row(addr, content)
+            .expect("address is in range by construction");
+        !self
+            .model
+            .evaluate_system_row(&self.module, addr, self.lo_ms)
+            .is_empty()
+    }
+}
+
+/// Outcome of one completed test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestOutcome {
+    /// The tested page.
+    pub page: PageId,
+    /// Whether the content failed (page must stay at HI-REF).
+    pub failed: bool,
+    /// Test start time.
+    pub start_ns: u64,
+    /// Test end time.
+    pub end_ns: u64,
+}
+
+/// Staging-region bookkeeping for Copy-and-Compare.
+#[derive(Debug, Clone)]
+pub struct StagingRegion {
+    capacity: usize,
+    /// page → staging slot, consulted by the controller to redirect demand
+    /// accesses to in-test rows.
+    redirect: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    /// Highest simultaneous occupancy observed.
+    pub peak_used: usize,
+}
+
+impl StagingRegion {
+    /// A region of `capacity` spare rows (512 per bank × 8 banks by
+    /// default in the paper's 2 GB module).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        StagingRegion {
+            capacity,
+            redirect: HashMap::new(),
+            free: (0..capacity).rev().collect(),
+            peak_used: 0,
+        }
+    }
+
+    /// Number of slots in use.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+
+    fn acquire(&mut self, page: PageId) -> Option<usize> {
+        match self.redirect.entry(page) {
+            Entry::Occupied(e) => Some(*e.get()),
+            Entry::Vacant(e) => {
+                let slot = self.free.pop()?;
+                e.insert(slot);
+                Some(slot)
+            }
+        }
+    }
+
+    fn release(&mut self, page: PageId) {
+        if let Some(slot) = self.redirect.remove(&page) {
+            self.free.push(slot);
+        }
+    }
+
+    /// Where demand accesses to `page` should be redirected while it is in
+    /// test, if anywhere.
+    #[must_use]
+    pub fn redirect_of(&self, page: PageId) -> Option<usize> {
+        self.redirect.get(&page).copied()
+    }
+}
+
+/// Test-engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestEngineStats {
+    /// Tests started.
+    pub started: u64,
+    /// Tests that ran to completion.
+    pub completed: u64,
+    /// Completed tests whose content failed.
+    pub failed: u64,
+    /// Tests aborted by a write to the in-test page.
+    pub aborted: u64,
+    /// Candidates rejected because no test slot (or staging slot) was free.
+    pub rejected: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight {
+    end_ns: u64,
+    page: PageId,
+    start_ns: u64,
+    generation: u64,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: earliest end first out of the max-heap.
+        other
+            .end_ns
+            .cmp(&self.end_ns)
+            .then(other.page.cmp(&self.page))
+    }
+}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The online-test engine.
+#[derive(Debug)]
+pub struct TestEngine {
+    oracle: Box<dyn FailureOracle>,
+    mode: TestMode,
+    duration_ns: u64,
+    slots: u32,
+    in_flight: BinaryHeap<InFlight>,
+    in_flight_pages: HashMap<PageId, u64>,
+    staging: StagingRegion,
+    /// Accumulated statistics.
+    pub stats: TestEngineStats,
+}
+
+impl TestEngine {
+    /// Creates a test engine.
+    ///
+    /// * `duration_ms` — how long a row stays idle under test (one LO-REF
+    ///   interval),
+    /// * `slots` — the concurrent-test budget,
+    /// * `staging_capacity` — Copy-and-Compare spare rows (ignored for
+    ///   Read-and-Compare).
+    #[must_use]
+    pub fn new(
+        oracle: Box<dyn FailureOracle>,
+        mode: TestMode,
+        duration_ms: f64,
+        slots: u32,
+        staging_capacity: usize,
+    ) -> Self {
+        TestEngine {
+            oracle,
+            mode,
+            duration_ns: (duration_ms * 1e6) as u64,
+            slots,
+            in_flight: BinaryHeap::new(),
+            in_flight_pages: HashMap::new(),
+            staging: StagingRegion::new(staging_capacity),
+            stats: TestEngineStats::default(),
+        }
+    }
+
+    /// Tests currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight_pages.len()
+    }
+
+    /// Whether `page` is currently under test.
+    #[must_use]
+    pub fn is_testing(&self, page: PageId) -> bool {
+        self.in_flight_pages.contains_key(&page)
+    }
+
+    /// The staging region (redirection state; Copy-and-Compare only).
+    #[must_use]
+    pub fn staging(&self) -> &StagingRegion {
+        &self.staging
+    }
+
+    /// Direct access to the oracle (used by the engine for pre-window
+    /// steady-state initialization).
+    pub fn oracle_mut(&mut self) -> &mut dyn FailureOracle {
+        self.oracle.as_mut()
+    }
+
+    /// Cancels every in-flight test and releases all staging slots (used
+    /// when the engine starts a fresh run). Statistics are kept.
+    pub fn cancel_all(&mut self) {
+        self.in_flight.clear();
+        for (page, _) in std::mem::take(&mut self.in_flight_pages) {
+            self.staging.release(page);
+        }
+    }
+
+    /// Attempts to start a test of `page` at `now_ns`. `generation` tags the
+    /// page's current content. Returns whether the test started.
+    pub fn try_start(&mut self, page: PageId, generation: u64, now_ns: u64) -> bool {
+        if self.is_testing(page) || self.in_flight_pages.len() >= self.slots as usize {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if self.mode == TestMode::CopyAndCompare && self.staging.acquire(page).is_none() {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.staging.peak_used = self.staging.peak_used.max(self.staging.used());
+        self.in_flight.push(InFlight {
+            end_ns: now_ns + self.duration_ns,
+            page,
+            start_ns: now_ns,
+            generation,
+        });
+        self.in_flight_pages.insert(page, generation);
+        self.stats.started += 1;
+        true
+    }
+
+    /// Aborts the test of `page` (a demand write changed the content under
+    /// test). Returns whether a test was actually in flight.
+    pub fn abort(&mut self, page: PageId) -> bool {
+        if self.in_flight_pages.remove(&page).is_some() {
+            // The heap entry is lazily discarded at pop time.
+            self.staging.release(page);
+            self.stats.aborted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops every test whose idle window has elapsed by `now_ns` and asks
+    /// the oracle for its verdict.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<TestOutcome> {
+        let mut out = Vec::new();
+        while let Some(top) = self.in_flight.peek() {
+            if top.end_ns > now_ns {
+                break;
+            }
+            let t = self.in_flight.pop().expect("peeked");
+            // Lazily drop aborted (or superseded) entries.
+            match self.in_flight_pages.get(&t.page) {
+                Some(&gen) if gen == t.generation => {}
+                _ => continue,
+            }
+            self.in_flight_pages.remove(&t.page);
+            self.staging.release(t.page);
+            let failed = self.oracle.page_fails(t.page, t.generation);
+            self.stats.completed += 1;
+            if failed {
+                self.stats.failed += 1;
+            }
+            out.push(TestOutcome {
+                page: t.page,
+                failed,
+                start_ns: t.start_ns,
+                end_ns: t.end_ns,
+            });
+        }
+        out
+    }
+
+    /// Earliest pending completion time, if any test is in flight.
+    #[must_use]
+    pub fn next_completion_ns(&self) -> Option<u64> {
+        // The heap may hold stale (aborted) entries; they only make this
+        // bound conservative (earlier), which is harmless for scheduling.
+        self.in_flight.peek().map(|t| t.end_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn engine(slots: u32) -> TestEngine {
+        TestEngine::new(
+            Box::new(RateOracle::new(0.0, 0)),
+            TestMode::ReadAndCompare,
+            64.0,
+            slots,
+            16,
+        )
+    }
+
+    #[test]
+    fn test_lifecycle_clean() {
+        let mut e = engine(4);
+        assert!(e.try_start(5, 0, 0));
+        assert!(e.is_testing(5));
+        assert!(e.poll(63 * MS).is_empty(), "window not elapsed");
+        let done = e.poll(64 * MS);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].page, 5);
+        assert!(!done[0].failed);
+        assert!(!e.is_testing(5));
+    }
+
+    #[test]
+    fn failing_oracle_reports_failure() {
+        let mut e = TestEngine::new(
+            Box::new(RateOracle::new(1.0, 0)),
+            TestMode::ReadAndCompare,
+            64.0,
+            4,
+            16,
+        );
+        assert!(e.try_start(1, 0, 0));
+        let done = e.poll(64 * MS);
+        assert!(done[0].failed);
+        assert_eq!(e.stats.failed, 1);
+    }
+
+    #[test]
+    fn slot_budget_enforced() {
+        let mut e = engine(2);
+        assert!(e.try_start(1, 0, 0));
+        assert!(e.try_start(2, 0, 0));
+        assert!(!e.try_start(3, 0, 0));
+        assert_eq!(e.stats.rejected, 1);
+        // After completion, slots free up.
+        let _ = e.poll(64 * MS);
+        assert!(e.try_start(3, 0, 64 * MS));
+    }
+
+    #[test]
+    fn duplicate_page_rejected() {
+        let mut e = engine(4);
+        assert!(e.try_start(1, 0, 0));
+        assert!(!e.try_start(1, 0, 1));
+    }
+
+    #[test]
+    fn abort_cancels_test() {
+        let mut e = engine(4);
+        assert!(e.try_start(7, 0, 0));
+        assert!(e.abort(7));
+        assert!(!e.abort(7), "double abort is a no-op");
+        assert!(e.poll(64 * MS).is_empty(), "aborted test must not complete");
+        assert_eq!(e.stats.aborted, 1);
+        assert_eq!(e.stats.completed, 0);
+    }
+
+    #[test]
+    fn aborted_page_can_restart_with_new_generation() {
+        let mut e = engine(4);
+        assert!(e.try_start(7, 0, 0));
+        assert!(e.abort(7));
+        assert!(e.try_start(7, 1, 10 * MS));
+        let done = e.poll(100 * MS);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].start_ns, 10 * MS);
+    }
+
+    #[test]
+    fn copy_mode_uses_staging_and_redirects() {
+        let mut e = TestEngine::new(
+            Box::new(RateOracle::new(0.0, 0)),
+            TestMode::CopyAndCompare,
+            64.0,
+            8,
+            2,
+        );
+        assert!(e.try_start(1, 0, 0));
+        assert!(e.try_start(2, 0, 0));
+        assert!(e.staging().redirect_of(1).is_some());
+        assert_ne!(e.staging().redirect_of(1), e.staging().redirect_of(2));
+        // Staging exhausted even though slots remain.
+        assert!(!e.try_start(3, 0, 0));
+        let _ = e.poll(64 * MS);
+        assert_eq!(e.staging().used(), 0);
+        assert!(e.staging().redirect_of(1).is_none());
+        assert_eq!(e.staging().peak_used, 2);
+    }
+
+    #[test]
+    fn read_mode_ignores_staging_capacity() {
+        let mut e = TestEngine::new(
+            Box::new(RateOracle::new(0.0, 0)),
+            TestMode::ReadAndCompare,
+            64.0,
+            8,
+            0, // no staging at all
+        );
+        assert!(e.try_start(1, 0, 0));
+    }
+
+    #[test]
+    fn completions_in_time_order() {
+        let mut e = engine(8);
+        assert!(e.try_start(1, 0, 10 * MS));
+        assert!(e.try_start(2, 0, 0));
+        let done = e.poll(200 * MS);
+        assert_eq!(done.len(), 2);
+        assert!(done[0].end_ns <= done[1].end_ns);
+        assert_eq!(done[0].page, 2);
+    }
+
+    #[test]
+    fn next_completion_bound() {
+        let mut e = engine(8);
+        assert_eq!(e.next_completion_ns(), None);
+        assert!(e.try_start(1, 0, 5 * MS));
+        assert_eq!(e.next_completion_ns(), Some(69 * MS));
+    }
+
+    #[test]
+    fn rate_oracle_respects_rate() {
+        let mut o = RateOracle::new(0.3, 42);
+        let n = 20_000;
+        let fails = (0..n).filter(|&i| o.page_fails(i, 0)).count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn content_oracle_is_content_sensitive() {
+        use dram::geometry::DramGeometry;
+        use dram::timing::TimingParams;
+        use failure_model::params::FailureModelParams;
+
+        let g = DramGeometry {
+            ranks: 1,
+            chips_per_rank: 1,
+            banks: 2,
+            rows_per_bank: 256,
+            row_bytes: 2048,
+            block_bytes: 64,
+            density: dram::geometry::ChipDensity::Gb8,
+        };
+        let module = DramModule::new(g, TimingParams::ddr3_1600(), 99);
+        // Anchor the failure model at the tested interval so content-driven
+        // failures can actually occur at 64 ms.
+        let model = CouplingFailureModel::new(FailureModelParams::calibrated_at(64.0));
+        let mut random = ContentOracle::new(
+            module.clone(),
+            model,
+            ContentProfile::random_data(),
+            64.0,
+            7,
+        );
+        let mut zero = ContentOracle::new(module, model, ContentProfile::zeroes(), 64.0, 7);
+        let n = 512u64;
+        let rand_fails = (0..n).filter(|&p| random.page_fails(p, 0)).count();
+        let zero_fails = (0..n).filter(|&p| zero.page_fails(p, 0)).count();
+        assert!(
+            rand_fails > zero_fails,
+            "random content ({rand_fails}) should fail more than zeros ({zero_fails})"
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! FR-FCFS memory controller over timing-checked bank state machines.
+//!
+//! Scheduling policy (one command per controller cycle, as on a real command
+//! bus):
+//!
+//! 1. a due refresh wins: open banks are precharged, then the rank is
+//!    refreshed and blacked out for `tRFC`,
+//! 2. otherwise FR-FCFS: the oldest **row-hit** request of the round-robin
+//!    bank scan issues first; a bank whose queue head conflicts with its open
+//!    row is precharged; an idle bank with waiting requests is activated.
+//!
+//! Column commands contend for the shared data bus (one burst at a time).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use dram::bank::{Bank, BURST_CYCLES};
+use dram::command::DramCommand;
+use dram::timing::TimingParams;
+
+use crate::config::SystemConfig;
+use crate::refresh::RefreshScheduler;
+use crate::request::{Completion, MemRequest};
+
+/// Aggregate controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Row activations (row-buffer misses).
+    pub acts: u64,
+    /// Column accesses issued (every column command necessarily hits an
+    /// open row; compare against `acts` for the hit/miss ratio:
+    /// `1 - acts / column_accesses`).
+    pub column_accesses: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Cycles the rank spent blacked out by refresh.
+    pub refresh_blackout_cycles: u64,
+    /// Enqueue attempts rejected because a bank queue was full (retries of
+    /// the same request count once per attempt).
+    pub rejected: u64,
+}
+
+/// Row hits may bypass an older row-conflict request for at most this many
+/// cycles; past it, the bank is drained toward the starved request (10 µs at
+/// DDR3-1600 — generous next to normal service times, tight next to a
+/// simulation).
+pub const STARVATION_LIMIT_CYCLES: u64 = 8_000;
+
+/// The memory controller for one rank-set of DDR3 banks.
+#[derive(Debug)]
+pub struct MemoryController {
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    queues: Vec<VecDeque<MemRequest>>,
+    capacity: usize,
+    /// Cycle at which the last scheduled data burst leaves the bus; a new
+    /// column command may issue once its own data window starts after this.
+    bus_data_end: u64,
+    refresh: RefreshScheduler,
+    refresh_in_progress_until: u64,
+    rr_start: usize,
+    /// Completions drained by the system each cycle.
+    completions: Vec<Completion>,
+    /// Aggregate statistics.
+    pub stats: CtrlStats,
+}
+
+impl MemoryController {
+    /// Builds a controller from a system configuration.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        let n_banks = usize::from(config.geometry.ranks) * usize::from(config.geometry.banks);
+        MemoryController {
+            timing: config.timing,
+            banks: (0..n_banks).map(|_| Bank::new()).collect(),
+            queues: (0..n_banks).map(|_| VecDeque::new()).collect(),
+            capacity: config.queue_capacity,
+            bus_data_end: 0,
+            refresh: RefreshScheduler::new(config.refresh, &config.timing),
+            refresh_in_progress_until: 0,
+            rr_start: 0,
+            completions: Vec::new(),
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn n_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether bank `bank` can accept another request.
+    #[must_use]
+    pub fn can_accept(&self, bank: usize) -> bool {
+        self.queues[bank].len() < self.capacity
+    }
+
+    /// Total queued requests across banks.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Enqueues a request, returning it back if the bank queue is full.
+    ///
+    /// # Errors
+    ///
+    /// The rejected request is handed back so the issuer can retry.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        if self.can_accept(req.bank) {
+            self.queues[req.bank].push_back(req);
+            Ok(())
+        } else {
+            self.stats.rejected += 1;
+            Err(req)
+        }
+    }
+
+    /// Drains the completions produced so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Refresh-operation count so far.
+    #[must_use]
+    pub fn refreshes_issued(&self) -> u64 {
+        self.refresh.issued
+    }
+
+    fn issue_column(&mut self, bank: usize, queue_idx: usize, now: u64) {
+        let req = self.queues[bank].remove(queue_idx).expect("index checked");
+        let cmd = if req.is_write {
+            DramCommand::Write
+        } else {
+            DramCommand::Read
+        };
+        let done = self.banks[bank]
+            .issue(cmd, req.row, now, &self.timing)
+            .expect("scheduler checked legality");
+        self.bus_data_end = done;
+        self.stats.column_accesses += 1;
+        if req.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.completions.push(Completion {
+            id: req.id,
+            requester: req.requester,
+            is_write: req.is_write,
+            done_cycle: done,
+        });
+    }
+
+    /// Advances the controller by one cycle, possibly issuing one command.
+    pub fn tick(&mut self, now: u64) {
+        if now < self.refresh_in_progress_until {
+            self.stats.refresh_blackout_cycles += 1;
+            return;
+        }
+
+        if self.refresh.due(now) {
+            // Drain: precharge any open bank as soon as legal.
+            let mut all_idle = true;
+            let mut latest_ready = now;
+            for b in 0..self.banks.len() {
+                if self.banks[b].open_row().is_some() {
+                    all_idle = false;
+                    if self.banks[b].check(DramCommand::Precharge, now).is_ok() {
+                        let _ = self.banks[b]
+                            .issue(DramCommand::Precharge, 0, now, &self.timing)
+                            .expect("checked");
+                        // One command per cycle.
+                        return;
+                    }
+                } else {
+                    latest_ready = latest_ready.max(self.banks[b].ready_cycle(DramCommand::Refresh));
+                }
+            }
+            if all_idle && latest_ready <= now {
+                let end = self.refresh.start(now, self.timing.trfc_cycles());
+                for b in &mut self.banks {
+                    b.block_until(end);
+                }
+                self.refresh_in_progress_until = end;
+                self.stats.refreshes = self.refresh.issued;
+                self.stats.refresh_blackout_cycles += 1; // the issuing cycle
+                return;
+            }
+            // Waiting for tRAS/tRP to drain; issue nothing else so the
+            // refresh is not postponed indefinitely.
+            return;
+        }
+
+        // FR-FCFS round-robin over banks.
+        let n = self.banks.len();
+        // Bus model: a burst occupies [issue+CL, issue+CL+BURST); a new
+        // column command may issue when its data window starts at or after
+        // the previous burst's end.
+        if now + self.timing.tcl_cycles() < self.bus_data_end {
+            // No column command can go this cycle; ACT/PRE still can.
+            self.act_or_pre_pass(now);
+            return;
+        }
+        // Pass 1: oldest row-hit column command anywhere. Banks whose
+        // oldest request has starved past the limit stop accepting younger
+        // hits so pass 2 can precharge toward the starved row.
+        for i in 0..n {
+            let bank = (self.rr_start + i) % n;
+            let Some(open) = self.banks[bank].open_row() else {
+                continue;
+            };
+            if self.front_is_starved(bank, open, now) {
+                continue;
+            }
+            if let Some(idx) = self.queues[bank].iter().position(|r| r.row == open) {
+                let cmd = if self.queues[bank][idx].is_write {
+                    DramCommand::Write
+                } else {
+                    DramCommand::Read
+                };
+                if self.banks[bank].check(cmd, now).is_ok() {
+                    self.issue_column(bank, idx, now);
+                    self.rr_start = (bank + 1) % n;
+                    return;
+                }
+            }
+        }
+        // Pass 2: activate idle banks or precharge banks with no pending
+        // row hits.
+        self.act_or_pre_pass(now);
+    }
+
+    /// Activates an idle bank for its oldest request, or precharges a bank
+    /// whose open row serves none of its queued requests (FR-FCFS keeps the
+    /// row open while hits remain).
+    fn act_or_pre_pass(&mut self, now: u64) {
+        let n = self.banks.len();
+        for i in 0..n {
+            let bank = (self.rr_start + i) % n;
+            let Some(head) = self.queues[bank].front().copied() else {
+                continue;
+            };
+            match self.banks[bank].open_row() {
+                None => {
+                    if self.banks[bank].check(DramCommand::Activate, now).is_ok() {
+                        let _ = self.banks[bank]
+                            .issue(DramCommand::Activate, head.row, now, &self.timing)
+                            .expect("checked");
+                        self.stats.acts += 1;
+                        self.rr_start = (bank + 1) % n;
+                        return;
+                    }
+                }
+                Some(open) => {
+                    let any_hit = self.queues[bank].iter().any(|r| r.row == open);
+                    let drain = !any_hit || self.front_is_starved(bank, open, now);
+                    if drain && self.banks[bank].check(DramCommand::Precharge, now).is_ok() {
+                        let _ = self.banks[bank]
+                            .issue(DramCommand::Precharge, 0, now, &self.timing)
+                            .expect("checked");
+                        self.rr_start = (bank + 1) % n;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `bank`'s oldest request targets a different row and has
+    /// waited past the starvation limit.
+    fn front_is_starved(&self, bank: usize, open_row: u32, now: u64) -> bool {
+        self.queues[bank].front().is_some_and(|front| {
+            front.row != open_row
+                && now.saturating_sub(front.arrive_cycle) > STARVATION_LIMIT_CYCLES
+        })
+    }
+
+    /// Burst length exposure for tests.
+    #[must_use]
+    pub fn burst_cycles() -> u64 {
+        BURST_CYCLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RefreshPolicy, SystemConfig};
+    use crate::request::Requester;
+    use dram::geometry::ChipDensity;
+
+    fn config(policy: RefreshPolicy) -> SystemConfig {
+        SystemConfig::new(1, ChipDensity::Gb8, policy)
+    }
+
+    fn req(id: u64, bank: usize, row: u32, block: u32, is_write: bool) -> MemRequest {
+        MemRequest {
+            id,
+            requester: Requester::Core(0),
+            bank,
+            row,
+            block,
+            is_write,
+            arrive_cycle: 0,
+        }
+    }
+
+    fn run_until_complete(ctrl: &mut MemoryController, max_cycles: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for now in 0..max_cycles {
+            ctrl.tick(now);
+            done.extend(ctrl.drain_completions());
+            if ctrl.queued() == 0 && !done.is_empty() {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = MemoryController::new(&cfg);
+        ctrl.enqueue(req(1, 0, 10, 0, false)).unwrap();
+        let done = run_until_complete(&mut ctrl, 1000);
+        assert_eq!(done.len(), 1);
+        // ACT at 0, RD at tRCD (9), data at 9 + tCL (11) + burst (4) = 24.
+        assert_eq!(done[0].done_cycle, 24);
+        assert_eq!(ctrl.stats.acts, 1);
+        assert_eq!(ctrl.stats.reads, 1);
+    }
+
+    #[test]
+    fn row_hits_are_prioritized() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = MemoryController::new(&cfg);
+        // Same bank: row 5 first, then row 9, then row 5 again. FR-FCFS
+        // should serve both row-5 requests before opening row 9.
+        ctrl.enqueue(req(1, 0, 5, 0, false)).unwrap();
+        ctrl.enqueue(req(2, 0, 9, 0, false)).unwrap();
+        ctrl.enqueue(req(3, 0, 5, 1, false)).unwrap();
+        let done = run_until_complete(&mut ctrl, 10_000);
+        assert_eq!(done.len(), 3);
+        let order: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(ctrl.stats.acts, 2, "row 5 opened once, row 9 once");
+    }
+
+    #[test]
+    fn banks_operate_in_parallel() {
+        let cfg = config(RefreshPolicy::None);
+        // Two requests to different banks should overlap: total time well
+        // under 2x the single-request latency plus a burst.
+        let mut ctrl = MemoryController::new(&cfg);
+        ctrl.enqueue(req(1, 0, 10, 0, false)).unwrap();
+        ctrl.enqueue(req(2, 1, 20, 0, false)).unwrap();
+        let done = run_until_complete(&mut ctrl, 1000);
+        assert_eq!(done.len(), 2);
+        let last = done.iter().map(|c| c.done_cycle).max().unwrap();
+        assert!(last <= 24 + 8, "banks should overlap, finished at {last}");
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut cfg = config(RefreshPolicy::None);
+        cfg.queue_capacity = 2;
+        let mut ctrl = MemoryController::new(&cfg);
+        assert!(ctrl.enqueue(req(1, 0, 1, 0, false)).is_ok());
+        assert!(ctrl.enqueue(req(2, 0, 2, 0, false)).is_ok());
+        assert!(ctrl.enqueue(req(3, 0, 3, 0, false)).is_err());
+        assert_eq!(ctrl.stats.rejected, 1);
+    }
+
+    #[test]
+    fn refresh_happens_at_trefi_rate() {
+        let cfg = config(RefreshPolicy::baseline_16ms());
+        let mut ctrl = MemoryController::new(&cfg);
+        let horizon = 1563 * 100;
+        for now in 0..horizon {
+            ctrl.tick(now);
+        }
+        let issued = ctrl.refreshes_issued();
+        assert!(
+            (97..=100).contains(&issued),
+            "expected ~100 refreshes, got {issued}"
+        );
+    }
+
+    #[test]
+    fn refresh_drains_open_rows_first() {
+        let cfg = config(RefreshPolicy::baseline_16ms());
+        let mut ctrl = MemoryController::new(&cfg);
+        // Occupy a bank just before the refresh deadline.
+        ctrl.enqueue(req(1, 0, 10, 0, false)).unwrap();
+        let mut completions = Vec::new();
+        for now in 0..20_000 {
+            ctrl.tick(now);
+            completions.extend(ctrl.drain_completions());
+        }
+        assert_eq!(completions.len(), 1);
+        assert!(ctrl.refreshes_issued() > 0);
+    }
+
+    #[test]
+    fn reads_stall_during_refresh_blackout() {
+        let cfg = config(RefreshPolicy::baseline_16ms());
+        let trefi = 1563u64;
+        let mut ctrl = MemoryController::new(&cfg);
+        // Let the first refresh start, then enqueue; the read must wait
+        // until the blackout ends.
+        for now in 0..=trefi {
+            ctrl.tick(now);
+        }
+        assert!(ctrl.refreshes_issued() >= 1);
+        ctrl.enqueue(req(1, 0, 10, 0, false)).unwrap();
+        let mut done = Vec::new();
+        for now in (trefi + 1)..(trefi + 2000) {
+            ctrl.tick(now);
+            done.extend(ctrl.drain_completions());
+            if !done.is_empty() {
+                break;
+            }
+        }
+        // tRFC = 280 cycles blackout; completion must come after it.
+        assert!(done[0].done_cycle >= trefi + 280, "done at {}", done[0].done_cycle);
+    }
+
+    #[test]
+    fn no_refresh_policy_never_refreshes() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = MemoryController::new(&cfg);
+        for now in 0..100_000 {
+            ctrl.tick(now);
+        }
+        assert_eq!(ctrl.refreshes_issued(), 0);
+    }
+
+    #[test]
+    fn write_then_read_same_row() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = MemoryController::new(&cfg);
+        ctrl.enqueue(req(1, 0, 4, 0, true)).unwrap();
+        ctrl.enqueue(req(2, 0, 4, 1, false)).unwrap();
+        let done = run_until_complete(&mut ctrl, 10_000);
+        assert_eq!(done.len(), 2);
+        assert!(done[0].is_write);
+        assert!(!done[1].is_write);
+        assert!(done[1].done_cycle > done[0].done_cycle);
+    }
+}

@@ -1,0 +1,171 @@
+//! DRAM energy accounting (DRAMPower-style, IDD-based).
+//!
+//! The paper motivates MEMCON with *performance and energy efficiency*: every
+//! eliminated refresh saves the energy of an activate/precharge cycle across
+//! the chip. This module turns the simulator's operation counts into energy,
+//! using the standard current-based (IDD) estimation over DDR3 datasheet
+//! values, so the refresh-reduction experiments can also report energy
+//! savings.
+//!
+//! Per-operation energies follow the usual derivation from IDD currents at
+//! VDD = 1.5 V for a DDR3-1600 x8 device (values in the range published in
+//! Micron DDR3 datasheets and the DRAMPower model); background power is
+//! charged per cycle and scales with how long the rank is active.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::CtrlStats;
+use dram::timing::TimingParams;
+
+/// Energy cost parameters, in nanojoules per operation (whole-rank, i.e.
+/// all chips of the DIMM together).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// One ACT + PRE pair (row cycle).
+    pub activate_nj: f64,
+    /// One read burst (64 B on the bus plus array access).
+    pub read_nj: f64,
+    /// One write burst.
+    pub write_nj: f64,
+    /// One all-bank refresh command (scales with density via `tRFC`).
+    pub refresh_nj: f64,
+    /// Background power in watts (standby, clocking, DLL).
+    pub background_w: f64,
+}
+
+impl EnergyParams {
+    /// DDR3-1600 x8 DIMM estimates. `trfc_ns` scales refresh energy with
+    /// chip density (the refresh command works proportionally longer).
+    #[must_use]
+    pub fn ddr3_1600(timing: &TimingParams) -> Self {
+        EnergyParams {
+            activate_nj: 2.5,
+            read_nj: 3.5,
+            write_nj: 3.7,
+            // ~0.6 nJ per ns of tRFC at DIMM level: 350 ns -> ~210 nJ,
+            // 890 ns -> ~534 nJ, consistent with IDD5/tRFC scaling.
+            refresh_nj: 0.6 * timing.trfc_ns,
+            background_w: 0.9,
+        }
+    }
+}
+
+/// Energy breakdown of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Activate/precharge energy, nJ.
+    pub activate_nj: f64,
+    /// Read energy, nJ.
+    pub read_nj: f64,
+    /// Write energy, nJ.
+    pub write_nj: f64,
+    /// Refresh energy, nJ.
+    pub refresh_nj: f64,
+    /// Background energy, nJ.
+    pub background_nj: f64,
+}
+
+impl EnergyReport {
+    /// Computes the breakdown from controller statistics.
+    #[must_use]
+    pub fn from_stats(stats: &CtrlStats, total_cycles: u64, timing: &TimingParams) -> Self {
+        let p = EnergyParams::ddr3_1600(timing);
+        EnergyReport {
+            activate_nj: stats.acts as f64 * p.activate_nj,
+            read_nj: stats.reads as f64 * p.read_nj,
+            write_nj: stats.writes as f64 * p.write_nj,
+            refresh_nj: stats.refreshes as f64 * p.refresh_nj,
+            background_nj: total_cycles as f64 * timing.tck_ns * p.background_w,
+        }
+    }
+
+    /// Total energy, nJ.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Refresh share of total energy.
+    #[must_use]
+    pub fn refresh_share(&self) -> f64 {
+        let t = self.total_nj();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.refresh_nj / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RefreshPolicy, SystemConfig};
+    use crate::system::System;
+    use dram::geometry::ChipDensity;
+    use memtrace::cpu::spec_tpc_pool;
+
+    fn run(policy: RefreshPolicy, density: ChipDensity) -> (EnergyReport, u64) {
+        let config = SystemConfig::new(1, density, policy);
+        let mut sys = System::new(config.clone(), vec![spec_tpc_pool()[0]], 5);
+        let stats = sys.run(120_000);
+        (
+            EnergyReport::from_stats(&stats.ctrl, stats.total_cycles, &config.timing),
+            stats.total_cycles,
+        )
+    }
+
+    #[test]
+    fn refresh_energy_scales_with_density_and_rate() {
+        let (base8, _) = run(RefreshPolicy::baseline_16ms(), ChipDensity::Gb8);
+        let (base32, _) = run(RefreshPolicy::baseline_16ms(), ChipDensity::Gb32);
+        assert!(
+            base32.refresh_nj > 2.0 * base8.refresh_nj,
+            "32 Gb refresh energy {} vs 8 Gb {}",
+            base32.refresh_nj,
+            base8.refresh_nj
+        );
+        let (reduced, _) = run(
+            RefreshPolicy::Reduced {
+                baseline_interval_ms: 16.0,
+                reduction: 0.75,
+            },
+            ChipDensity::Gb32,
+        );
+        // 75% fewer refresh ops and a shorter run: refresh energy collapses.
+        assert!(
+            reduced.refresh_nj < 0.35 * base32.refresh_nj,
+            "reduced {} vs baseline {}",
+            reduced.refresh_nj,
+            base32.refresh_nj
+        );
+        // Total energy drops too (less refresh + shorter runtime).
+        assert!(reduced.total_nj() < base32.total_nj());
+    }
+
+    #[test]
+    fn refresh_share_is_substantial_at_32gb_baseline() {
+        let (report, _) = run(RefreshPolicy::baseline_16ms(), ChipDensity::Gb32);
+        // The motivation for the whole line of work: refresh is a large
+        // energy consumer at high density and aggressive rates.
+        let share = report.refresh_share();
+        assert!(
+            share > 0.15,
+            "refresh energy share {share} unexpectedly small"
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let (r, _) = run(RefreshPolicy::baseline_16ms(), ChipDensity::Gb8);
+        let sum = r.activate_nj + r.read_nj + r.write_nj + r.refresh_nj + r.background_nj;
+        assert!((sum - r.total_nj()).abs() < 1e-9);
+        assert!(r.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn no_refresh_means_zero_refresh_energy() {
+        let (r, _) = run(RefreshPolicy::None, ChipDensity::Gb8);
+        assert_eq!(r.refresh_nj, 0.0);
+    }
+}

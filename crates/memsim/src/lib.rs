@@ -1,0 +1,50 @@
+//! Cycle-level memory-system simulator for the MEMCON reproduction.
+//!
+//! The paper evaluates MEMCON's performance impact with Ramulator driven by
+//! a Pin frontend (Section 5): the measured refresh reduction is modelled as
+//! a refresh-rate change inside the simulator, and the online-testing
+//! overhead as injected extra memory traffic. This crate implements the same
+//! methodology:
+//!
+//! * [`config`] — the Table-2 system configuration (4 GHz 4-wide cores with
+//!   128-entry windows, DDR3-1600, density-scaled `tRFC`, per-policy
+//!   `tREFI`),
+//! * [`request`] — memory requests at cache-block granularity,
+//! * [`controller`] — an FR-FCFS memory controller over timing-checked
+//!   [`dram::bank::Bank`] state machines with rank-level refresh blackouts,
+//! * [`refresh`] — refresh policies: fixed-interval baselines and the
+//!   reduced-rate model for MEMCON/RAIDR,
+//! * [`core`] — a USIMM-style out-of-order core frontend (ROB occupancy,
+//!   reads block retirement, writes retire into a write buffer),
+//! * [`testinject`] — MEMCON's online-test read traffic (Table 3),
+//! * [`system`] — glue: N cores + controller + refresh + injector, run to an
+//!   instruction target and report per-core cycles/IPC and DRAM statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::config::SystemConfig;
+//! use memsim::system::System;
+//! use memtrace::cpu::spec_tpc_pool;
+//!
+//! let config = SystemConfig::single_core_baseline();
+//! let profile = spec_tpc_pool()[0];
+//! let mut system = System::new(config, vec![profile], 7);
+//! let stats = system.run(50_000);
+//! assert!(stats.per_core_ipc[0] > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod controller;
+pub mod core;
+pub mod energy;
+pub mod refresh;
+pub mod request;
+pub mod system;
+pub mod testinject;
+
+pub use config::{RefreshPolicy, SystemConfig};
+pub use system::{SimStats, System};

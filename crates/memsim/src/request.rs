@@ -1,0 +1,75 @@
+//! Memory requests at cache-block granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier handed back on completion so the issuing core can unblock the
+/// right ROB entry.
+pub type RequestId = u64;
+
+/// Who issued a request — a core (demand traffic) or the MEMCON test engine
+/// (injected test traffic, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Requester {
+    /// Demand access from core `id`.
+    Core(u8),
+    /// MEMCON online-test traffic.
+    TestEngine,
+}
+
+/// One cache-block DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id (assigned by the system).
+    pub id: RequestId,
+    /// Issuer.
+    pub requester: Requester,
+    /// Target bank (flattened rank × bank).
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u32,
+    /// Cache-block column within the row.
+    pub block: u32,
+    /// Write (writeback) vs read.
+    pub is_write: bool,
+    /// Controller cycle at which the request arrived.
+    pub arrive_cycle: u64,
+}
+
+/// A completed request: its id and the cycle its data transfer finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The completed request's id.
+    pub id: RequestId,
+    /// The completed request's issuer.
+    pub requester: Requester,
+    /// Whether it was a write.
+    pub is_write: bool,
+    /// Cycle at which data finished transferring.
+    pub done_cycle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requester_distinguishes_cores() {
+        assert_ne!(Requester::Core(0), Requester::Core(1));
+        assert_ne!(Requester::Core(0), Requester::TestEngine);
+    }
+
+    #[test]
+    fn request_is_plain_data() {
+        let r = MemRequest {
+            id: 1,
+            requester: Requester::Core(0),
+            bank: 3,
+            row: 42,
+            block: 7,
+            is_write: false,
+            arrive_cycle: 100,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<MemRequest>(&s).unwrap(), r);
+    }
+}

@@ -1,0 +1,343 @@
+//! System glue: cores + controller + refresh + test injection.
+//!
+//! [`System::run`] advances the whole machine cycle-by-cycle (DRAM
+//! controller cycles; each covers 5 CPU cycles at Table-2 clocks) until
+//! every core retires its instruction target, then reports per-core cycle
+//! counts and IPC plus the DRAM statistics the experiments aggregate.
+
+use serde::{Deserialize, Serialize};
+
+use memtrace::cpu::{AccessTraceGenerator, CpuWorkloadProfile};
+
+use crate::config::SystemConfig;
+use crate::controller::{CtrlStats, MemoryController};
+use crate::core::{AddressMap, OooCore};
+use crate::request::Requester;
+use crate::testinject::{TestInjectConfig, TestTrafficInjector};
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// DRAM cycle at which each core reached its instruction target.
+    pub per_core_cycles: Vec<u64>,
+    /// Per-core IPC in CPU cycles.
+    pub per_core_ipc: Vec<f64>,
+    /// Controller statistics at the end of the run.
+    pub ctrl: CtrlStats,
+    /// Total DRAM cycles simulated.
+    pub total_cycles: u64,
+    /// Test requests injected (0 when injection is off).
+    pub test_requests: u64,
+}
+
+impl SimStats {
+    /// Arithmetic-mean per-core speedup of `self` over `baseline`
+    /// (cycle-count ratio per core, averaged) — the metric Figs. 15/16
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if core counts differ.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.per_core_cycles.len(),
+            baseline.per_core_cycles.len(),
+            "core-count mismatch"
+        );
+        let n = self.per_core_cycles.len() as f64;
+        self.per_core_cycles
+            .iter()
+            .zip(&baseline.per_core_cycles)
+            .map(|(&a, &b)| b as f64 / a as f64)
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// A complete simulated machine.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    controller: MemoryController,
+    cores: Vec<OooCore>,
+    injector: Option<TestTrafficInjector>,
+    next_id: u64,
+    instructions_per_core: u64,
+    seed: u64,
+    profiles: Vec<CpuWorkloadProfile>,
+}
+
+impl System {
+    /// Builds a system running one profile per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile count does not match `config.cores` or the
+    /// configuration is invalid.
+    #[must_use]
+    pub fn new(config: SystemConfig, profiles: Vec<CpuWorkloadProfile>, seed: u64) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert_eq!(
+            profiles.len(),
+            config.cores,
+            "need exactly one profile per core"
+        );
+        let controller = MemoryController::new(&config);
+        System {
+            controller,
+            cores: Vec::new(),
+            injector: None,
+            next_id: 0,
+            instructions_per_core: 0,
+            seed,
+            profiles,
+            config,
+        }
+    }
+
+    /// Enables MEMCON test-traffic injection (Table 3).
+    #[must_use]
+    pub fn with_test_injection(mut self, inject: TestInjectConfig) -> Self {
+        let n_banks = self.controller.n_banks();
+        self.injector = Some(TestTrafficInjector::new(
+            inject,
+            n_banks,
+            self.config.geometry.rows_per_bank,
+            self.config.timing.tck_ns,
+            self.seed ^ 0xDEAD_BEEF,
+        ));
+        self
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn build_cores(&mut self, instructions_per_core: u64) {
+        let n_banks = self.controller.n_banks();
+        let rows = self.config.geometry.rows_per_bank;
+        self.cores = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let map = AddressMap {
+                    n_banks,
+                    rows_per_bank: rows,
+                    // Spread cores across the row space to avoid aliasing.
+                    row_base: (u64::from(rows) * i as u64 / self.profiles.len() as u64) as u32,
+                };
+                let gen = AccessTraceGenerator::new(
+                    p,
+                    self.config.geometry.blocks_per_row(),
+                    self.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+                );
+                OooCore::new(i as u8, gen, map, u64::from(self.config.window), instructions_per_core)
+            })
+            .collect();
+        self.instructions_per_core = instructions_per_core;
+    }
+
+    /// Runs until every core retires `instructions_per_core` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds a generous safety bound (pathological IPC
+    /// below ~0.01), indicating a deadlock bug rather than a slow workload.
+    pub fn run(&mut self, instructions_per_core: u64) -> SimStats {
+        self.build_cores(instructions_per_core);
+        let budget = self.config.retire_budget_per_dram_cycle();
+        let max_cycles = instructions_per_core.max(1_000) * 120;
+        let mut now = 0u64;
+        // Completions carry a future done_cycle (data-return time); hold
+        // them until then so loads observe their real latency.
+        let mut in_flight: Vec<crate::request::Completion> = Vec::new();
+        while now < max_cycles {
+            self.controller.tick(now);
+            in_flight.extend(self.controller.drain_completions());
+            in_flight.retain(|c| {
+                if c.done_cycle > now {
+                    return true;
+                }
+                if let Requester::Core(id) = c.requester {
+                    if !c.is_write {
+                        self.cores[usize::from(id)].on_completion(c.id);
+                    }
+                }
+                false
+            });
+            if let Some(inj) = &mut self.injector {
+                inj.step(now, &mut self.controller, &mut self.next_id);
+            }
+            let mut all_done = true;
+            for core in &mut self.cores {
+                core.step(now, budget, &mut self.controller, &mut self.next_id);
+                all_done &= core.done();
+            }
+            if all_done {
+                break;
+            }
+            now += 1;
+        }
+        assert!(
+            self.cores.iter().all(OooCore::done),
+            "simulation exceeded {max_cycles} cycles without finishing — deadlock?"
+        );
+        let cpu_per_dram = self.config.cpu_cycles_per_dram_cycle();
+        let per_core_cycles: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at.expect("all cores done") + 1)
+            .collect();
+        let per_core_ipc = per_core_cycles
+            .iter()
+            .map(|&c| instructions_per_core as f64 / (c * cpu_per_dram) as f64)
+            .collect();
+        SimStats {
+            per_core_cycles,
+            per_core_ipc,
+            ctrl: self.controller.stats,
+            total_cycles: now,
+            test_requests: self.injector.as_ref().map_or(0, |i| i.injected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefreshPolicy;
+    use dram::geometry::ChipDensity;
+    use memtrace::cpu::spec_tpc_pool;
+
+    const INST: u64 = 200_000;
+
+    fn run_with(policy: RefreshPolicy, density: ChipDensity, profile_idx: usize) -> SimStats {
+        let config = SystemConfig::new(1, density, policy);
+        let mut sys = System::new(config, vec![spec_tpc_pool()[profile_idx]], 7);
+        sys.run(INST)
+    }
+
+    #[test]
+    fn run_produces_sane_ipc() {
+        let stats = run_with(RefreshPolicy::None, ChipDensity::Gb8, 0);
+        assert_eq!(stats.per_core_cycles.len(), 1);
+        let ipc = stats.per_core_ipc[0];
+        assert!(ipc > 0.05 && ipc <= 4.0, "IPC {ipc}");
+        assert!(stats.ctrl.reads > 0);
+        assert!(stats.ctrl.writes > 0);
+    }
+
+    #[test]
+    fn refresh_slows_execution() {
+        // mcf (memory-intensive): the aggressive 16 ms baseline must cost
+        // performance vs no refresh.
+        let no_ref = run_with(RefreshPolicy::None, ChipDensity::Gb8, 0);
+        let base = run_with(RefreshPolicy::baseline_16ms(), ChipDensity::Gb8, 0);
+        assert!(
+            base.per_core_cycles[0] > no_ref.per_core_cycles[0],
+            "refresh should add cycles: {} vs {}",
+            base.per_core_cycles[0],
+            no_ref.per_core_cycles[0]
+        );
+        assert!(base.ctrl.refreshes > 0);
+    }
+
+    #[test]
+    fn reduced_refresh_recovers_performance() {
+        let base = run_with(RefreshPolicy::baseline_16ms(), ChipDensity::Gb32, 0);
+        let reduced = run_with(
+            RefreshPolicy::Reduced {
+                baseline_interval_ms: 16.0,
+                reduction: 0.75,
+            },
+            ChipDensity::Gb32,
+            0,
+        );
+        let speedup = reduced.speedup_over(&base);
+        assert!(
+            speedup > 1.05,
+            "75% refresh reduction at 32 Gb should speed up mcf, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn denser_chips_suffer_more_from_refresh() {
+        let cost = |d: ChipDensity| {
+            let no_ref = run_with(RefreshPolicy::None, d, 0);
+            let base = run_with(RefreshPolicy::baseline_16ms(), d, 0);
+            base.per_core_cycles[0] as f64 / no_ref.per_core_cycles[0] as f64
+        };
+        let c8 = cost(ChipDensity::Gb8);
+        let c32 = cost(ChipDensity::Gb32);
+        assert!(
+            c32 > c8,
+            "32 Gb refresh cost ({c32}) should exceed 8 Gb ({c8})"
+        );
+    }
+
+    #[test]
+    fn four_core_run_completes() {
+        let config = SystemConfig::new(4, ChipDensity::Gb8, RefreshPolicy::baseline_16ms());
+        let pool = spec_tpc_pool();
+        let mut sys = System::new(config, vec![pool[0], pool[4], pool[8], pool[12]], 11);
+        let stats = sys.run(50_000);
+        assert_eq!(stats.per_core_cycles.len(), 4);
+        assert!(stats.per_core_ipc.iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn test_injection_adds_modest_overhead() {
+        let config = SystemConfig::new(1, ChipDensity::Gb8, RefreshPolicy::baseline_16ms());
+        let mut plain = System::new(config.clone(), vec![spec_tpc_pool()[0]], 7);
+        let base = plain.run(INST);
+        let mut injected = System::new(config, vec![spec_tpc_pool()[0]], 7)
+            .with_test_injection(crate::testinject::TestInjectConfig::read_and_compare(256));
+        let with_tests = injected.run(INST);
+        assert!(with_tests.test_requests > 0);
+        let slowdown =
+            with_tests.per_core_cycles[0] as f64 / base.per_core_cycles[0] as f64 - 1.0;
+        // Paper Table 3: ~0.5% at 256 tests; allow generous headroom but it
+        // must stay small.
+        assert!(
+            (0.0..0.10).contains(&slowdown),
+            "testing overhead {slowdown}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_with(RefreshPolicy::baseline_16ms(), ChipDensity::Gb8, 2);
+        let b = run_with(RefreshPolicy::baseline_16ms(), ChipDensity::Gb8, 2);
+        assert_eq!(a.per_core_cycles, b.per_core_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "one profile per core")]
+    fn profile_count_must_match_cores() {
+        let config = SystemConfig::four_core_baseline();
+        let _ = System::new(config, vec![spec_tpc_pool()[0]], 0);
+    }
+
+    #[test]
+    fn speedup_metric() {
+        let a = SimStats {
+            per_core_cycles: vec![100],
+            per_core_ipc: vec![1.0],
+            ctrl: CtrlStats::default(),
+            total_cycles: 100,
+            test_requests: 0,
+        };
+        let b = SimStats {
+            per_core_cycles: vec![80],
+            per_core_ipc: vec![1.25],
+            ctrl: CtrlStats::default(),
+            total_cycles: 80,
+            test_requests: 0,
+        };
+        assert!((b.speedup_over(&a) - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-page renewal-process trace synthesis.
+//!
+//! Each page writes according to an independent renewal process whose
+//! inter-write intervals come from the workload's
+//! [`WriteIntervalModel`](crate::interval::WriteIntervalModel). The first
+//! write of each page lands at a uniformly random phase within its first
+//! sampled interval, approximating a stationary start so the trace window
+//! does not begin with a synchronized write burst across all pages.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{WriteEvent, WriteTrace};
+use crate::workload::WorkloadProfile;
+use crate::NS_PER_MS;
+
+fn page_seed(seed: u64, page: u64) -> u64 {
+    let mut z = seed ^ page.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z ^ (z >> 32)
+}
+
+/// Generates a deterministic write trace for `profile` from `seed`.
+///
+/// # Panics
+///
+/// Panics if the profile's interval model fails validation.
+#[must_use]
+pub fn generate(profile: &WorkloadProfile, seed: u64) -> WriteTrace {
+    profile
+        .model
+        .validate()
+        .expect("invalid write-interval model");
+    let duration_ns = (profile.sim_seconds * 1000.0 * NS_PER_MS as f64) as u64;
+    // At least one hot page whenever the fraction is positive, so scaled-down
+    // test traces keep both page classes.
+    let hot_pages = if profile.hot_fraction > 0.0 {
+        (profile.hot_fraction * profile.sim_pages as f64).ceil() as u64
+    } else {
+        0
+    };
+    let mut events = Vec::new();
+    for page in 0..profile.sim_pages {
+        let mut rng = SmallRng::seed_from_u64(page_seed(seed, page));
+        let hot = page < hot_pages;
+        let sample_ms = |rng: &mut SmallRng| {
+            if hot {
+                profile.model.sample_ms(rng)
+            } else if rng.gen::<f64>() < profile.cold_revisit {
+                // A quick revisit: the program touches the page again within
+                // seconds (log-uniform 1-20 s).
+                (1000f64.ln() + rng.gen::<f64>() * (20_000f64.ln() - 1000f64.ln())).exp()
+            } else {
+                profile.cold_model.sample(rng)
+            }
+        };
+        // Stationary-ish phase: the first write falls inside the first
+        // interval at a uniform point.
+        let mut t_ns = (sample_ms(&mut rng) * rng.gen::<f64>() * NS_PER_MS as f64) as u64;
+        while t_ns <= duration_ns {
+            events.push(WriteEvent { time_ns: t_ns, page });
+            let step = (sample_ms(&mut rng) * NS_PER_MS as f64) as u64;
+            // Intervals are strictly positive (≥ 10 µs by construction), but
+            // guard against pathological parameterizations.
+            t_ns = t_ns.saturating_add(step.max(1));
+        }
+    }
+    WriteTrace::new(events, duration_ns, profile.sim_pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn small_netflix() -> WorkloadProfile {
+        WorkloadProfile::netflix().scaled(0.05)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_netflix();
+        assert_eq!(p.generate(1), p.generate(1));
+        assert_ne!(p.generate(1), p.generate(2));
+    }
+
+    #[test]
+    fn events_within_bounds() {
+        let p = small_netflix();
+        let t = p.generate(3);
+        assert!(!t.is_empty());
+        for e in t.events() {
+            assert!(e.time_ns <= t.duration_ns());
+            assert!(e.page < t.n_pages());
+        }
+    }
+
+    #[test]
+    fn every_hot_page_writes_quickly() {
+        // Hot pages have ~10 ms mean intervals: a 2-second window covers all
+        // of them. (Cold pages idle for minutes and may legitimately stay
+        // silent in a short window.)
+        let mut p = small_netflix();
+        p.sim_pages = 32;
+        p.hot_fraction = 1.0;
+        p.sim_seconds = 2.0;
+        let t = p.generate(4);
+        let pages: std::collections::HashSet<_> = t.events().iter().map(|e| e.page).collect();
+        assert_eq!(pages.len(), 32);
+    }
+
+    #[test]
+    fn cold_pages_write_rarely_but_do_write() {
+        let mut p = small_netflix();
+        p.sim_pages = 64;
+        p.hot_fraction = 0.0;
+        p.sim_seconds = 60.0;
+        let t = p.generate(9);
+        let pages: std::collections::HashSet<_> = t.events().iter().map(|e| e.page).collect();
+        // Cold pages idle on multi-minute scales: only some write within a
+        // minute, and those write just a handful of times.
+        assert!(pages.len() > 5, "only {} cold pages wrote", pages.len());
+        assert!(pages.len() < 60, "cold pages too active: {}", pages.len());
+        let per_page = t.len() as f64 / pages.len().max(1) as f64;
+        assert!(per_page < 10.0, "cold pages too busy: {per_page} writes each");
+    }
+
+    #[test]
+    fn burst_dominance_survives_generation() {
+        // Paper Fig. 7: >95% of (closed) write intervals under 1 ms.
+        let p = small_netflix();
+        let t = p.generate(5);
+        let intervals = t.closed_intervals();
+        let sub_ms = intervals.iter().filter(|i| i.len_ms() < 1.0).count();
+        let frac = sub_ms as f64 / intervals.len() as f64;
+        assert!(frac > 0.93, "sub-ms interval fraction {frac}");
+    }
+
+    #[test]
+    fn long_intervals_dominate_time() {
+        // Paper Fig. 9 shape at trace level (tail-censored intervals count
+        // as idle time too).
+        let mut p = WorkloadProfile::system_mgt();
+        p.sim_pages = 200;
+        let t = p.generate(6);
+        let intervals = t.intervals_with_tail();
+        let frac = stats::time_fraction_ge_ms(&intervals, 1024.0);
+        assert!(frac > 0.6, "long-interval time fraction {frac}");
+    }
+}

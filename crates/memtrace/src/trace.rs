@@ -1,0 +1,304 @@
+//! Write-trace container and interval extraction.
+//!
+//! A [`WriteTrace`] is the time-ordered sequence of `(time, page)` write
+//! events a bus tracer would capture, plus the trace duration and page
+//! count. Every downstream consumer — the statistics of Figs. 7–12, PRIL,
+//! and the MEMCON engine — reads traces through this type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NS_PER_MS;
+
+/// One page-granularity write event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WriteEvent {
+    /// Event time in nanoseconds from trace start.
+    pub time_ns: u64,
+    /// Written page (8 KB granularity, matching the DRAM row size).
+    pub page: u64,
+}
+
+/// A closed or tail (censored) write interval of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Owning page.
+    pub page: u64,
+    /// Interval start (time of the write that opened it).
+    pub start_ns: u64,
+    /// Interval length.
+    pub len_ns: u64,
+    /// Whether the interval was closed by a subsequent write (`true`) or ran
+    /// into the end of the trace (`false`, censored).
+    pub closed: bool,
+}
+
+impl Interval {
+    /// Interval length in milliseconds.
+    #[must_use]
+    pub fn len_ms(&self) -> f64 {
+        self.len_ns as f64 / NS_PER_MS as f64
+    }
+}
+
+/// A time-ordered page-write trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteTrace {
+    events: Vec<WriteEvent>,
+    duration_ns: u64,
+    n_pages: u64,
+}
+
+impl WriteTrace {
+    /// Builds a trace from events; sorts them by time (stable on page) and
+    /// validates that events fall within `duration_ns` and pages within
+    /// `n_pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event lies outside the trace duration or page range.
+    #[must_use]
+    pub fn new(mut events: Vec<WriteEvent>, duration_ns: u64, n_pages: u64) -> Self {
+        events.sort_unstable();
+        if let Some(last) = events.last() {
+            assert!(
+                last.time_ns <= duration_ns,
+                "event at {} ns beyond duration {} ns",
+                last.time_ns,
+                duration_ns
+            );
+        }
+        assert!(
+            events.iter().all(|e| e.page < n_pages),
+            "event page out of range"
+        );
+        WriteTrace {
+            events,
+            duration_ns,
+            n_pages,
+        }
+    }
+
+    /// The events, in time order.
+    #[must_use]
+    pub fn events(&self) -> &[WriteEvent] {
+        &self.events
+    }
+
+    /// Trace duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.duration_ns
+    }
+
+    /// Trace duration in milliseconds.
+    #[must_use]
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ns as f64 / NS_PER_MS as f64
+    }
+
+    /// Number of pages in the traced footprint.
+    #[must_use]
+    pub fn n_pages(&self) -> u64 {
+        self.n_pages
+    }
+
+    /// Number of write events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All *closed* write intervals (write → next write of the same page).
+    #[must_use]
+    pub fn closed_intervals(&self) -> Vec<Interval> {
+        self.intervals_impl(false)
+    }
+
+    /// All intervals including the censored tail of each page (last write →
+    /// end of trace).
+    #[must_use]
+    pub fn intervals_with_tail(&self) -> Vec<Interval> {
+        self.intervals_impl(true)
+    }
+
+    fn intervals_impl(&self, include_tail: bool) -> Vec<Interval> {
+        let mut last_write: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if let Some(prev) = last_write.insert(e.page, e.time_ns) {
+                out.push(Interval {
+                    page: e.page,
+                    start_ns: prev,
+                    len_ns: e.time_ns - prev,
+                    closed: true,
+                });
+            }
+        }
+        if include_tail {
+            for (page, prev) in last_write {
+                out.push(Interval {
+                    page,
+                    start_ns: prev,
+                    len_ns: self.duration_ns - prev,
+                    closed: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Returns a trace with every per-page interval halved (each page's
+    /// timeline compressed ×2 towards its first write) — the cache-pressure
+    /// sensitivity transform of paper Fig. 19.
+    #[must_use]
+    pub fn halved_intervals(&self) -> WriteTrace {
+        let mut first_write: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let first = *first_write.entry(e.page).or_insert(e.time_ns);
+                WriteEvent {
+                    time_ns: first + (e.time_ns - first) / 2,
+                    page: e.page,
+                }
+            })
+            .collect();
+        WriteTrace::new(events, self.duration_ns, self.n_pages)
+    }
+
+    /// Merges several traces onto disjoint page ranges (multi-programmed
+    /// composition), keeping the longest duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    #[must_use]
+    pub fn merge(traces: &[WriteTrace]) -> WriteTrace {
+        assert!(!traces.is_empty(), "cannot merge zero traces");
+        let mut events = Vec::new();
+        let mut page_base = 0u64;
+        let mut duration = 0u64;
+        for t in traces {
+            events.extend(t.events.iter().map(|e| WriteEvent {
+                time_ns: e.time_ns,
+                page: page_base + e.page,
+            }));
+            page_base += t.n_pages;
+            duration = duration.max(t.duration_ns);
+        }
+        WriteTrace::new(events, duration, page_base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_ms: u64, page: u64) -> WriteEvent {
+        WriteEvent {
+            time_ns: time_ms * NS_PER_MS,
+            page,
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_on_construction() {
+        let t = WriteTrace::new(vec![ev(5, 0), ev(1, 1), ev(3, 0)], 10 * NS_PER_MS, 2);
+        let times: Vec<u64> = t.events().iter().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![NS_PER_MS, 3 * NS_PER_MS, 5 * NS_PER_MS]);
+    }
+
+    #[test]
+    fn closed_intervals_per_page() {
+        let t = WriteTrace::new(
+            vec![ev(0, 0), ev(10, 0), ev(30, 0), ev(5, 1)],
+            100 * NS_PER_MS,
+            2,
+        );
+        let mut iv = t.closed_intervals();
+        iv.sort_by_key(|i| (i.page, i.start_ns));
+        assert_eq!(iv.len(), 2);
+        assert_eq!(iv[0].page, 0);
+        assert_eq!(iv[0].len_ns, 10 * NS_PER_MS);
+        assert_eq!(iv[1].len_ns, 20 * NS_PER_MS);
+        assert!(iv.iter().all(|i| i.closed));
+    }
+
+    #[test]
+    fn tail_intervals_are_censored() {
+        let t = WriteTrace::new(vec![ev(0, 0), ev(40, 1)], 100 * NS_PER_MS, 2);
+        let iv = t.intervals_with_tail();
+        assert_eq!(iv.len(), 2);
+        for i in &iv {
+            assert!(!i.closed);
+        }
+        let page1 = iv.iter().find(|i| i.page == 1).unwrap();
+        assert_eq!(page1.len_ns, 60 * NS_PER_MS);
+    }
+
+    #[test]
+    fn halving_halves_closed_intervals() {
+        let t = WriteTrace::new(vec![ev(10, 0), ev(30, 0), ev(70, 0)], 100 * NS_PER_MS, 1);
+        let h = t.halved_intervals();
+        let iv = h.closed_intervals();
+        assert_eq!(iv[0].len_ns, 10 * NS_PER_MS);
+        assert_eq!(iv[1].len_ns, 20 * NS_PER_MS);
+        // First write time unchanged.
+        assert_eq!(h.events()[0].time_ns, 10 * NS_PER_MS);
+    }
+
+    #[test]
+    fn merge_offsets_pages() {
+        let a = WriteTrace::new(vec![ev(1, 0)], 10 * NS_PER_MS, 2);
+        let b = WriteTrace::new(vec![ev(2, 1)], 20 * NS_PER_MS, 3);
+        let m = WriteTrace::merge(&[a, b]);
+        assert_eq!(m.n_pages(), 5);
+        assert_eq!(m.duration_ns(), 20 * NS_PER_MS);
+        assert_eq!(m.events()[1].page, 3); // b's page 1 offset by a's 2 pages
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond duration")]
+    fn rejects_event_past_duration() {
+        let _ = WriteTrace::new(vec![ev(11, 0)], 10 * NS_PER_MS, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page out of range")]
+    fn rejects_bad_page() {
+        let _ = WriteTrace::new(vec![ev(1, 5)], 10 * NS_PER_MS, 2);
+    }
+
+    #[test]
+    fn interval_len_ms() {
+        let i = Interval {
+            page: 0,
+            start_ns: 0,
+            len_ns: 2_500_000,
+            closed: true,
+        };
+        assert!((i.len_ms() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = WriteTrace::new(vec![], NS_PER_MS, 0);
+        assert!(t.is_empty());
+        assert!(t.closed_intervals().is_empty());
+        assert!(t.intervals_with_tail().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = WriteTrace::new(vec![ev(1, 0), ev(2, 1)], 10 * NS_PER_MS, 2);
+        let s = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<WriteTrace>(&s).unwrap(), t);
+    }
+}

@@ -1,0 +1,253 @@
+//! The 12 long-running applications of paper Table 1, as calibrated
+//! trace-generation profiles.
+//!
+//! Each profile carries the application's published duration, memory
+//! footprint, and thread count, plus the write-interval mixture parameters
+//! that reproduce its role in Figs. 7–12: heavier-tailed profiles (games,
+//! system management) spend more time in long intervals; busier encoders
+//! less. Simulated traces are scaled down (fewer pages, shorter window) —
+//! every downstream statistic is a fraction, so scale cancels out.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator;
+use crate::interval::{BoundedPareto, WriteIntervalModel};
+use crate::trace::WriteTrace;
+
+/// Simulated pages per GB of real footprint (downscaling factor).
+pub const PAGES_PER_GB: u64 = 128;
+
+/// Default simulated trace window in seconds (real traces span minutes; the
+/// interval statistics converge well before that).
+pub const DEFAULT_SIM_SECONDS: f64 = 60.0;
+
+/// Fraction of pages that are *hot* (continuously rewritten working-set
+/// pages). The remaining *cold* pages receive isolated writebacks separated
+/// by long Pareto intervals — the page population real bus traces exhibit:
+/// nearly all writes target the few hot pages (paper Fig. 7's sub-ms burst
+/// mass), while nearly all page-*time* belongs to cold pages sitting in long
+/// intervals (Fig. 9), which is precisely the structure PRIL exploits.
+pub const DEFAULT_HOT_FRACTION: f64 = 0.02;
+
+/// A Table-1 workload: metadata plus its write-interval behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Display name (Table 1).
+    pub name: String,
+    /// Application domain (Table 1 "Type").
+    pub kind: String,
+    /// Real trace duration in seconds (Table 1 "Time").
+    pub duration_s: f64,
+    /// Real memory footprint in GB (Table 1 "Mem").
+    pub mem_gb: f64,
+    /// Thread count (Table 1).
+    pub threads: u32,
+    /// Simulated trace window in seconds.
+    pub sim_seconds: f64,
+    /// Simulated footprint in pages.
+    pub sim_pages: u64,
+    /// Fraction of pages that are hot (burst-written).
+    pub hot_fraction: f64,
+    /// Interval mixture of hot pages.
+    pub model: WriteIntervalModel,
+    /// Interval distribution of cold pages (isolated writebacks).
+    pub cold_model: BoundedPareto,
+    /// Probability that a cold-page interval is a short "revisit" (the
+    /// program touches the page again within seconds — the source of PRIL
+    /// mispredictions) instead of a long idle draw.
+    pub cold_revisit: f64,
+}
+
+macro_rules! workloads {
+    ($(($fn_name:ident, $name:literal, $kind:literal, $dur:expr, $mem:expr, $threads:expr,
+        $p_short:expr, $alpha:expr, $hot_frac:expr, $cap_s:expr)),+ $(,)?) => {
+        impl WorkloadProfile {
+            $(
+                /// The Table-1 workload of the same name.
+                #[must_use]
+                pub fn $fn_name() -> Self {
+                    WorkloadProfile {
+                        name: $name.into(),
+                        kind: $kind.into(),
+                        duration_s: $dur,
+                        mem_gb: $mem,
+                        threads: $threads,
+                        sim_seconds: DEFAULT_SIM_SECONDS,
+                        sim_pages: ($mem * PAGES_PER_GB as f64) as u64,
+                        hot_fraction: $hot_frac,
+                        model: WriteIntervalModel {
+                            p_short: $p_short,
+                            short_range_ms: (0.01, 1.0),
+                            tail: BoundedPareto::new(1.0, $alpha, $cap_s * 1000.0),
+                        },
+                        cold_model: BoundedPareto::new(30_000.0, 0.30, 7_200_000.0),
+                        cold_revisit: 0.10,
+                    }
+                }
+            )+
+
+            /// All 12 workloads in the paper's presentation order.
+            #[must_use]
+            pub fn all() -> Vec<WorkloadProfile> {
+                vec![$(WorkloadProfile::$fn_name()),+]
+            }
+        }
+    };
+}
+
+// Tail indices and caps assigned so the per-workload time-in-long-interval
+// fractions span the band of paper Fig. 9 (≈75–97 %, average ≈89.5 %):
+// smaller α / larger cap = heavier tail = more time in long intervals.
+workloads! {
+    (ac_brotherhood,   "ACBrother",  "Game",             209.1, 2.8, 8, 0.975, 0.42, 0.025, 180.0),
+    (adobe_photoshop,  "AdobePhoto", "Photo editing",    149.2, 3.0, 4, 0.970, 0.52, 0.040, 120.0),
+    (all_sysmark,      "AllSysMark", "Media creation",  2064.0, 3.4, 4, 0.980, 0.48, 0.030, 150.0),
+    (avchd,            "AVCHD",      "Video playback",   217.3, 5.2, 2, 0.983, 0.55, 0.050, 120.0),
+    (blur_motion,      "BlurMotion", "Image processing",  93.4, 0.2, 2, 0.965, 0.65, 0.020, 90.0),
+    (final_cut_pro,    "FinalCutPro","Video editing",     76.9, 3.0, 2, 0.970, 0.65, 0.060, 90.0),
+    (final_master,     "FinalMaster","Movie display",    248.1, 2.0, 2, 0.980, 0.50, 0.030, 150.0),
+    (adobe_premiere,   "AdobePrem",  "Video editing",    298.8, 5.0, 2, 0.975, 0.60, 0.055, 90.0),
+    (motion_playback,  "MotionPlay", "Video processing", 233.9, 5.6, 2, 0.970, 0.55, 0.050, 120.0),
+    (netflix,          "Netflix",    "Video streaming",  229.4, 4.6, 2, 0.985, 0.45, 0.015, 180.0),
+    (system_mgt,       "SystemMgt",  "Win 7 managing",   466.2, 7.6, 2, 0.975, 0.40, 0.020, 240.0),
+    (video_encode,     "VideoEnc",   "Video encoding",   299.1, 7.3, 4, 0.960, 0.62, 0.080, 60.0),
+}
+
+impl WorkloadProfile {
+    /// Scales the simulated footprint (page count) by `factor` — for fast
+    /// tests; per-page statistics are page-count-free. The time window is
+    /// kept, because interval statistics (Figs. 11, 12) need windows much
+    /// longer than the 1024 ms prediction horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        // Keep at least a few dozen pages: below that, the single ceil'd hot
+        // page distorts the hot/cold population balance.
+        self.sim_pages = ((self.sim_pages as f64 * factor) as u64).max(32);
+        self
+    }
+
+    /// Sets the simulated trace window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    #[must_use]
+    pub fn with_window(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "window must be positive");
+        self.sim_seconds = seconds;
+        self
+    }
+
+    /// Generates a deterministic write trace for this workload.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> WriteTrace {
+        generator::generate(self, seed)
+    }
+
+    /// Expected fraction of page-time spent in write intervals of at least
+    /// `threshold_ms` — the analytic counterpart of paper Fig. 9, blending
+    /// the hot-page mixture with the cold-page tail by page population.
+    #[must_use]
+    pub fn expected_long_interval_time_fraction(&self, threshold_ms: f64) -> f64 {
+        self.hot_fraction * self.model.expected_time_fraction_ge(threshold_ms)
+            + (1.0 - self.hot_fraction) * self.cold_model.time_fraction_ge(threshold_ms)
+    }
+
+    /// Looks a workload up by its Table-1 display name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+        WorkloadProfile::all().into_iter().find(|w| w.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_with_table1_metadata() {
+        let all = WorkloadProfile::all();
+        assert_eq!(all.len(), 12);
+        // Spot-check Table 1 values.
+        let ac = WorkloadProfile::ac_brotherhood();
+        assert_eq!(ac.name, "ACBrother");
+        assert_eq!(ac.threads, 8);
+        assert!((ac.duration_s - 209.1).abs() < 1e-9);
+        let sysmgt = WorkloadProfile::system_mgt();
+        assert!((sysmgt.mem_gb - 7.6).abs() < 1e-9);
+        let sysmark = WorkloadProfile::all_sysmark();
+        assert!((sysmark.duration_s - 2064.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_unique_and_models_valid() {
+        let all = WorkloadProfile::all();
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), 12);
+        for w in &all {
+            assert!(w.model.validate().is_ok(), "{} model invalid", w.name);
+            assert!(w.sim_pages > 0);
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for w in WorkloadProfile::all() {
+            assert_eq!(WorkloadProfile::by_name(&w.name), Some(w.clone()));
+        }
+        assert!(WorkloadProfile::by_name("NotAWorkload").is_none());
+    }
+
+    #[test]
+    fn scaled_shrinks_pages() {
+        let w = WorkloadProfile::netflix();
+        let s = w.clone().scaled(0.1);
+        assert!(s.sim_pages < w.sim_pages);
+        assert!(s.sim_pages >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scaled_rejects_zero() {
+        let _ = WorkloadProfile::netflix().scaled(0.0);
+    }
+
+    #[test]
+    fn time_fraction_band_matches_fig9() {
+        // Paper Fig. 9: per-workload time in >=1024 ms (closed) write
+        // intervals averages 89.5%, ranging roughly 75-97%. Our traces land
+        // in the same long-interval-dominated regime (slightly higher,
+        // because cold-page intervals are all super-quantum by calibration).
+        let mut fractions = Vec::new();
+        for w in WorkloadProfile::all() {
+            // Full page count: tiny scaled footprints distort the hot/cold
+            // page balance (a single hot page can be half the footprint).
+            let trace = w.generate(31);
+            let f = crate::stats::time_fraction_ge_ms(&trace.closed_intervals(), 1024.0);
+            assert!(
+                (0.60..=1.0).contains(&f),
+                "{}: long-interval time fraction {f}",
+                w.name
+            );
+            fractions.push(f);
+        }
+        let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        assert!(
+            (0.80..0.999).contains(&avg),
+            "average long-interval time fraction {avg} (paper: 89.5%)"
+        );
+    }
+
+    #[test]
+    fn analytic_long_interval_fraction_is_high() {
+        for w in WorkloadProfile::all() {
+            let f = w.expected_long_interval_time_fraction(1024.0);
+            assert!(f > 0.9, "{}: analytic fraction {f}", w.name);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Chip-testing walkthrough: demonstrate data-dependent failures on a
+//! simulated DRAM chip, the way the paper's FPGA infrastructure does —
+//! fill → idle → read back — and show why content matters.
+//!
+//! ```text
+//! cargo run --release --example chip_testing
+//! ```
+
+use memcon_suite::dram::geometry::{ChipDensity, DramGeometry};
+use memcon_suite::dram::module::DramModule;
+use memcon_suite::dram::timing::TimingParams;
+use memcon_suite::failure_model::params::FailureModelParams;
+use memcon_suite::failure_model::patterns::TestPattern;
+use memcon_suite::failure_model::tester::ChipTester;
+use memcon_suite::failure_model::{Celsius, SpecBenchmark};
+
+fn main() {
+    let geometry = DramGeometry {
+        ranks: 1,
+        chips_per_rank: 8,
+        banks: 8,
+        rows_per_bank: 1024,
+        row_bytes: 8192,
+        block_bytes: 64,
+        density: ChipDensity::Gb8,
+    };
+    let module = DramModule::new(geometry, TimingParams::ddr3_1600(), 0xD1E5EED);
+    println!(
+        "Simulated chip: {} banks x {} rows x {} KB rows ({} MB), seed {:#x}",
+        geometry.banks,
+        geometry.rows_per_bank,
+        geometry.row_bytes / 1024,
+        geometry.capacity_bytes() / (1 << 20),
+        module.chip_seed()
+    );
+
+    // The paper tests at 4 s refresh @ 45 C == 328 ms @ 85 C.
+    let mut tester =
+        ChipTester::new(module, FailureModelParams::calibrated()).with_temperature(Celsius::TEST);
+    let interval_ms = 4000.0;
+    println!(
+        "Testing at {} ms refresh @ {} (= {:.0} ms @ 85°C)\n",
+        interval_ms,
+        Celsius::TEST,
+        Celsius::TEST.equivalent_interval_ms(interval_ms)
+    );
+
+    println!("Manufacturing patterns:");
+    for pattern in TestPattern::suite(4) {
+        tester.fill_pattern(&pattern);
+        let _ = tester.idle_ms(interval_ms);
+        let report = tester.read_back();
+        println!(
+            "  {:<12} {:>5} failing rows ({:.2}%), {:>5} flipped bits",
+            pattern.label(),
+            report.failing_row_count(),
+            report.failing_row_fraction() * 100.0,
+            report.flipped_bits()
+        );
+    }
+
+    println!("\nProgram content (three SPEC profiles):");
+    let words = geometry.words_per_row();
+    for bench in [
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Astar,
+    ] {
+        let profile = bench.profile();
+        tester.fill_with(|row| profile.row_content(bench as u64, 0, row, words));
+        let _ = tester.idle_ms(interval_ms);
+        let report = tester.read_back();
+        println!(
+            "  {:<12} {:>5} failing rows ({:.2}%)",
+            bench.name(),
+            report.failing_row_count(),
+            report.failing_row_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nProgram content fails far fewer rows than adversarial patterns —\n\
+         the observation MEMCON exploits (paper Figs. 3-4)."
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: the cycle simulator driven by the CPU trace
+//! substrate, checked for internal consistency and the paper's performance
+//! mechanics.
+
+use memcon_suite::dram::geometry::ChipDensity;
+use memcon_suite::memsim::config::{RefreshPolicy, SystemConfig};
+use memcon_suite::memsim::system::System;
+use memcon_suite::memsim::testinject::TestInjectConfig;
+use memcon_suite::memtrace::cpu::{random_mixes, spec_tpc_pool};
+
+const INST: u64 = 120_000;
+
+#[test]
+fn controller_accounting_is_consistent() {
+    let config = SystemConfig::new(1, ChipDensity::Gb8, RefreshPolicy::baseline_16ms());
+    let profile = spec_tpc_pool()[0];
+    let mut system = System::new(config.clone(), vec![profile], 3);
+    let stats = system.run(INST);
+    // Served traffic roughly matches the workload's write fraction.
+    let wf = stats.ctrl.writes as f64 / (stats.ctrl.reads + stats.ctrl.writes) as f64;
+    assert!(
+        (wf - profile.write_frac).abs() < 0.05,
+        "write fraction {wf} vs {}",
+        profile.write_frac
+    );
+    // Activations never exceed column accesses, and locality means real
+    // row-buffer hits (columns served per activation > 1 on average).
+    assert!(stats.ctrl.acts <= stats.ctrl.column_accesses);
+    assert!(stats.ctrl.column_accesses == stats.ctrl.reads + stats.ctrl.writes);
+    // Refresh count tracks the run length: one per tREFI within ~1%.
+    let trefi = config.refresh.trefi_cycles(&config.timing).unwrap();
+    let expected = stats.total_cycles / trefi;
+    assert!(
+        stats.ctrl.refreshes + 2 >= expected && stats.ctrl.refreshes <= expected + 2,
+        "refreshes {} vs expected {expected}",
+        stats.ctrl.refreshes
+    );
+    // Blackout time equals refreshes x tRFC (the run may end mid-blackout,
+    // truncating at most one window).
+    let trfc = config.timing.trfc_cycles();
+    let full = stats.ctrl.refreshes * trfc;
+    assert!(
+        stats.ctrl.refresh_blackout_cycles <= full
+            && stats.ctrl.refresh_blackout_cycles + trfc >= full,
+        "blackout {} vs {} refreshes x {trfc}",
+        stats.ctrl.refresh_blackout_cycles,
+        stats.ctrl.refreshes
+    );
+}
+
+#[test]
+fn refresh_policies_order_performance_correctly() {
+    // For a memory-bound workload: none >= 64ms >= reduced(60%) >= 16ms.
+    let profile = spec_tpc_pool()[0]; // mcf
+    let cycles = |policy: RefreshPolicy| {
+        let config = SystemConfig::new(1, ChipDensity::Gb32, policy);
+        System::new(config, vec![profile], 9).run(INST).per_core_cycles[0]
+    };
+    let none = cycles(RefreshPolicy::None);
+    let ms64 = cycles(RefreshPolicy::Fixed { interval_ms: 64.0 });
+    let reduced = cycles(RefreshPolicy::Reduced {
+        baseline_interval_ms: 16.0,
+        reduction: 0.60,
+    });
+    let ms16 = cycles(RefreshPolicy::baseline_16ms());
+    assert!(none <= ms64, "{none} > {ms64}");
+    assert!(ms64 <= reduced, "{ms64} > {reduced}");
+    assert!(reduced < ms16, "{reduced} >= {ms16}");
+}
+
+#[test]
+fn mixes_run_reproducibly_across_core_counts() {
+    let mixes = random_mixes(2, 4, 5);
+    for mix in &mixes {
+        for cores in [1usize, 4] {
+            let config = SystemConfig::new(cores, ChipDensity::Gb16, RefreshPolicy::baseline_16ms());
+            let a = System::new(config.clone(), mix[..cores].to_vec(), 1).run(60_000);
+            let b = System::new(config, mix[..cores].to_vec(), 1).run(60_000);
+            assert_eq!(a.per_core_cycles, b.per_core_cycles);
+            assert_eq!(a.ctrl, b.ctrl);
+        }
+    }
+}
+
+#[test]
+fn injected_tests_share_bandwidth_without_starvation() {
+    let config = SystemConfig::new(
+        4,
+        ChipDensity::Gb8,
+        RefreshPolicy::Reduced {
+            baseline_interval_ms: 16.0,
+            reduction: 0.70,
+        },
+    );
+    let pool = spec_tpc_pool();
+    let mix = vec![pool[0], pool[1], pool[4], pool[15]];
+    let mut system = System::new(config, mix, 11)
+        .with_test_injection(TestInjectConfig::copy_and_compare(1024));
+    let stats = system.run(INST);
+    assert!(stats.test_requests > 0, "tests must inject");
+    // All cores still finish (no starvation) with sane IPC.
+    for (i, ipc) in stats.per_core_ipc.iter().enumerate() {
+        assert!(*ipc > 0.01, "core {i} starved: IPC {ipc}");
+    }
+}
