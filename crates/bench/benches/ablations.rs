@@ -3,7 +3,7 @@
 //! the concurrent-test budget. Each sweep reports the quality metric in
 //! stderr once and benches the run time per point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memutil::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use memcon::config::MemconConfig;
 use memcon::cost::TestMode;

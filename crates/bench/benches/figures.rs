@@ -3,7 +3,7 @@
 //! pipeline and proves every figure stays runnable.
 
 use bench_suite::bench_opts;
-use criterion::{criterion_group, criterion_main, Criterion};
+use memutil::bench::{criterion_group, criterion_main, Criterion};
 
 macro_rules! fig_bench {
     ($fn_name:ident, $module:ident) => {

@@ -2,9 +2,9 @@
 //! chip tester, the cost model, Pareto sampling, the FR-FCFS controller,
 //! and the ECC codes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use memutil::bench::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use dram::bank::Bank;
 use dram::command::DramCommand;
@@ -99,7 +99,9 @@ fn bench_bank_fsm(c: &mut Criterion) {
             |mut bank| {
                 let mut now = 0;
                 for row in 0..64u32 {
-                    now = bank.issue(DramCommand::Activate, row, now, &timing).unwrap();
+                    now = bank
+                        .issue(DramCommand::Activate, row, now, &timing)
+                        .unwrap();
                     now = bank.issue(DramCommand::Read, row, now, &timing).unwrap();
                     let tras = bank.ready_cycle(DramCommand::Precharge).max(now);
                     now = bank

@@ -1,7 +1,7 @@
 //! One Criterion bench per paper *table*.
 
 use bench_suite::bench_opts;
-use criterion::{criterion_group, criterion_main, Criterion};
+use memutil::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_table1(c: &mut Criterion) {
     let opts = bench_opts();

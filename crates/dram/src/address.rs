@@ -10,8 +10,6 @@
 //!
 //! MEMCON never touches the internal space; the failure model does.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::DramGeometry;
 
 /// A system-visible page identifier. The paper tracks writes at 8 KB page
@@ -25,7 +23,7 @@ pub type PageId = u64;
 pub type RowId = u64;
 
 /// A fully-qualified row coordinate inside a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowAddr {
     /// Rank index.
     pub rank: u8,
@@ -96,7 +94,7 @@ impl std::fmt::Display for RowAddr {
 }
 
 /// A column coordinate: the index of a 64-byte cache block within a row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnAddr(pub u32);
 
 impl ColumnAddr {
@@ -128,7 +126,6 @@ pub fn iter_rows(geometry: &DramGeometry) -> impl Iterator<Item = RowAddr> + '_ 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn row_id_roundtrip_exhaustive_tiny() {
@@ -188,22 +185,34 @@ mod tests {
         assert_eq!(ColumnAddr(5).to_string(), "col5");
     }
 
-    proptest! {
-        #[test]
-        fn prop_row_id_roundtrip(rank in 0u8..1, bank in 0u8..8, row in 0u32..32_768) {
-            let g = DramGeometry::module_2gb();
-            let addr = RowAddr::new(rank, bank, row);
-            prop_assert!(addr.is_valid(&g));
+    /// Seeded property loop: random valid addresses round-trip through the
+    /// linear row id on the full-size 2 GB module geometry.
+    #[test]
+    fn prop_row_id_roundtrip() {
+        use memutil::rng::{Rng, SeedableRng, SmallRng};
+        let g = DramGeometry::module_2gb();
+        let mut rng = SmallRng::seed_from_u64(0xADD_0001);
+        for _ in 0..512 {
+            let addr = RowAddr::new(0, rng.gen_range(0u8..8), rng.gen_range(0u32..32_768));
+            assert!(addr.is_valid(&g));
             let id = addr.to_row_id(&g);
-            prop_assert_eq!(RowAddr::from_row_id(id, &g), addr);
+            assert_eq!(RowAddr::from_row_id(id, &g), addr);
         }
+    }
 
-        #[test]
-        fn prop_row_id_is_injective(a in 0u64..262_144, b in 0u64..262_144) {
-            let g = DramGeometry::module_2gb();
+    /// Seeded property loop: distinct row ids decode to distinct addresses
+    /// and equal ids to equal addresses.
+    #[test]
+    fn prop_row_id_is_injective() {
+        use memutil::rng::{Rng, SeedableRng, SmallRng};
+        let g = DramGeometry::module_2gb();
+        let mut rng = SmallRng::seed_from_u64(0xADD_0002);
+        for _ in 0..512 {
+            let a = rng.gen_range(0u64..262_144);
+            let b = rng.gen_range(0u64..262_144);
             let ra = RowAddr::from_row_id(a, &g);
             let rb = RowAddr::from_row_id(b, &g);
-            prop_assert_eq!(a == b, ra == rb);
+            assert_eq!(a == b, ra == rb, "a={a} b={b}");
         }
     }
 }

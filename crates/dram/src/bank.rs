@@ -7,8 +7,6 @@
 //! bus occupancy, refresh blackouts) are enforced by the controller, which
 //! injects them through [`Bank::block_until`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::DramCommand;
 use crate::error::DramError;
 use crate::timing::TimingParams;
@@ -18,7 +16,7 @@ use crate::timing::TimingParams;
 pub const BURST_CYCLES: u64 = 4;
 
 /// Observable state of a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BankState {
     /// All rows closed; an `ACT` is required before column access.
     Idle,
@@ -30,7 +28,7 @@ pub enum BankState {
 }
 
 /// One DRAM bank with DDR3 timing enforcement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bank {
     state: BankState,
     next_act: u64,
@@ -98,8 +96,9 @@ impl Bank {
                 matches!(self.state, BankState::Idle)
             }
             DramCommand::Precharge => true, // PRE of an idle bank is a no-op
-            c if c.is_column() => matches!(self.state, BankState::Active { .. }),
-            _ => unreachable!("non-exhaustive command class"),
+            DramCommand::Read | DramCommand::ReadAp | DramCommand::Write | DramCommand::WriteAp => {
+                matches!(self.state, BankState::Active { .. })
+            }
         };
         if !state_ok {
             return Err(DramError::IllegalCommand {
@@ -202,6 +201,29 @@ impl Bank {
     /// rank-level blackouts (refresh windows, `tFAW`).
     pub fn block_until(&mut self, cycle: u64) {
         self.next_act = self.next_act.max(cycle);
+    }
+
+    /// Validates the automaton's internal consistency. Called by strict-mode
+    /// harnesses after command bursts; cheap enough to run in a loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant:
+    ///
+    /// * a row can only be open after at least one `ACT`,
+    /// * column accesses (`row_hits`) require a prior activation,
+    /// * counters never exceed each other's enabling events.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if matches!(self.state, BankState::Active { .. }) && self.acts == 0 {
+            return Err("row open but no ACT ever issued".into());
+        }
+        if self.row_hits > 0 && self.acts == 0 {
+            return Err(format!(
+                "{} column accesses recorded without any activation",
+                self.row_hits
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -371,6 +393,18 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_through_a_session() {
+        let mut b = Bank::new();
+        let timing = t();
+        b.check_invariants().unwrap();
+        b.issue(DramCommand::Activate, 0, 0, &timing).unwrap();
+        b.check_invariants().unwrap();
+        b.issue(DramCommand::Read, 0, 9, &timing).unwrap();
+        b.issue(DramCommand::Precharge, 0, 40, &timing).unwrap();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
     fn failed_issue_leaves_bank_unchanged() {
         let mut b = Bank::new();
         let timing = t();
@@ -381,7 +415,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use memutil::rng::{Rng, SeedableRng, SmallRng};
 
         const COMMANDS: [DramCommand; 6] = [
             DramCommand::Activate,
@@ -392,17 +426,19 @@ mod tests {
             DramCommand::Precharge,
         ];
 
-        proptest! {
-            /// Driving the bank with arbitrary command attempts (issuing
-            /// whenever `check` allows, at the ready cycle otherwise) never
-            /// corrupts the automaton: completions move forward in time,
-            /// rejected commands leave the bank untouched, and column
-            /// commands only ever execute against an open row.
-            #[test]
-            fn prop_bank_is_robust_to_arbitrary_drivers(
-                cmds in proptest::collection::vec(0usize..6, 1..200),
-                jitter in proptest::collection::vec(0u64..8, 1..200),
-            ) {
+        /// Driving the bank with arbitrary command attempts (issuing
+        /// whenever `check` allows, at the ready cycle otherwise) never
+        /// corrupts the automaton: completions move forward in time,
+        /// rejected commands leave the bank untouched, and column
+        /// commands only ever execute against an open row.
+        #[test]
+        fn prop_bank_is_robust_to_arbitrary_drivers() {
+            let mut rng = SmallRng::seed_from_u64(0xBA7C_0001);
+            for _ in 0..128 {
+                let n = rng.gen_range(1usize..200);
+                let cmds: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..6)).collect();
+                let jn = rng.gen_range(1usize..200);
+                let jitter: Vec<u64> = (0..jn).map(|_| rng.gen_range(0u64..8)).collect();
                 let timing = t();
                 let mut bank = Bank::new();
                 let mut now = 0u64;
@@ -413,36 +449,43 @@ mod tests {
                     let before = bank.clone();
                     match bank.issue(cmd, 7, now, &timing) {
                         Ok(done) => {
-                            prop_assert!(done >= now, "completion before issue");
-                            prop_assert!(done >= last_done || cmd.is_column() == before.open_row().is_none(),
-                                "time went backwards");
+                            assert!(done >= now, "completion before issue");
+                            assert!(
+                                done >= last_done || cmd.is_column() == before.open_row().is_none(),
+                                "time went backwards"
+                            );
                             last_done = last_done.max(done);
                             if cmd.is_column() {
-                                prop_assert!(before.open_row().is_some(),
-                                    "column command issued on a closed bank");
+                                assert!(
+                                    before.open_row().is_some(),
+                                    "column command issued on a closed bank"
+                                );
                             }
                         }
                         Err(_) => {
-                            prop_assert_eq!(&bank, &before, "failed issue mutated the bank");
+                            assert_eq!(&bank, &before, "failed issue mutated the bank");
                         }
                     }
+                    bank.check_invariants().unwrap();
                 }
             }
+        }
 
-            /// `check` and `issue` always agree: if check passes, issue
-            /// succeeds, and vice versa.
-            #[test]
-            fn prop_check_predicts_issue(
-                cmds in proptest::collection::vec(0usize..6, 1..120),
-            ) {
+        /// `check` and `issue` always agree: if check passes, issue
+        /// succeeds, and vice versa.
+        #[test]
+        fn prop_check_predicts_issue() {
+            let mut rng = SmallRng::seed_from_u64(0xBA7C_0002);
+            for _ in 0..128 {
+                let n = rng.gen_range(1usize..120);
                 let timing = t();
                 let mut bank = Bank::new();
                 let mut now = 0u64;
-                for ci in cmds {
-                    let cmd = COMMANDS[ci];
+                for _ in 0..n {
+                    let cmd = COMMANDS[rng.gen_range(0usize..6)];
                     let ok = bank.check(cmd, now).is_ok();
                     let result = bank.issue(cmd, 3, now, &timing);
-                    prop_assert_eq!(ok, result.is_ok());
+                    assert_eq!(ok, result.is_ok());
                     now += 2;
                 }
             }

@@ -6,10 +6,8 @@
 //! / precharge plus the rank-level all-bank refresh that blocks the rank for
 //! `tRFC`.
 
-use serde::{Deserialize, Serialize};
-
 /// A DDR command as issued by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramCommand {
     /// Open (activate) a row into the bank's sense amplifiers.
     Activate,

@@ -6,11 +6,9 @@
 //! the number of rows (refresh targets), the row size (8 KB — also the page
 //! granularity PRIL tracks), and the chip density (which sets `tRFC`).
 
-use serde::{Deserialize, Serialize};
-
 /// DRAM chip density. Determines the refresh-cycle time `tRFC` used by the
 /// performance simulator (paper Table 2 scales refresh cost with density).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ChipDensity {
     /// 8 Gb per chip — `tRFC` = 350 ns (paper baseline).
     Gb8,
@@ -67,7 +65,7 @@ impl std::fmt::Display for ChipDensity {
 /// The unit of content storage in this crate is the *row*: `row_bytes` bytes
 /// (8 KB by default, matching both the paper's row size and its page
 /// granularity). Columns are counted in 64-byte cache blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramGeometry {
     /// Number of ranks on the module.
     pub ranks: u8,
@@ -266,13 +264,5 @@ mod tests {
     fn words_per_row() {
         assert_eq!(DramGeometry::module_2gb().words_per_row(), 1024);
         assert_eq!(DramGeometry::tiny().words_per_row(), 32);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let g = DramGeometry::dimm_8gb(ChipDensity::Gb32);
-        let s = serde_json::to_string(&g).unwrap();
-        let back: DramGeometry = serde_json::from_str(&s).unwrap();
-        assert_eq!(g, back);
     }
 }

@@ -10,8 +10,8 @@
 //! Content is stored bit-exactly per row so that read-back comparison (the
 //! testing MEMCON performs online) sees genuine data-dependent bit flips.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use crate::address::{RowAddr, RowId};
 use crate::cell::{RowContent, TrueAntiLayout};
@@ -246,9 +246,14 @@ impl DramModule {
     ///
     /// Panics if coordinates are out of range.
     #[must_use]
-    pub fn charge_at_internal(&self, rank: u8, bank: u8, internal_row: u32, internal_bit: u64) -> bool {
-        let bank_idx =
-            usize::from(rank) * usize::from(self.geometry.banks) + usize::from(bank);
+    pub fn charge_at_internal(
+        &self,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        internal_bit: u64,
+    ) -> bool {
+        let bank_idx = usize::from(rank) * usize::from(self.geometry.banks) + usize::from(bank);
         let s = &self.scramblers[bank_idx];
         let sys_row = s.to_system_row(internal_row);
         let sys_bit = s.to_system_bit(internal_bit);
@@ -267,8 +272,7 @@ impl DramModule {
         internal_row: u32,
         internal_bit: u64,
     ) -> (RowAddr, u64) {
-        let bank_idx =
-            usize::from(rank) * usize::from(self.geometry.banks) + usize::from(bank);
+        let bank_idx = usize::from(rank) * usize::from(self.geometry.banks) + usize::from(bank);
         let s = &self.scramblers[bank_idx];
         (
             RowAddr::new(rank, bank, s.to_system_row(internal_row)),
@@ -363,10 +367,7 @@ mod tests {
             polarity.charge(false)
         );
         // Sanity: polarity is a real enum value.
-        assert!(matches!(
-            polarity,
-            CellPolarity::True | CellPolarity::Anti
-        ));
+        assert!(matches!(polarity, CellPolarity::True | CellPolarity::Anti));
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! trivially invertible primitives (XOR masks and rotations), so the
 //! round-trip property holds exactly and cheaply.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 /// A bijective mapping between system and internal coordinates for one bank.
 ///
@@ -76,7 +76,7 @@ struct BitPermutation {
 
 impl BitPermutation {
     fn from_rng(rng: &mut SmallRng, width: u32) -> Self {
-        use rand::seq::SliceRandom;
+        use memutil::rng::SliceRandom;
         let mut perm: Vec<u32> = (0..width).collect();
         perm.shuffle(rng);
         let mut inv = vec![0u32; width as usize];
@@ -181,7 +181,6 @@ impl Scrambler for VendorScrambler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn identity_is_identity() {
@@ -222,18 +221,26 @@ mod tests {
     #[test]
     fn scrambling_breaks_adjacency() {
         // The property that motivates MEMCON: system-adjacent rows are not
-        // internally adjacent (for almost all seeds).
-        let s = VendorScrambler::from_seed(3, 32_768, 65_536);
-        let adjacent_preserved = (0u32..1000)
-            .filter(|&r| {
-                let a = s.to_internal_row(r);
-                let b = s.to_internal_row(r + 1);
-                a.abs_diff(b) == 1
+        // internally adjacent for almost all seeds. A seed whose row
+        // permutation happens to leave address-bit 0 in place preserves
+        // adjacency for every even row (~1/15 of seeds), so assert over a
+        // seed population rather than one arbitrary seed.
+        let broken = (0u64..12)
+            .filter(|&seed| {
+                let s = VendorScrambler::from_seed(seed, 32_768, 65_536);
+                let preserved = (0u32..1000)
+                    .filter(|&r| {
+                        let a = s.to_internal_row(r);
+                        let b = s.to_internal_row(r + 1);
+                        a.abs_diff(b) == 1
+                    })
+                    .count();
+                preserved < 10
             })
             .count();
         assert!(
-            adjacent_preserved < 10,
-            "scrambler preserved adjacency {adjacent_preserved}/1000 times"
+            broken >= 8,
+            "only {broken}/12 seeds destroyed system adjacency"
         );
     }
 
@@ -249,14 +256,25 @@ mod tests {
         assert_eq!(boxed.to_system_row(boxed.to_internal_row(5)), 5);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(seed in any::<u64>(), row in 0u32..32_768, bit in 0u64..65_536) {
+    /// Seeded property loop: scramble/descramble round-trips for random
+    /// vendor seeds, rows, and bit positions. Building a `VendorScrambler`
+    /// for the full 2 GB bank is the expensive part, so each scrambler is
+    /// probed at several random positions.
+    #[test]
+    fn prop_roundtrip() {
+        use memutil::rng::{Rng, SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0x5CA_0001);
+        for _ in 0..8 {
+            let seed: u64 = rng.gen();
             let s = VendorScrambler::from_seed(seed, 32_768, 65_536);
-            prop_assert_eq!(s.to_system_row(s.to_internal_row(row)), row);
-            prop_assert_eq!(s.to_internal_row(s.to_system_row(row)), row);
-            prop_assert_eq!(s.to_system_bit(s.to_internal_bit(bit)), bit);
-            prop_assert_eq!(s.to_internal_bit(s.to_system_bit(bit)), bit);
+            for _ in 0..64 {
+                let row = rng.gen_range(0u32..32_768);
+                let bit = rng.gen_range(0u64..65_536);
+                assert_eq!(s.to_system_row(s.to_internal_row(row)), row);
+                assert_eq!(s.to_internal_row(s.to_system_row(row)), row);
+                assert_eq!(s.to_system_bit(s.to_internal_bit(bit)), bit);
+                assert_eq!(s.to_internal_bit(s.to_system_bit(bit)), bit);
+            }
         }
     }
 }

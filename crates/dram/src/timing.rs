@@ -18,8 +18,6 @@
 //! values differ slightly — e.g. `tCCD` = 5 ns — but the paper's own
 //! arithmetic is the source of truth for this reproduction.)
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::ChipDensity;
 
 /// Nanoseconds per controller clock for DDR3-1600 (800 MHz).
@@ -30,7 +28,7 @@ pub const DDR3_1600_TCK_NS: f64 = 1.25;
 /// Only the parameters the paper's model and our simulator consume are
 /// included; the struct is `#[non_exhaustive]`-like through its constructor
 /// presets (fields are public for easy experimentation in benches).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingParams {
     /// Clock period in nanoseconds.
     pub tck_ns: f64,
@@ -156,6 +154,16 @@ impl TimingParams {
     pub fn twtr_cycles(&self) -> u64 {
         self.ns_to_cycles(self.twtr_ns)
     }
+    /// `tRRD` in cycles.
+    #[must_use]
+    pub fn trrd_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.trrd_ns)
+    }
+    /// `tFAW` in cycles.
+    #[must_use]
+    pub fn tfaw_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.tfaw_ns)
+    }
     /// `tRFC` in cycles.
     #[must_use]
     pub fn trfc_cycles(&self) -> u64 {
@@ -237,7 +245,7 @@ mod tests {
         let t = TimingParams::ddr3_1600();
         // 16 ms baseline: 1.95 us => 1560 cycles at 1.25 ns.
         assert_eq!(t.trefi_cycles_for_interval(16.0), 1563); // ceil(1953.125/1.25)
-        // 64 ms LO-REF: 7.8125 us => 6250 cycles.
+                                                             // 64 ms LO-REF: 7.8125 us => 6250 cycles.
         assert_eq!(t.trefi_cycles_for_interval(64.0), 6250);
     }
 
@@ -271,13 +279,5 @@ mod tests {
         let mut t2 = TimingParams::ddr3_1600();
         t2.tras_ns = 1.0;
         assert!(t2.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let t = TimingParams::ddr3_1600_density(ChipDensity::Gb16);
-        let s = serde_json::to_string(&t).unwrap();
-        let back: TimingParams = serde_json::from_str(&s).unwrap();
-        assert_eq!(t, back);
     }
 }

@@ -86,11 +86,18 @@ pub fn render(opts: &RunOptions) -> String {
 
     // RowClone.
     let m = CostModel::paper_default();
-    let mut t = TextTable::new(vec!["Copy-and-Compare variant", "Test cost", "MinWriteInterval"]);
+    let mut t = TextTable::new(vec![
+        "Copy-and-Compare variant",
+        "Test cost",
+        "MinWriteInterval",
+    ]);
     t.row(vec![
         "through controller (paper)".to_string(),
         format!("{:.0} ns", m.test_cost_ns(TestMode::CopyAndCompare)),
-        format!("{:.0} ms", m.min_write_interval_ms(TestMode::CopyAndCompare)),
+        format!(
+            "{:.0} ms",
+            m.min_write_interval_ms(TestMode::CopyAndCompare)
+        ),
     ]);
     t.row(vec![
         "in-DRAM copy (RowClone, footnote 6)".to_string(),
@@ -101,15 +108,16 @@ pub fn render(opts: &RunOptions) -> String {
     out.push_str(&t.render());
 
     // Storage overhead.
-    let mut t = TextTable::new(vec!["Memory", "Pages", "Write-map", "Write-buffer", "Staging"]);
+    let mut t = TextTable::new(vec![
+        "Memory",
+        "Pages",
+        "Write-map",
+        "Write-buffer",
+        "Staging",
+    ]);
     for gb in [2u64, 8, 32] {
         let config = MemconConfig::paper_default().with_test_mode(TestMode::CopyAndCompare);
-        let o = storage_overhead(
-            &config,
-            &DramGeometry::module_2gb(),
-            gb << 30,
-            8192,
-        );
+        let o = storage_overhead(&config, &DramGeometry::module_2gb(), gb << 30, 8192);
         t.row(vec![
             format!("{gb} GB"),
             o.pages.to_string(),

@@ -93,7 +93,9 @@ fn compute_uncached(opts: &RunOptions) -> Fig14 {
     }
     Fig14 {
         runs,
-        upper_bound: MemconConfig::paper_default().cost_model().upper_bound_reduction(),
+        upper_bound: MemconConfig::paper_default()
+            .cost_model()
+            .upper_bound_reduction(),
     }
 }
 

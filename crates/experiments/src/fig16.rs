@@ -115,8 +115,7 @@ pub fn compute(opts: &RunOptions) -> Fig16 {
                 .iter()
                 .enumerate()
                 .map(|(i, mix)| {
-                    let config =
-                        SystemConfig::new(cores, density, RefreshPolicy::baseline_16ms());
+                    let config = SystemConfig::new(cores, density, RefreshPolicy::baseline_16ms());
                     System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
                         .run(opts.instructions)
                 })
@@ -129,8 +128,8 @@ pub fn compute(opts: &RunOptions) -> Fig16 {
                     let mut system =
                         System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64);
                     if m == Mechanism::Memcon {
-                        system = system
-                            .with_test_injection(TestInjectConfig::read_and_compare(256));
+                        system =
+                            system.with_test_injection(TestInjectConfig::read_and_compare(256));
                     }
                     let stats = system.run(opts.instructions);
                     speedups.push(stats.speedup_over(&baselines[i]));
@@ -170,7 +169,10 @@ pub fn render(opts: &RunOptions) -> String {
     format!(
         "{}{}\nMEMCON models its measured {} refresh reduction (RAIDR: {}).\n\
          (paper: MEMCON > RAIDR > 32 ms everywhere; MEMCON within 3-5% of 64 ms ideal)\n",
-        heading("Fig 16", "Speedup over 16 ms baseline vs other refresh mechanisms"),
+        heading(
+            "Fig 16",
+            "Speedup over 16 ms baseline vs other refresh mechanisms"
+        ),
         t.render(),
         pct(r.memcon_reduction),
         pct(r.raidr_reduction),
@@ -184,15 +186,24 @@ mod tests {
     #[test]
     fn ordering_matches_paper() {
         let r = compute(&RunOptions::quick());
-        assert!(r.memcon_reduction > r.raidr_reduction, "MEMCON must out-reduce RAIDR");
+        assert!(
+            r.memcon_reduction > r.raidr_reduction,
+            "MEMCON must out-reduce RAIDR"
+        );
         for cores in [1usize, 4] {
             for d in ChipDensity::ALL {
                 let m32 = r.mean(cores, d, Mechanism::Fixed32).unwrap();
                 let raidr = r.mean(cores, d, Mechanism::Raidr).unwrap();
                 let memcon = r.mean(cores, d, Mechanism::Memcon).unwrap();
                 let ideal = r.mean(cores, d, Mechanism::Ideal64).unwrap();
-                assert!(memcon >= raidr - 0.01, "{cores}c {d}: MEMCON {memcon} < RAIDR {raidr}");
-                assert!(memcon > m32 - 0.02, "{cores}c {d}: MEMCON {memcon} vs 32ms {m32}");
+                assert!(
+                    memcon >= raidr - 0.01,
+                    "{cores}c {d}: MEMCON {memcon} < RAIDR {raidr}"
+                );
+                assert!(
+                    memcon > m32 - 0.02,
+                    "{cores}c {d}: MEMCON {memcon} vs 32ms {m32}"
+                );
                 // Within a few percent of ideal.
                 assert!(
                     ideal - memcon < 0.10 * ideal,

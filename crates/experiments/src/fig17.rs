@@ -40,7 +40,10 @@ pub fn render(opts: &RunOptions) -> String {
     }
     format!(
         "{}{}\nMean LO-REF coverage at CIL 512/1024/2048: {} / {} / {} (paper: ~95%)\n",
-        heading("Fig 17", "Execution-time coverage of PRIL (LO-REF residency)"),
+        heading(
+            "Fig 17",
+            "Execution-time coverage of PRIL (LO-REF residency)"
+        ),
         t.render(),
         pct(mean_coverage_at(&r, 512.0)),
         pct(mean_coverage_at(&r, 1024.0)),

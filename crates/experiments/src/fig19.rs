@@ -34,7 +34,11 @@ pub fn compute(opts: &RunOptions) -> Fig19 {
     let stats = |intervals: &[memtrace::trace::Interval]| {
         let h = log2_histogram(intervals);
         let sub = h[0].fraction;
-        let long: f64 = h.iter().filter(|b| b.lo_ms >= 1024.0).map(|b| b.fraction).sum();
+        let long: f64 = h
+            .iter()
+            .filter(|b| b.lo_ms >= 1024.0)
+            .map(|b| b.fraction)
+            .sum();
         (sub, long)
     };
     let (fs, fl) = stats(&fi);
@@ -80,7 +84,10 @@ pub fn render(opts: &RunOptions) -> String {
         "{}{}\nConclusion: halving write intervals (smaller cache) barely moves\n\
          the long-interval prediction probabilities — MEMCON is cache-size\n\
          insensitive, as in the paper.\n",
-        heading("Fig 19", "Sensitivity to halved write intervals (cache size)"),
+        heading(
+            "Fig 19",
+            "Sensitivity to halved write intervals (cache size)"
+        ),
         t.render()
     )
 }

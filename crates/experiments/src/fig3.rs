@@ -57,7 +57,11 @@ impl Fig3 {
 /// Runs the 100-pattern sweep at the paper's 328 ms-equivalent interval.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Fig3 {
-    let module = DramModule::new(crate::output::chip_test_geometry(opts), TimingParams::ddr3_1600(), opts.seed);
+    let module = DramModule::new(
+        crate::output::chip_test_geometry(opts),
+        TimingParams::ddr3_1600(),
+        opts.seed,
+    );
     let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
     let patterns = TestPattern::suite(92);
     let mut cell_ids: BTreeMap<(u64, u64), usize> = BTreeMap::new();

@@ -26,14 +26,16 @@ pub struct TradeoffPoint {
 pub fn compute(_opts: &RunOptions) -> Vec<TradeoffPoint> {
     let m = CostModel::paper_default();
     let hi_rate = m.refresh_op_ns / m.hi_ms;
-    [16.0, 64.0, 128.0, 256.0, 448.0, 560.0, 864.0, 1024.0, 4096.0, 32_768.0]
-        .into_iter()
-        .map(|w| TradeoffPoint {
-            write_interval_ms: w,
-            memcon_rate: m.accumulated_memcon_ns(TestMode::ReadAndCompare, w) / w,
-            hi_rate,
-        })
-        .collect()
+    [
+        16.0, 64.0, 128.0, 256.0, 448.0, 560.0, 864.0, 1024.0, 4096.0, 32_768.0,
+    ]
+    .into_iter()
+    .map(|w| TradeoffPoint {
+        write_interval_ms: w,
+        memcon_rate: m.accumulated_memcon_ns(TestMode::ReadAndCompare, w) / w,
+        hi_rate,
+    })
+    .collect()
 }
 
 /// Renders Fig. 5.
@@ -73,9 +75,15 @@ mod tests {
     fn frequent_testing_loses_infrequent_testing_wins() {
         let pts = compute(&RunOptions::quick());
         let first = pts.first().unwrap(); // 16 ms writes
-        assert!(first.memcon_rate > first.hi_rate, "frequent testing must cost more");
+        assert!(
+            first.memcon_rate > first.hi_rate,
+            "frequent testing must cost more"
+        );
         let last = pts.last().unwrap(); // 32 s writes
-        assert!(last.memcon_rate < last.hi_rate, "infrequent testing must win");
+        assert!(
+            last.memcon_rate < last.hi_rate,
+            "infrequent testing must win"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
     #[test]
     fn band_is_448_to_864() {
         let r = compute(&RunOptions::quick());
-        let min = r.intervals.iter().map(|i| i.2).fold(f64::INFINITY, f64::min);
+        let min = r
+            .intervals
+            .iter()
+            .map(|i| i.2)
+            .fold(f64::INFINITY, f64::min);
         let max = r.intervals.iter().map(|i| i.2).fold(0.0, f64::max);
         assert_eq!((min, max), (448.0, 864.0));
     }

@@ -47,7 +47,10 @@ pub fn render(opts: &RunOptions) -> String {
     }
     format!(
         "{}{}\nAverage: {} of write-interval time in long intervals (paper: 89.5%)\n",
-        heading("Fig 9", "Execution time is dominated by long write intervals"),
+        heading(
+            "Fig 9",
+            "Execution time is dominated by long write intervals"
+        ),
         t.render(),
         pct(r.mean())
     )

@@ -1,9 +1,7 @@
 //! Shared experiment options and table-rendering helpers.
 
-use serde::{Deserialize, Serialize};
-
 /// Options controlling experiment fidelity vs runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// Workload footprint scale (1.0 = the calibrated scaled-down default).
     pub scale: f64,

@@ -13,7 +13,13 @@ pub fn compute(_opts: &RunOptions) -> Vec<WorkloadProfile> {
 /// Renders Table 1.
 #[must_use]
 pub fn render(opts: &RunOptions) -> String {
-    let mut t = TextTable::new(vec!["Application", "Type", "Time (s)", "Mem (GB)", "Threads"]);
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Type",
+        "Time (s)",
+        "Mem (GB)",
+        "Threads",
+    ]);
     for w in compute(opts) {
         t.row(vec![
             w.name.clone(),

@@ -33,15 +33,46 @@ fn main() {
     let classes: [(&str, ContentProfile); 5] = [
         ("pure-zero", ContentProfile::zeroes()),
         ("pure-random", ContentProfile::random_data()),
-        ("pure-pointer", ContentProfile { zero: 0.0, random: 0.0, pointer: 1.0, small_int: 0.0, text: 0.0 }),
-        ("pure-smallint", ContentProfile { zero: 0.0, random: 0.0, pointer: 0.0, small_int: 1.0, text: 0.0 }),
-        ("pure-text", ContentProfile { zero: 0.0, random: 0.0, pointer: 0.0, small_int: 0.0, text: 1.0 }),
+        (
+            "pure-pointer",
+            ContentProfile {
+                zero: 0.0,
+                random: 0.0,
+                pointer: 1.0,
+                small_int: 0.0,
+                text: 0.0,
+            },
+        ),
+        (
+            "pure-smallint",
+            ContentProfile {
+                zero: 0.0,
+                random: 0.0,
+                pointer: 0.0,
+                small_int: 1.0,
+                text: 0.0,
+            },
+        ),
+        (
+            "pure-text",
+            ContentProfile {
+                zero: 0.0,
+                random: 0.0,
+                pointer: 0.0,
+                small_int: 0.0,
+                text: 1.0,
+            },
+        ),
     ];
     for (name, profile) in classes {
         let words = geometry.words_per_row();
         tester.fill_with(|row| profile.row_content(99, 0, row, words));
         let _ = tester.idle_ms(interval_ms);
-        println!("{:<14} {:>6.2}%", name, tester.read_back().failing_row_fraction() * 100.0);
+        println!(
+            "{:<14} {:>6.2}%",
+            name,
+            tester.read_back().failing_row_fraction() * 100.0
+        );
     }
 
     for bench in SpecBenchmark::ALL {
@@ -58,7 +89,10 @@ fn main() {
             "{:<10} {:>6.2}%  (snapshots: {:?})",
             bench.name(),
             avg,
-            fracs.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>()
+            fracs
+                .iter()
+                .map(|f| (f * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -13,7 +13,7 @@
 //!   vulnerable-cell sets (λ is always small here, so Knuth's method is
 //!   exact and fast).
 
-use rand::Rng;
+use memutil::rng::Rng;
 
 /// Complementary error function, rational Chebyshev approximation
 /// (Numerical Recipes `erfcc`), with *fractional* error below 1.2 × 10⁻⁷
@@ -32,7 +32,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -152,9 +152,8 @@ pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use memutil::rng::SeedableRng;
+    use memutil::rng::SmallRng;
 
     #[test]
     fn erf_known_values() {
@@ -204,7 +203,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let lambda = 0.4;
         let n = 100_000;
-        let sum: u64 = (0..n).map(|_| u64::from(poisson_sample(&mut rng, lambda))).sum();
+        let sum: u64 = (0..n)
+            .map(|_| u64::from(poisson_sample(&mut rng, lambda)))
+            .sum();
         let mean = sum as f64 / n as f64;
         assert!(
             (mean - lambda).abs() < 0.01,
@@ -218,20 +219,36 @@ mod tests {
         assert_eq!(poisson_sample(&mut rng, 0.0), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_ppf_inverts_cdf(p in 1e-9f64..0.999_999) {
+    /// Seeded property loop: the quantile function inverts the CDF to 0.1 %
+    /// relative accuracy in probability space. Probabilities are drawn
+    /// log-uniformly so the deep tail gets exercised, mirroring the original
+    /// proptest range `1e-9..0.999_999`.
+    #[test]
+    fn prop_ppf_inverts_cdf() {
+        use memutil::rng::Rng;
+        let mut rng = SmallRng::seed_from_u64(0x3A7_0001);
+        for _ in 0..512 {
+            let exp = rng.gen_range(-9.0f64..-1e-7);
+            let p = 10f64.powf(exp).min(0.999_999);
             let x = norm_ppf(p);
             let back = norm_cdf(x);
-            // Relative accuracy in probability space.
-            prop_assert!((back - p).abs() / p.max(1e-9) < 1e-3,
-                "p={} x={} back={}", p, x, back);
+            assert!(
+                (back - p).abs() / p.max(1e-9) < 1e-3,
+                "p={p} x={x} back={back}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_cdf_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+    /// Seeded property loop: the CDF is monotone non-decreasing.
+    #[test]
+    fn prop_cdf_monotone() {
+        use memutil::rng::Rng;
+        let mut rng = SmallRng::seed_from_u64(0x3A7_0002);
+        for _ in 0..512 {
+            let a = rng.gen_range(-10.0f64..10.0);
+            let b = rng.gen_range(-10.0f64..10.0);
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+            assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12, "lo={lo} hi={hi}");
         }
     }
 }

@@ -21,9 +21,8 @@
 //! deterministically per `(chip seed, rank, bank, row)`: the model is a pure
 //! function of the chip identity, like real silicon.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use dram::address::RowAddr;
 use dram::module::DramModule;
@@ -32,7 +31,7 @@ use crate::math::poisson_sample;
 use crate::params::FailureModelParams;
 
 /// One materialized potentially-vulnerable cell within a row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VulnerableCell {
     /// Internal (post-scramble, pre-remap) bitline index within the row.
     pub internal_bit: u64,
@@ -72,7 +71,7 @@ impl VulnerableCell {
 }
 
 /// One observed cell failure, in both internal and system coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellFailure {
     /// Rank of the failing cell.
     pub rank: u8,
@@ -90,7 +89,7 @@ pub struct CellFailure {
 
 /// The coupling failure model. Stateless apart from its parameters; all
 /// chip-specific structure is derived from the module's chip seed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CouplingFailureModel {
     params: FailureModelParams,
 }
@@ -115,10 +114,8 @@ impl CouplingFailureModel {
 
     fn row_seed(chip_seed: u64, rank: u8, bank: u8, internal_row: u32) -> u64 {
         // splitmix64-style mixing of the coordinates.
-        let mut z = chip_seed
-            ^ (u64::from(rank) << 56)
-            ^ (u64::from(bank) << 48)
-            ^ u64::from(internal_row);
+        let mut z =
+            chip_seed ^ (u64::from(rank) << 56) ^ (u64::from(bank) << 48) ^ u64::from(internal_row);
         z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -306,11 +303,7 @@ impl CouplingFailureModel {
     /// Physics-side oracle: fraction of rows in the module that can fail at
     /// `interval_ms` with some content.
     #[must_use]
-    pub fn worst_case_failing_row_fraction(
-        &self,
-        module: &DramModule,
-        interval_ms: f64,
-    ) -> f64 {
+    pub fn worst_case_failing_row_fraction(&self, module: &DramModule, interval_ms: f64) -> f64 {
         let g = *module.geometry();
         let bits = g.bits_per_row();
         let mut failing = 0u64;
@@ -339,8 +332,8 @@ mod tests {
     use dram::cell::RowContent;
     use dram::geometry::DramGeometry;
     use dram::timing::TimingParams;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use memutil::rng::SeedableRng;
+    use memutil::rng::SmallRng;
 
     fn test_module(seed: u64) -> DramModule {
         // 2 banks x 64 rows x 256 B rows (2048 bits): small but non-trivial.
@@ -497,13 +490,17 @@ mod tests {
         module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
         let golden = module.clone();
         let failures = m.evaluate_module(&module, 16_000.0);
-        let unique: std::collections::HashSet<_> =
-            failures.iter().map(|f| (f.system_row, f.system_bit)).collect();
+        let unique: std::collections::HashSet<_> = failures
+            .iter()
+            .map(|f| (f.system_row, f.system_bit))
+            .collect();
         assert_eq!(unique.len(), failures.len(), "duplicate failure records");
         m.apply(&mut module, &failures);
         let mut flipped = 0u64;
         for id in 0..module.geometry().total_rows() {
-            flipped += golden.read_row_id(id).hamming_distance(module.read_row_id(id));
+            flipped += golden
+                .read_row_id(id)
+                .hamming_distance(module.read_row_id(id));
         }
         assert_eq!(flipped, failures.len() as u64);
     }

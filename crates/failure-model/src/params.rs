@@ -17,10 +17,8 @@
 //!   benchmark (paper Fig. 4), i.e. a 2.4×–35× gap,
 //! * failure counts grow steeply with the refresh interval.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the coupling/retention failure model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureModelParams {
     /// Expected number of vulnerable cells per 8 KB (65536-bit) row; scaled
     /// linearly for other row sizes.
@@ -166,12 +164,5 @@ mod tests {
         let mut p4 = FailureModelParams::calibrated();
         p4.vulnerable_per_8kb_row = 0.0;
         assert!(p4.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let p = FailureModelParams::calibrated();
-        let s = serde_json::to_string(&p).unwrap();
-        assert_eq!(serde_json::from_str::<FailureModelParams>(&s).unwrap(), p);
     }
 }

@@ -8,16 +8,15 @@
 //! (see the Fig. 3 experiment). The suite here is what the paper's FPGA
 //! infrastructure would write.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use dram::address::RowId;
 use dram::cell::RowContent;
 use dram::module::DramModule;
 
 /// A module-wide test data pattern, defined over system addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestPattern {
     /// All zeros.
     Solid0,
@@ -98,14 +97,11 @@ impl TestPattern {
                     RowContent::zeroed(words)
                 }
             }
-            TestPattern::ColStripe => {
-                RowContent::from_words(vec![0x5555_5555_5555_5555; words])
-            }
-            TestPattern::ColStripeInv => {
-                RowContent::from_words(vec![0xAAAA_AAAA_AAAA_AAAA; words])
-            }
+            TestPattern::ColStripe => RowContent::from_words(vec![0x5555_5555_5555_5555; words]),
+            TestPattern::ColStripeInv => RowContent::from_words(vec![0xAAAA_AAAA_AAAA_AAAA; words]),
             TestPattern::Random(seed) => {
-                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(row_id));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(row_id));
                 RowContent::from_words((0..words).map(|_| rng.gen()).collect())
             }
         }
@@ -200,10 +196,7 @@ mod tests {
         let mut m = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 0);
         TestPattern::Solid1.fill(&mut m);
         for id in 0..m.geometry().total_rows() {
-            assert_eq!(
-                m.read_row_id(id).popcount(),
-                m.geometry().bits_per_row()
-            );
+            assert_eq!(m.read_row_id(id).popcount(), m.geometry().bits_per_row());
         }
         TestPattern::RowStripe.fill(&mut m);
         assert_eq!(m.read_row_id(0).popcount(), 0);

@@ -7,8 +7,6 @@
 //! `4000/328 ≈ 12.2×` over those 40 °C, i.e. a factor of
 //! `(4000/328)^(ΔT/40)` per ΔT.
 
-use serde::{Deserialize, Serialize};
-
 /// Reference operating temperature at which the failure model's retention
 /// parameters are defined (worst-case DDR3 operating point).
 pub const REFERENCE_CELSIUS: f64 = 85.0;
@@ -19,7 +17,7 @@ const CALIBRATION_FACTOR: f64 = 4000.0 / 328.0;
 const CALIBRATION_DELTA: f64 = 40.0;
 
 /// A temperature in degrees Celsius.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Celsius(pub f64);
 
 impl Celsius {
@@ -62,7 +60,10 @@ mod tests {
     #[test]
     fn paper_calibration_pair() {
         let eq = Celsius::TEST.equivalent_interval_ms(4000.0);
-        assert!((eq - 328.0).abs() < 1e-9, "4 s @ 45C should be 328 ms @ 85C, got {eq}");
+        assert!(
+            (eq - 328.0).abs() < 1e-9,
+            "4 s @ 45C should be 328 ms @ 85C, got {eq}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl ReadBackReport {
     /// Total number of flipped bits.
     #[must_use]
     pub fn flipped_bits(&self) -> u64 {
-        self.failing_rows.iter().map(|(_, bits)| bits.len() as u64).sum()
+        self.failing_rows
+            .iter()
+            .map(|(_, bits)| bits.len() as u64)
+            .sum()
     }
 
     /// Number of rows containing at least one flip.

@@ -35,6 +35,11 @@ fn main() {
         let avg = reds.iter().sum::<f64>() / reds.len() as f64;
         let min = reds.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = reds.iter().cloned().fold(0.0f64, f64::max);
-        println!("avg {:.1}%  min {:.1}%  max {:.1}%", avg * 100.0, min * 100.0, max * 100.0);
+        println!(
+            "avg {:.1}%  min {:.1}%  max {:.1}%",
+            avg * 100.0,
+            min * 100.0,
+            max * 100.0
+        );
     }
 }

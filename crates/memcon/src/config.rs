@@ -1,11 +1,9 @@
 //! MEMCON engine configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cost::{CostModel, TestMode};
 
 /// Configuration of a MEMCON deployment (paper Sections 3–4, Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemconConfig {
     /// PRIL quantum length in ms (paper evaluates 512, 1024, 2048).
     pub quantum_ms: f64,
@@ -126,7 +124,8 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.min_write_interval_ms(), 560.0);
         assert_eq!(
-            c.with_test_mode(TestMode::CopyAndCompare).min_write_interval_ms(),
+            c.with_test_mode(TestMode::CopyAndCompare)
+                .min_write_interval_ms(),
             864.0
         );
     }
@@ -152,12 +151,5 @@ mod tests {
         let mut c = MemconConfig::paper_default();
         c.write_buffer_capacity = 0;
         assert!(c.validate().is_err());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let c = MemconConfig::paper_default();
-        let s = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<MemconConfig>(&s).unwrap(), c);
     }
 }

@@ -18,13 +18,11 @@
 //! 560 ms (Read-and-Compare) and 864 ms (Copy-and-Compare) at LO = 64 ms,
 //! and 480/448 ms at LO = 128/256 ms.
 
-use serde::{Deserialize, Serialize};
-
 use dram::timing::TimingParams;
 
 /// Where the in-test row's content is buffered during a test
 /// (paper Section 3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestMode {
     /// Buffer the whole row in the memory controller; read the row twice.
     /// Cost `2·(tRCD + 128·tCCD + tRP)` = 1068 ns.
@@ -65,7 +63,7 @@ impl std::fmt::Display for TestMode {
 }
 
 /// The per-row cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of one per-row refresh operation, ns (`tRAS + tRP` = 39).
     pub refresh_op_ns: f64,
@@ -261,7 +259,7 @@ mod tests {
         let m = CostModel::paper_default();
         let series = m.fig6_series(1000.0);
         assert_eq!(series.len(), 62); // 1000/16 floored
-        // HI-REF line starts below the test cost but grows faster.
+                                      // HI-REF line starts below the test cost but grows faster.
         let first = series.first().unwrap();
         assert!(first.1 < first.2 && first.2 < first.3);
         let last = series.last().unwrap();

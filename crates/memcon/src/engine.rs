@@ -17,8 +17,6 @@
 //!    accounting (a test is mispredicted when its page is rewritten before
 //!    `MinWriteInterval` elapses, so the test cost is never amortized).
 
-use serde::{Deserialize, Serialize};
-
 use memtrace::trace::WriteTrace;
 
 use crate::config::MemconConfig;
@@ -32,7 +30,7 @@ use crate::testengine::{FailureOracle, RateOracle, TestEngine, TestEngineStats};
 pub const DEFAULT_FAIL_RATE: f64 = 0.015;
 
 /// Everything the paper's Figs. 14, 17, and 18 need from one engine run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemconReport {
     /// Refresh-operation reduction vs the all-HI-REF baseline (Fig. 14).
     pub refresh_reduction: f64,
@@ -222,12 +220,19 @@ impl MemconEngine {
                 next_quantum += quantum_ns;
                 continue;
             }
-            let e = *events.next().expect("event peeked");
+            let Some(&e) = events.next() else { break };
             self.handle_write(e.page, e.time_ns, &mut mgr, mwi_ns);
         }
         // Drain tests completing exactly at the horizon.
         self.handle_completions(duration, &mut mgr, duration);
         mgr.finalize(duration);
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(e) = mgr.check_invariants() {
+                // memlint: allow (deliberate strict-invariants abort)
+                panic!("RefreshManager invariant violation at finalization: {e}");
+            }
+        }
 
         // Censored LO residencies: pages still at LO-REF at the end count as
         // correct — the paper classifies a test as mispredicted only when an
@@ -309,6 +314,17 @@ impl MemconEngine {
             let generation = self.generation[page as usize];
             if self.tests.try_start(page, generation, now) {
                 mgr.transition(page, PageState::Testing, now);
+            }
+        }
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(e) = self.pril.check_invariants() {
+                // memlint: allow (deliberate strict-invariants abort)
+                panic!("PRIL invariant violation at quantum boundary ({now} ns): {e}");
+            }
+            if let Err(e) = mgr.check_invariants() {
+                // memlint: allow (deliberate strict-invariants abort)
+                panic!("RefreshManager invariant violation at quantum boundary ({now} ns): {e}");
             }
         }
     }
@@ -486,8 +502,8 @@ mod tests {
         let trace = WorkloadProfile::ac_brotherhood().scaled(0.05).generate(5);
         let mut e = MemconEngine::new(cfg(), trace.n_pages());
         let r = e.run(&trace);
-        let test_frac = (r.test_time_correct_ns + r.test_time_mispredicted_ns)
-            / r.baseline_refresh_time_ns;
+        let test_frac =
+            (r.test_time_correct_ns + r.test_time_mispredicted_ns) / r.baseline_refresh_time_ns;
         // Paper: testing is ~0.01% of baseline refresh time. Our simulated
         // pages are rewritten (and hence retested) orders of magnitude more
         // often than the real multi-minute traces' pages to fit the

@@ -10,15 +10,13 @@
 //! * write-buffer: ~4000 entries ⇒ **17 KB**,
 //! * staging region: 512 rows/bank ⇒ **1.56 %** of a 2 GB module.
 
-use serde::{Deserialize, Serialize};
-
 use dram::geometry::DramGeometry;
 
 use crate::config::MemconConfig;
 use crate::cost::TestMode;
 
 /// Byte sizes of every MEMCON hardware structure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StorageOverhead {
     /// Pages tracked (capacity / page size).
     pub pages: u64,
@@ -60,8 +58,7 @@ pub fn storage_overhead(
     let write_buffer_bytes =
         (config.write_buffer_capacity as u64 * u64::from(address_bits)).div_ceil(8);
     let (staging_rows, staging_fraction) = if config.test_mode == TestMode::CopyAndCompare {
-        let rows =
-            STAGING_ROWS_PER_BANK * u64::from(geometry.banks) * u64::from(geometry.ranks);
+        let rows = STAGING_ROWS_PER_BANK * u64::from(geometry.banks) * u64::from(geometry.ranks);
         (
             rows,
             geometry.reserved_fraction(STAGING_ROWS_PER_BANK as u32),

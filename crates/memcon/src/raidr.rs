@@ -10,15 +10,14 @@
 //! content-aware testing requires — the paper models 16 % of rows at HI-REF
 //! versus MEMCON's per-content 0.38–5.6 %.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use crate::pril::PageId;
 
 /// A classic k-hash Bloom filter over row ids, as RAIDR uses to store its
 /// weak-row set in ~1 KB of SRAM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     m: u64,
@@ -91,7 +90,7 @@ impl BloomFilter {
 }
 
 /// Refresh-operation accounting for a RAIDR system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RaidrReport {
     /// Fraction of rows refreshed at HI-REF (profile hits plus Bloom false
     /// positives).
@@ -144,7 +143,13 @@ impl Raidr {
     /// randomly distributed such that `hi_fraction` of rows profile as
     /// failing (16 % in the paper, matching the Fig. 4 chip data).
     #[must_use]
-    pub fn from_random_profile(n_rows: u64, hi_fraction: f64, hi_ms: f64, lo_ms: f64, seed: u64) -> Self {
+    pub fn from_random_profile(
+        n_rows: u64,
+        hi_fraction: f64,
+        hi_ms: f64,
+        lo_ms: f64,
+        seed: u64,
+    ) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let weak: Vec<PageId> = (0..n_rows)
             .filter(|_| rng.gen::<f64>() < hi_fraction)

@@ -11,12 +11,10 @@
 //! baseline (paper Fig. 14), and the LO-REF execution-time coverage
 //! (paper Fig. 17) all follow.
 
-use serde::{Deserialize, Serialize};
-
 use crate::pril::PageId;
 
 /// Refresh state of one page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageState {
     /// Aggressively refreshed (every write lands a page here).
     HiRef,
@@ -116,6 +114,42 @@ impl RefreshManager {
             self.accumulate(page, end_ns);
         }
         self.finalized_at_ns = Some(end_ns);
+    }
+
+    /// Validates the accounting's internal consistency. Called by
+    /// strict-mode harnesses after transitions and at finalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant:
+    ///
+    /// * all three time-in-state accumulators are finite and non-negative,
+    /// * time conservation: the integrated page-time equals the sum of every
+    ///   page's last-accumulated timestamp (each page's accumulated time is
+    ///   exactly its `since` watermark), or `n_pages × end` once finalized.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("HI-REF", self.hi_time_ns),
+            ("Testing", self.testing_time_ns),
+            ("LO-REF", self.lo_time_ns),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} accumulator is {v}"));
+            }
+        }
+        let expected: f64 = match self.finalized_at_ns {
+            Some(end) => (end as f64) * self.states.len() as f64,
+            None => self.since_ns.iter().map(|&s| s as f64).sum(),
+        };
+        let total = self.total_page_time_ns();
+        // f64 accumulation over many pages: allow relative rounding slack.
+        let tol = 1e-6 * expected.max(1.0);
+        if (total - expected).abs() > tol {
+            return Err(format!(
+                "time conservation broken: integrated {total} ns, watermarks sum to {expected} ns"
+            ));
+        }
+        Ok(())
     }
 
     /// Total page-time integrated so far, ns.
@@ -252,6 +286,19 @@ mod tests {
         let mut m = RefreshManager::new(1, 16.0, 64.0);
         m.finalize(100);
         m.transition(0, PageState::LoRef, 200);
+    }
+
+    #[test]
+    fn invariants_hold_through_transitions_and_finalize() {
+        let mut m = RefreshManager::new(3, 16.0, 64.0);
+        m.check_invariants().unwrap();
+        m.transition(0, PageState::LoRef, 10 * MS);
+        m.transition(1, PageState::Testing, 20 * MS);
+        m.check_invariants().unwrap();
+        m.transition(0, PageState::HiRef, 50 * MS);
+        m.check_invariants().unwrap();
+        m.finalize(100 * MS);
+        m.check_invariants().unwrap();
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use dram::address::RowAddr;
 use dram::module::DramModule;

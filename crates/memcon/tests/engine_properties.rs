@@ -1,8 +1,10 @@
 //! Property tests of the MEMCON engine: for arbitrary write traces and
 //! configurations, the report stays internally consistent and the refresh
 //! states respect the mechanism's invariants.
-
-use proptest::prelude::*;
+//!
+//! Originally `proptest` strategies; rewritten as seeded-PRNG loops so the
+//! workspace builds hermetically offline. Each test draws its own trace and
+//! configuration stream from a fixed seed and runs a few dozen cases.
 
 use memcon::config::MemconConfig;
 use memcon::cost::TestMode;
@@ -10,88 +12,85 @@ use memcon::engine::MemconEngine;
 use memcon::refreshmgr::PageState;
 use memcon::testengine::RateOracle;
 use memtrace::trace::{WriteEvent, WriteTrace};
+use memutil::rng::{Rng, SeedableRng, SmallRng};
 
 const MS: u64 = 1_000_000;
 
-fn trace_strategy() -> impl Strategy<Value = WriteTrace> {
+fn random_trace(rng: &mut SmallRng) -> WriteTrace {
     let n_pages = 24u64;
     let duration_ms = 9000u64;
-    proptest::collection::vec((0..duration_ms, 0..n_pages), 0..300).prop_map(move |pairs| {
-        let events = pairs
-            .into_iter()
-            .map(|(t, page)| WriteEvent {
-                time_ns: t * MS,
-                page,
-            })
-            .collect();
-        WriteTrace::new(events, duration_ms * MS, n_pages)
-    })
-}
-
-fn config_strategy() -> impl Strategy<Value = MemconConfig> {
-    (
-        prop_oneof![Just(512.0), Just(1024.0), Just(2048.0)],
-        prop_oneof![Just(TestMode::ReadAndCompare), Just(TestMode::CopyAndCompare)],
-        1u32..64,
-        1usize..64,
-        any::<bool>(),
-    )
-        .prop_map(|(quantum, mode, slots, cap, steady)| {
-            let mut c = MemconConfig::paper_default()
-                .with_quantum_ms(quantum)
-                .with_test_mode(mode);
-            c.concurrent_tests = slots;
-            c.write_buffer_capacity = cap;
-            c.steady_state_start = steady;
-            c
+    let n = rng.gen_range(0usize..300);
+    let events = (0..n)
+        .map(|_| WriteEvent {
+            time_ns: rng.gen_range(0..duration_ms) * MS,
+            page: rng.gen_range(0..n_pages),
         })
+        .collect();
+    WriteTrace::new(events, duration_ms * MS, n_pages)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_config(rng: &mut SmallRng) -> MemconConfig {
+    let quantum = [512.0, 1024.0, 2048.0][rng.gen_range(0usize..3)];
+    let mode = if rng.gen_bool(0.5) {
+        TestMode::ReadAndCompare
+    } else {
+        TestMode::CopyAndCompare
+    };
+    let mut c = MemconConfig::paper_default()
+        .with_quantum_ms(quantum)
+        .with_test_mode(mode);
+    c.concurrent_tests = rng.gen_range(1u32..64);
+    c.write_buffer_capacity = rng.gen_range(1usize..64);
+    c.steady_state_start = rng.gen_bool(0.5);
+    c
+}
 
-    #[test]
-    fn report_is_internally_consistent(
-        trace in trace_strategy(),
-        config in config_strategy(),
-        fail_rate in 0.0f64..0.5,
-    ) {
+#[test]
+fn report_is_internally_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xE1_0001);
+    for _ in 0..48 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let fail_rate = rng.gen_range(0.0f64..0.5);
         let mut engine = MemconEngine::with_oracle(
             config,
             trace.n_pages(),
             Box::new(RateOracle::new(fail_rate, 99)),
         );
         let r = engine.run(&trace);
-        prop_assert!((0.0..=r.upper_bound + 1e-9).contains(&r.refresh_reduction),
-            "reduction {} out of [0, {}]", r.refresh_reduction, r.upper_bound);
-        prop_assert!((0.0..=1.0).contains(&r.lo_coverage));
-        prop_assert!((0.0..=1.0).contains(&r.testing_fraction));
-        prop_assert!(r.lo_coverage + r.testing_fraction <= 1.0 + 1e-9);
-        prop_assert!(r.refresh_ops <= r.baseline_ops + 1e-9);
+        assert!(
+            (0.0..=r.upper_bound + 1e-9).contains(&r.refresh_reduction),
+            "reduction {} out of [0, {}]",
+            r.refresh_reduction,
+            r.upper_bound
+        );
+        assert!((0.0..=1.0).contains(&r.lo_coverage));
+        assert!((0.0..=1.0).contains(&r.testing_fraction));
+        assert!(r.lo_coverage + r.testing_fraction <= 1.0 + 1e-9);
+        assert!(r.refresh_ops <= r.baseline_ops + 1e-9);
         // Reduction follows the time integrals exactly.
         let implied = 1.0 - r.refresh_ops / r.baseline_ops;
-        prop_assert!((implied - r.refresh_reduction).abs() < 1e-9);
+        assert!((implied - r.refresh_reduction).abs() < 1e-9);
         // Classified tests never exceed finished engagements.
         let t = engine.internals().tests;
-        prop_assert_eq!(
+        assert_eq!(
             r.tests_correct + r.tests_mispredicted,
             t.completed + t.aborted
         );
-        prop_assert!(t.failed <= t.completed);
-        prop_assert_eq!(engine.final_states().len() as u64, trace.n_pages());
+        assert!(t.failed <= t.completed);
+        assert_eq!(engine.final_states().len() as u64, trace.n_pages());
     }
+}
 
-    #[test]
-    fn pages_written_in_final_quantum_are_not_lo(
-        trace in trace_strategy(),
-        config in config_strategy(),
-    ) {
+#[test]
+fn pages_written_in_final_quantum_are_not_lo() {
+    let mut rng = SmallRng::seed_from_u64(0xE1_0002);
+    for _ in 0..48 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
         let quantum_ns = (config.quantum_ms * 1e6) as u64;
-        let mut engine = MemconEngine::with_oracle(
-            config,
-            trace.n_pages(),
-            Box::new(RateOracle::new(0.0, 7)),
-        );
+        let mut engine =
+            MemconEngine::with_oracle(config, trace.n_pages(), Box::new(RateOracle::new(0.0, 7)));
         let _ = engine.run(&trace);
         // Any page whose last write falls within the final quantum cannot
         // have been re-tested (candidacy requires a full idle quantum after
@@ -99,7 +98,7 @@ proptest! {
         // never tested at all... which also forbids LO-REF. Either way:
         for e in trace.events() {
             if e.time_ns + quantum_ns > trace.duration_ns() {
-                prop_assert_ne!(
+                assert_ne!(
                     engine.final_states()[e.page as usize],
                     PageState::LoRef,
                     "page {} written at {} ns is at LO-REF",
@@ -109,21 +108,20 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn all_failing_oracle_forbids_lo_everywhere(
-        trace in trace_strategy(),
-        config in config_strategy(),
-    ) {
-        let mut engine = MemconEngine::with_oracle(
-            config,
-            trace.n_pages(),
-            Box::new(RateOracle::new(1.0, 3)),
-        );
+#[test]
+fn all_failing_oracle_forbids_lo_everywhere() {
+    let mut rng = SmallRng::seed_from_u64(0xE1_0003);
+    for _ in 0..48 {
+        let trace = random_trace(&mut rng);
+        let config = random_config(&mut rng);
+        let mut engine =
+            MemconEngine::with_oracle(config, trace.n_pages(), Box::new(RateOracle::new(1.0, 3)));
         let r = engine.run(&trace);
-        prop_assert_eq!(r.lo_coverage, 0.0);
+        assert_eq!(r.lo_coverage, 0.0);
         for (p, &s) in engine.final_states().iter().enumerate() {
-            prop_assert_ne!(s, PageState::LoRef, "page {} at LO-REF", p);
+            assert_ne!(s, PageState::LoRef, "page {p} at LO-REF");
         }
     }
 }

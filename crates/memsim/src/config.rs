@@ -6,13 +6,11 @@
 //! > Baseline `tREFI`/`tRFC`: 1.95 µs / 350 ns; MEMCON `tREFI`: LO-REF
 //! > 7.8 µs, HI-REF 1.95 µs; `tRFC`: 350/530/890 ns for 8/16/32 Gb chips.
 
-use serde::{Deserialize, Serialize};
-
 use dram::geometry::{ChipDensity, DramGeometry};
 use dram::timing::TimingParams;
 
 /// Refresh policy for a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RefreshPolicy {
     /// No refresh at all (the ideal bound; also used in unit tests).
     None,
@@ -69,7 +67,7 @@ impl RefreshPolicy {
 }
 
 /// Full system configuration for one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores.
     pub cores: usize,

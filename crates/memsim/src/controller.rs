@@ -9,22 +9,32 @@
 //!    bank scan issues first; a bank whose queue head conflicts with its open
 //!    row is precharged; an idle bank with waiting requests is activated.
 //!
-//! Column commands contend for the shared data bus (one burst at a time).
+//! Column commands contend for the shared data bus (one burst at a time);
+//! activates additionally respect the rank-level `tRRD` minimum spacing and
+//! the `tFAW` four-activate window.
+//!
+//! Every command leaves through one choke point ([`MemoryController`]
+//! internally routes all bank commands through a single issue helper), which
+//! feeds the optional command-trace recorder and — under the
+//! `strict-invariants` feature — the online [`crate::protocol`] auditor,
+//! which panics on the first protocol violation with a cycle-accurate
+//! diagnostic.
 
 use std::collections::VecDeque;
-
-use serde::{Deserialize, Serialize};
 
 use dram::bank::{Bank, BURST_CYCLES};
 use dram::command::DramCommand;
 use dram::timing::TimingParams;
 
 use crate::config::SystemConfig;
+use crate::protocol::CmdRecord;
+#[cfg(feature = "strict-invariants")]
+use crate::protocol::ProtocolChecker;
 use crate::refresh::RefreshScheduler;
 use crate::request::{Completion, MemRequest};
 
 /// Aggregate controller statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtrlStats {
     /// Completed read requests.
     pub reads: u64,
@@ -64,6 +74,12 @@ pub struct MemoryController {
     refresh: RefreshScheduler,
     refresh_in_progress_until: u64,
     rr_start: usize,
+    /// Recent `ACT` cycles on the rank (at most 4 kept), for `tRRD`/`tFAW`.
+    act_history: VecDeque<u64>,
+    /// Command-trace recorder; `None` until enabled.
+    recorder: Option<Vec<CmdRecord>>,
+    #[cfg(feature = "strict-invariants")]
+    checker: ProtocolChecker,
     /// Completions drained by the system each cycle.
     completions: Vec<Completion>,
     /// Aggregate statistics.
@@ -75,17 +91,120 @@ impl MemoryController {
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
         let n_banks = usize::from(config.geometry.ranks) * usize::from(config.geometry.banks);
+        let refresh = RefreshScheduler::new(config.refresh, &config.timing);
+        #[cfg(feature = "strict-invariants")]
+        let checker = {
+            let c = ProtocolChecker::new(config.timing, n_banks);
+            match refresh.trefi_cycles() {
+                Some(trefi) => c.with_refresh_obligation(trefi),
+                None => c,
+            }
+        };
         MemoryController {
             timing: config.timing,
             banks: (0..n_banks).map(|_| Bank::new()).collect(),
             queues: (0..n_banks).map(|_| VecDeque::new()).collect(),
             capacity: config.queue_capacity,
             bus_data_end: 0,
-            refresh: RefreshScheduler::new(config.refresh, &config.timing),
+            refresh,
             refresh_in_progress_until: 0,
             rr_start: 0,
+            act_history: VecDeque::new(),
+            recorder: None,
+            #[cfg(feature = "strict-invariants")]
+            checker,
             completions: Vec::new(),
             stats: CtrlStats::default(),
+        }
+    }
+
+    /// Starts (or stops) recording every issued command for offline auditing
+    /// with [`crate::protocol::ProtocolChecker::audit`]. Enabling clears any
+    /// previously captured trace.
+    pub fn record_commands(&mut self, enable: bool) {
+        self.recorder = enable.then(Vec::new);
+    }
+
+    /// Takes the captured command trace (empty if recording is disabled),
+    /// leaving recording on if it was on.
+    pub fn take_command_trace(&mut self) -> Vec<CmdRecord> {
+        match &mut self.recorder {
+            Some(trace) => std::mem::take(trace),
+            None => Vec::new(),
+        }
+    }
+
+    /// The timing parameters this controller schedules against.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Effective refresh-command interval, if refresh is enabled (what an
+    /// offline audit should pass as the `tREFI` obligation).
+    #[must_use]
+    pub fn trefi_cycles(&self) -> Option<u64> {
+        self.refresh.trefi_cycles()
+    }
+
+    /// Routes one bank command through the single issue choke point: the
+    /// bank automaton applies it, the recorder and (under
+    /// `strict-invariants`) the online protocol auditor observe it.
+    ///
+    /// Returns `None` if the bank rejected a command the scheduler believed
+    /// legal — a scheduler bug, surfaced loudly in debug builds and skipped
+    /// (leaving state untouched) in release builds.
+    fn issue_checked(&mut self, bank: usize, cmd: DramCommand, row: u32, now: u64) -> Option<u64> {
+        match self.banks[bank].issue(cmd, row, now, &self.timing) {
+            Ok(done) => {
+                #[cfg(feature = "strict-invariants")]
+                if let Err(e) = self.banks[bank].check_invariants() {
+                    // memlint: allow (deliberate strict-invariants abort)
+                    panic!("bank {bank} invariant violation after {cmd} at cycle {now}: {e}");
+                }
+                self.observe(CmdRecord::bank_cmd(now, bank, row, cmd));
+                Some(done)
+            }
+            Err(e) => {
+                debug_assert!(false, "scheduler issued illegal {cmd} on bank {bank}: {e}");
+                None
+            }
+        }
+    }
+
+    /// Feeds a just-issued command to the recorder and the online auditor.
+    fn observe(&mut self, rec: CmdRecord) {
+        if let Some(trace) = &mut self.recorder {
+            trace.push(rec);
+        }
+        #[cfg(feature = "strict-invariants")]
+        if let Err(v) = self.checker.observe(rec) {
+            panic!("DDR3 protocol violation: {v}"); // memlint: allow (deliberate strict-invariants abort)
+        }
+    }
+
+    /// Whether the rank-level activate constraints (`tRRD` and the `tFAW`
+    /// four-activate window) permit an `ACT` at `now`.
+    fn rank_act_allowed(&self, now: u64) -> bool {
+        if let Some(&last) = self.act_history.back() {
+            if now < last + self.timing.trrd_cycles() {
+                return false;
+            }
+        }
+        let window_start = now.saturating_sub(self.timing.tfaw_cycles() - 1);
+        self.act_history
+            .iter()
+            .filter(|&&c| c >= window_start)
+            .count()
+            < 4
+    }
+
+    /// Records an `ACT` in the rank activate history (only the last four
+    /// matter for `tRRD`/`tFAW`).
+    fn note_act(&mut self, now: u64) {
+        self.act_history.push_back(now);
+        while self.act_history.len() > 4 {
+            self.act_history.pop_front();
         }
     }
 
@@ -134,15 +253,21 @@ impl MemoryController {
     }
 
     fn issue_column(&mut self, bank: usize, queue_idx: usize, now: u64) {
-        let req = self.queues[bank].remove(queue_idx).expect("index checked");
+        let Some(req) = self.queues[bank].remove(queue_idx) else {
+            debug_assert!(false, "column issue with stale queue index {queue_idx}");
+            return;
+        };
         let cmd = if req.is_write {
             DramCommand::Write
         } else {
             DramCommand::Read
         };
-        let done = self.banks[bank]
-            .issue(cmd, req.row, now, &self.timing)
-            .expect("scheduler checked legality");
+        let Some(done) = self.issue_checked(bank, cmd, req.row, now) else {
+            // Unreachable by construction (the scheduler checked legality);
+            // requeue at the front so the request is not lost.
+            self.queues[bank].push_front(req);
+            return;
+        };
         self.bus_data_end = done;
         self.stats.column_accesses += 1;
         if req.is_write {
@@ -173,14 +298,13 @@ impl MemoryController {
                 if self.banks[b].open_row().is_some() {
                     all_idle = false;
                     if self.banks[b].check(DramCommand::Precharge, now).is_ok() {
-                        let _ = self.banks[b]
-                            .issue(DramCommand::Precharge, 0, now, &self.timing)
-                            .expect("checked");
+                        let _ = self.issue_checked(b, DramCommand::Precharge, 0, now);
                         // One command per cycle.
                         return;
                     }
                 } else {
-                    latest_ready = latest_ready.max(self.banks[b].ready_cycle(DramCommand::Refresh));
+                    latest_ready =
+                        latest_ready.max(self.banks[b].ready_cycle(DramCommand::Refresh));
                 }
             }
             if all_idle && latest_ready <= now {
@@ -188,6 +312,7 @@ impl MemoryController {
                 for b in &mut self.banks {
                     b.block_until(end);
                 }
+                self.observe(CmdRecord::rank_cmd(now, DramCommand::Refresh));
                 self.refresh_in_progress_until = end;
                 self.stats.refreshes = self.refresh.issued;
                 self.stats.refresh_blackout_cycles += 1; // the issuing cycle
@@ -249,10 +374,11 @@ impl MemoryController {
             };
             match self.banks[bank].open_row() {
                 None => {
-                    if self.banks[bank].check(DramCommand::Activate, now).is_ok() {
-                        let _ = self.banks[bank]
-                            .issue(DramCommand::Activate, head.row, now, &self.timing)
-                            .expect("checked");
+                    if self.rank_act_allowed(now)
+                        && self.banks[bank].check(DramCommand::Activate, now).is_ok()
+                    {
+                        let _ = self.issue_checked(bank, DramCommand::Activate, head.row, now);
+                        self.note_act(now);
                         self.stats.acts += 1;
                         self.rr_start = (bank + 1) % n;
                         return;
@@ -262,9 +388,7 @@ impl MemoryController {
                     let any_hit = self.queues[bank].iter().any(|r| r.row == open);
                     let drain = !any_hit || self.front_is_starved(bank, open, now);
                     if drain && self.banks[bank].check(DramCommand::Precharge, now).is_ok() {
-                        let _ = self.banks[bank]
-                            .issue(DramCommand::Precharge, 0, now, &self.timing)
-                            .expect("checked");
+                        let _ = self.issue_checked(bank, DramCommand::Precharge, 0, now);
                         self.rr_start = (bank + 1) % n;
                         return;
                     }
@@ -429,7 +553,11 @@ mod tests {
             }
         }
         // tRFC = 280 cycles blackout; completion must come after it.
-        assert!(done[0].done_cycle >= trefi + 280, "done at {}", done[0].done_cycle);
+        assert!(
+            done[0].done_cycle >= trefi + 280,
+            "done at {}",
+            done[0].done_cycle
+        );
     }
 
     #[test]

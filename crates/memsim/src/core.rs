@@ -12,7 +12,7 @@ use std::collections::{HashSet, VecDeque};
 use memtrace::cpu::{AccessTraceGenerator, CpuAccess};
 
 use crate::controller::MemoryController;
-use crate::request::{MemRequest, Requester, RequestId};
+use crate::request::{MemRequest, RequestId, Requester};
 
 /// One instruction-window entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -376,7 +376,10 @@ mod tests {
                 break;
             }
         }
-        assert!(core.done(), "write-only stream should retire without completions");
+        assert!(
+            core.done(),
+            "write-only stream should retire without completions"
+        );
     }
 
     #[test]
@@ -386,8 +389,7 @@ mod tests {
             rows_per_bank: 1024,
             row_base: 0,
         };
-        let banks: std::collections::HashSet<usize> =
-            (0..16u64).map(|r| map.map(r).0).collect();
+        let banks: std::collections::HashSet<usize> = (0..16u64).map(|r| map.map(r).0).collect();
         assert_eq!(banks.len(), 8);
         let (b0, r0) = map.map(0);
         let (b8, r8) = map.map(8);

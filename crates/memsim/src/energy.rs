@@ -12,14 +12,12 @@
 //! Micron DDR3 datasheets and the DRAMPower model); background power is
 //! charged per cycle and scales with how long the rank is active.
 
-use serde::{Deserialize, Serialize};
-
 use crate::controller::CtrlStats;
 use dram::timing::TimingParams;
 
 /// Energy cost parameters, in nanojoules per operation (whole-rank, i.e.
 /// all chips of the DIMM together).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// One ACT + PRE pair (row cycle).
     pub activate_nj: f64,
@@ -51,7 +49,7 @@ impl EnergyParams {
 }
 
 /// Energy breakdown of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Activate/precharge energy, nJ.
     pub activate_nj: f64,

@@ -11,7 +11,11 @@
 //!   `tREFI`),
 //! * [`request`] — memory requests at cache-block granularity,
 //! * [`controller`] — an FR-FCFS memory controller over timing-checked
-//!   [`dram::bank::Bank`] state machines with rank-level refresh blackouts,
+//!   [`dram::bank::Bank`] state machines with rank-level `tRRD`/`tFAW`
+//!   enforcement and refresh blackouts,
+//! * [`protocol`] — an independent DDR3 protocol auditor that re-validates
+//!   recorded command traces (and, under the `strict-invariants` feature,
+//!   every command the controller issues, online),
 //! * [`refresh`] — refresh policies: fixed-interval baselines and the
 //!   reduced-rate model for MEMCON/RAIDR,
 //! * [`core`] — a USIMM-style out-of-order core frontend (ROB occupancy,
@@ -41,6 +45,7 @@ pub mod config;
 pub mod controller;
 pub mod core;
 pub mod energy;
+pub mod protocol;
 pub mod refresh;
 pub mod request;
 pub mod system;

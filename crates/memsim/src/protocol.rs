@@ -1,0 +1,662 @@
+//! DRAM protocol auditor: an independent shadow model of the DDR3 bank and
+//! rank state machines that validates every command the controller issues.
+//!
+//! [`crate::controller::MemoryController`] already refuses commands its
+//! per-bank [`dram::bank::Bank`] automata reject — but the automata only see
+//! what the controller shows them, so a scheduler bug that *bypasses* a bank
+//! (wrong row on a column command, an activate slipped inside a refresh
+//! blackout, rank-level `tRRD`/`tFAW` never consulted) is invisible to them.
+//! The [`ProtocolChecker`] re-derives every constraint from scratch off the
+//! raw command stream:
+//!
+//! * **bank state machine** — `ACT` only on a closed bank, column commands
+//!   only on an open bank *and only to the open row*, `REF` only with every
+//!   bank precharged,
+//! * **bank timing** — `tRCD` (ACT→column), `tRP` (PRE→ACT), `tRAS`
+//!   (ACT→PRE), `tCCD` (column→column), `tRTP`/`tWR` (column→PRE), `tWTR`
+//!   (write→read turnaround),
+//! * **rank timing** — `tRRD` (ACT→ACT across banks) and the `tFAW`
+//!   sliding window (at most 4 activates in any `tFAW` span),
+//! * **refresh** — no command may land inside the `tRFC` blackout, and when
+//!   a `tREFI` obligation is configured, consecutive `REF` commands may drift
+//!   apart by at most 9×`tREFI` (DDR3 allows postponing up to eight refresh
+//!   commands, which bounds every row's refresh window),
+//! * **buses** — one command per cycle on the command bus; data bursts on
+//!   the shared data bus must not overlap.
+//!
+//! Two ways to run it:
+//!
+//! * **online** — the controller owns a checker when the `strict-invariants`
+//!   feature is enabled and panics on the first violation, turning every
+//!   existing simulation and test into a protocol audit,
+//! * **offline** — record a command trace with
+//!   [`crate::controller::MemoryController::record_commands`] and replay it
+//!   through [`ProtocolChecker::audit`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dram::command::DramCommand;
+use dram::timing::TimingParams;
+
+/// One command as it appeared on the command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdRecord {
+    /// Controller cycle at which the command issued.
+    pub cycle: u64,
+    /// Target bank; `None` for rank-level commands (`REF`).
+    pub bank: Option<usize>,
+    /// Target row (activates: the row being opened; column commands: the row
+    /// the scheduler believes is open; otherwise 0).
+    pub row: u32,
+    /// The command.
+    pub command: DramCommand,
+}
+
+impl CmdRecord {
+    /// A per-bank command record.
+    #[must_use]
+    pub fn bank_cmd(cycle: u64, bank: usize, row: u32, command: DramCommand) -> Self {
+        CmdRecord {
+            cycle,
+            bank: Some(bank),
+            row,
+            command,
+        }
+    }
+
+    /// A rank-level command record (`REF`).
+    #[must_use]
+    pub fn rank_cmd(cycle: u64, command: DramCommand) -> Self {
+        CmdRecord {
+            cycle,
+            bank: None,
+            row: 0,
+            command,
+        }
+    }
+}
+
+impl fmt::Display for CmdRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bank {
+            Some(b) => write!(
+                f,
+                "@{} {} bank {} row {}",
+                self.cycle,
+                self.command.mnemonic(),
+                b,
+                self.row
+            ),
+            None => write!(f, "@{} {} (rank)", self.cycle, self.command.mnemonic()),
+        }
+    }
+}
+
+/// A command that broke the DDR3 protocol, with the constraint it violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// The offending command.
+    pub record: CmdRecord,
+    /// Short name of the violated constraint (`"tFAW"`, `"row-mismatch"`…).
+    pub constraint: &'static str,
+    /// Human-readable diagnosis with the numbers that matter.
+    pub detail: String,
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.record, self.constraint, self.detail)
+    }
+}
+
+/// Shadow of one bank's protocol-relevant state.
+#[derive(Debug, Clone, Default)]
+struct ShadowBank {
+    open_row: Option<u32>,
+    /// Earliest legal `ACT` (tRP after PRE, tRFC after REF).
+    earliest_act: u64,
+    /// Earliest legal read (tRCD after ACT, tCCD after a column command,
+    /// write burst + tWTR after a write).
+    earliest_read: u64,
+    /// Earliest legal write (tRCD after ACT, tCCD after a column command).
+    earliest_write: u64,
+    /// Earliest legal `PRE` (tRAS after ACT, tRTP after RD, data + tWR
+    /// after WR).
+    earliest_pre: u64,
+}
+
+/// The auditor. Feed it the command stream in issue order via
+/// [`ProtocolChecker::observe`]; collect what it found via
+/// [`ProtocolChecker::violations`].
+#[derive(Debug)]
+pub struct ProtocolChecker {
+    timing: TimingParams,
+    banks: Vec<ShadowBank>,
+    /// Recent `ACT` cycles on this rank, oldest first (pruned to the tFAW
+    /// window plus the most recent entry for tRRD).
+    act_history: VecDeque<u64>,
+    /// Cycle of the last command on the shared command bus.
+    last_cmd_cycle: Option<u64>,
+    /// End of the last scheduled data burst on the shared data bus.
+    bus_data_end: u64,
+    /// End of the current refresh blackout.
+    refresh_until: u64,
+    /// Cycle of the last `REF`.
+    last_refresh: Option<u64>,
+    /// When set, consecutive `REF`s must be at most `9 × tREFI` apart.
+    trefi_cycles: Option<u64>,
+    /// Commands observed.
+    pub checked: u64,
+    violations: Vec<ProtocolViolation>,
+}
+
+impl ProtocolChecker {
+    /// A checker for `n_banks` banks on one rank.
+    #[must_use]
+    pub fn new(timing: TimingParams, n_banks: usize) -> Self {
+        ProtocolChecker {
+            timing,
+            banks: vec![ShadowBank::default(); n_banks],
+            act_history: VecDeque::new(),
+            last_cmd_cycle: None,
+            bus_data_end: 0,
+            refresh_until: 0,
+            last_refresh: None,
+            trefi_cycles: None,
+            checked: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Additionally enforces the refresh-window obligation: consecutive
+    /// `REF` commands at most `9 × trefi_cycles` apart (8 postponable
+    /// refreshes plus the current interval), which bounds the refresh window
+    /// of every row on the rank.
+    #[must_use]
+    pub fn with_refresh_obligation(mut self, trefi_cycles: u64) -> Self {
+        self.trefi_cycles = Some(trefi_cycles);
+        self
+    }
+
+    /// The violations collected so far, in command order.
+    #[must_use]
+    pub fn violations(&self) -> &[ProtocolViolation] {
+        &self.violations
+    }
+
+    /// Consumes the checker, returning every violation it collected.
+    #[must_use]
+    pub fn into_violations(self) -> Vec<ProtocolViolation> {
+        self.violations
+    }
+
+    /// Replays a recorded command trace through a fresh checker and returns
+    /// every violation (the offline audit entry point).
+    #[must_use]
+    pub fn audit(
+        timing: TimingParams,
+        n_banks: usize,
+        trefi_cycles: Option<u64>,
+        records: &[CmdRecord],
+    ) -> Vec<ProtocolViolation> {
+        let mut checker = ProtocolChecker::new(timing, n_banks);
+        if let Some(trefi) = trefi_cycles {
+            checker = checker.with_refresh_obligation(trefi);
+        }
+        for r in records {
+            let _ = checker.observe(*r);
+        }
+        checker.into_violations()
+    }
+
+    /// Validates one command against the shadow state, updates the shadow,
+    /// and returns the violation (if any). Violations are also retained in
+    /// [`ProtocolChecker::violations`]. The shadow advances even for an
+    /// offending command, mirroring what the device would do with it.
+    ///
+    /// # Errors
+    ///
+    /// The first constraint the command violates, with cycle numbers.
+    pub fn observe(&mut self, rec: CmdRecord) -> Result<(), ProtocolViolation> {
+        self.checked += 1;
+        let verdict = self.validate(&rec);
+        self.advance(&rec);
+        if let Err(v) = &verdict {
+            self.violations.push(v.clone());
+        }
+        verdict
+    }
+
+    /// Pure validation of `rec` against the current shadow state.
+    fn validate(&self, rec: &CmdRecord) -> Result<(), ProtocolViolation> {
+        let t = &self.timing;
+        let now = rec.cycle;
+        let fail = |constraint: &'static str, detail: String| {
+            Err(ProtocolViolation {
+                record: *rec,
+                constraint,
+                detail,
+            })
+        };
+
+        // Command bus: one command per cycle, monotonically ordered.
+        if let Some(last) = self.last_cmd_cycle {
+            if now < last {
+                return fail(
+                    "cmd-order",
+                    format!("command at cycle {now} after one at cycle {last}"),
+                );
+            }
+            if now == last {
+                return fail(
+                    "cmd-bus",
+                    format!("second command in cycle {now} on a single command bus"),
+                );
+            }
+        }
+
+        // Refresh blackout: the rank accepts nothing until tRFC elapses.
+        if now < self.refresh_until {
+            return fail(
+                "tRFC",
+                format!(
+                    "issued during refresh blackout (rank busy until cycle {})",
+                    self.refresh_until
+                ),
+            );
+        }
+
+        let Some(bank_idx) = rec.bank else {
+            return self.validate_rank_cmd(rec);
+        };
+        let Some(bank) = self.banks.get(bank_idx) else {
+            return fail(
+                "bank-range",
+                format!("bank {bank_idx} out of range ({} banks)", self.banks.len()),
+            );
+        };
+
+        match rec.command {
+            DramCommand::Activate => {
+                if let Some(row) = bank.open_row {
+                    return fail("bank-state", format!("ACT while row {row} is already open"));
+                }
+                if now < bank.earliest_act {
+                    return fail(
+                        "tRP",
+                        format!("bank not precharged until cycle {}", bank.earliest_act),
+                    );
+                }
+                if let Some(&last_act) = self.act_history.back() {
+                    let ready = last_act + t.trrd_cycles();
+                    if now < ready {
+                        return fail(
+                            "tRRD",
+                            format!("previous ACT at cycle {last_act}, next legal at {ready}"),
+                        );
+                    }
+                }
+                // tFAW: this ACT may be at most the 4th in any tFAW window.
+                let window_start = now.saturating_sub(t.tfaw_cycles() - 1);
+                let in_window = self
+                    .act_history
+                    .iter()
+                    .filter(|&&c| c >= window_start)
+                    .count();
+                if in_window >= 4 {
+                    return fail(
+                        "tFAW",
+                        format!(
+                            "5th ACT within {} cycles (window starts at cycle {window_start})",
+                            t.tfaw_cycles()
+                        ),
+                    );
+                }
+                Ok(())
+            }
+            cmd if cmd.is_column() => {
+                let Some(open) = bank.open_row else {
+                    return fail("bank-state", "column command on a precharged bank".into());
+                };
+                if open != rec.row {
+                    return fail(
+                        "row-mismatch",
+                        format!("targets row {} but row {open} is open", rec.row),
+                    );
+                }
+                let earliest = if cmd.is_read() {
+                    bank.earliest_read
+                } else {
+                    bank.earliest_write
+                };
+                if now < earliest {
+                    return fail(
+                        if cmd.is_read() {
+                            "tRCD/tCCD/tWTR"
+                        } else {
+                            "tRCD/tCCD"
+                        },
+                        format!("column ready at cycle {earliest}"),
+                    );
+                }
+                // Data bus: this burst's window must start after the
+                // previous burst ends.
+                let data_start = now + t.tcl_cycles();
+                if data_start < self.bus_data_end {
+                    return fail(
+                        "data-bus",
+                        format!(
+                            "burst starting at cycle {data_start} overlaps one ending at {}",
+                            self.bus_data_end
+                        ),
+                    );
+                }
+                Ok(())
+            }
+            DramCommand::Precharge => {
+                if bank.open_row.is_some() && now < bank.earliest_pre {
+                    return fail(
+                        "tRAS/tRTP/tWR",
+                        format!("PRE legal from cycle {}", bank.earliest_pre),
+                    );
+                }
+                Ok(())
+            }
+            DramCommand::Refresh => fail(
+                "cmd-scope",
+                "REF is rank-level; record it with bank = None".into(),
+            ),
+            _ => fail("cmd-scope", format!("unhandled command {}", rec.command)),
+        }
+    }
+
+    fn validate_rank_cmd(&self, rec: &CmdRecord) -> Result<(), ProtocolViolation> {
+        let now = rec.cycle;
+        let fail = |constraint: &'static str, detail: String| {
+            Err(ProtocolViolation {
+                record: *rec,
+                constraint,
+                detail,
+            })
+        };
+        if rec.command != DramCommand::Refresh {
+            return fail(
+                "cmd-scope",
+                format!("{} is a per-bank command; record a bank index", rec.command),
+            );
+        }
+        for (i, bank) in self.banks.iter().enumerate() {
+            if let Some(row) = bank.open_row {
+                return fail("bank-state", format!("REF with row {row} open in bank {i}"));
+            }
+            if now < bank.earliest_act {
+                return fail(
+                    "tRP",
+                    format!("bank {i} not precharged until cycle {}", bank.earliest_act),
+                );
+            }
+        }
+        if let (Some(last), Some(trefi)) = (self.last_refresh, self.trefi_cycles) {
+            let deadline = last + 9 * trefi;
+            if now > deadline {
+                return fail(
+                    "tREFI-window",
+                    format!(
+                        "gap of {} cycles since the REF at cycle {last} exceeds 9*tREFI = {}",
+                        now - last,
+                        9 * trefi
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the shadow state past `rec`, mirroring
+    /// [`dram::bank::Bank::issue`]'s register updates.
+    fn advance(&mut self, rec: &CmdRecord) {
+        let t = self.timing;
+        let now = rec.cycle;
+        self.last_cmd_cycle = Some(self.last_cmd_cycle.unwrap_or(0).max(now));
+        // Keep only history that can still matter for tRRD/tFAW.
+        while let Some(&front) = self.act_history.front() {
+            if front + t.tfaw_cycles() + t.trrd_cycles() < now && self.act_history.len() > 1 {
+                self.act_history.pop_front();
+            } else {
+                break;
+            }
+        }
+        let Some(bank_idx) = rec.bank else {
+            if rec.command == DramCommand::Refresh {
+                let end = now + t.trfc_cycles();
+                self.refresh_until = end;
+                self.last_refresh = Some(now);
+                for b in &mut self.banks {
+                    b.earliest_act = b.earliest_act.max(end);
+                }
+            }
+            return;
+        };
+        let Some(bank) = self.banks.get_mut(bank_idx) else {
+            return;
+        };
+        match rec.command {
+            DramCommand::Activate => {
+                bank.open_row = Some(rec.row);
+                bank.earliest_read = now + t.trcd_cycles();
+                bank.earliest_write = now + t.trcd_cycles();
+                bank.earliest_pre = now + t.tras_cycles();
+                self.act_history.push_back(now);
+            }
+            DramCommand::Read | DramCommand::ReadAp => {
+                bank.earliest_read = now + t.tccd_cycles();
+                bank.earliest_write = now + t.tccd_cycles();
+                bank.earliest_pre = bank.earliest_pre.max(now + t.trtp_cycles());
+                self.bus_data_end = now + t.tcl_cycles() + dram::bank::BURST_CYCLES;
+                if rec.command.auto_precharges() {
+                    bank.open_row = None;
+                    bank.earliest_act = bank.earliest_act.max(bank.earliest_pre + t.trp_cycles());
+                }
+            }
+            DramCommand::Write | DramCommand::WriteAp => {
+                let data_done = now + t.tcl_cycles() + dram::bank::BURST_CYCLES;
+                bank.earliest_write = now + t.tccd_cycles();
+                bank.earliest_read = data_done + t.twtr_cycles();
+                bank.earliest_pre = bank.earliest_pre.max(data_done + t.twr_cycles());
+                self.bus_data_end = data_done;
+                if rec.command.auto_precharges() {
+                    bank.open_row = None;
+                    bank.earliest_act = bank.earliest_act.max(bank.earliest_pre + t.trp_cycles());
+                }
+            }
+            DramCommand::Precharge => {
+                bank.open_row = None;
+                bank.earliest_act = bank.earliest_act.max(now + t.trp_cycles());
+            }
+            DramCommand::Refresh => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn act(cycle: u64, bank: usize, row: u32) -> CmdRecord {
+        CmdRecord::bank_cmd(cycle, bank, row, DramCommand::Activate)
+    }
+    fn rd(cycle: u64, bank: usize, row: u32) -> CmdRecord {
+        CmdRecord::bank_cmd(cycle, bank, row, DramCommand::Read)
+    }
+    fn pre(cycle: u64, bank: usize) -> CmdRecord {
+        CmdRecord::bank_cmd(cycle, bank, 0, DramCommand::Precharge)
+    }
+    fn refresh(cycle: u64) -> CmdRecord {
+        CmdRecord::rank_cmd(cycle, DramCommand::Refresh)
+    }
+
+    #[test]
+    fn legal_open_read_close_sequence_is_clean() {
+        let timing = t();
+        let trace = [
+            act(0, 0, 5),
+            rd(timing.trcd_cycles(), 0, 5),
+            pre(timing.tras_cycles(), 0),
+            act(timing.tras_cycles() + timing.trp_cycles(), 0, 6),
+        ];
+        let v = ProtocolChecker::audit(timing, 8, None, &trace);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn early_read_is_a_trcd_violation() {
+        let v = ProtocolChecker::audit(t(), 8, None, &[act(0, 0, 5), rd(3, 0, 5)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "tRCD/tCCD/tWTR");
+        assert_eq!(v[0].record.cycle, 3);
+        assert!(v[0].detail.contains("9"), "diagnostic: {}", v[0].detail);
+    }
+
+    #[test]
+    fn column_to_wrong_row_is_caught() {
+        let timing = t();
+        let v = ProtocolChecker::audit(
+            timing,
+            8,
+            None,
+            &[act(0, 0, 5), rd(timing.trcd_cycles(), 0, 7)],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "row-mismatch");
+        assert!(v[0].detail.contains("row 7") && v[0].detail.contains("row 5"));
+    }
+
+    #[test]
+    fn fifth_act_in_window_violates_tfaw() {
+        let timing = t();
+        let gap = timing.trrd_cycles();
+        // Five activates to distinct banks, tRRD apart: the 5th lands well
+        // inside the tFAW window (4 * 5 = 20 < 24 cycles).
+        let trace: Vec<CmdRecord> = (0..5).map(|i| act(gap * i, i as usize, 1)).collect();
+        let v = ProtocolChecker::audit(timing, 8, None, &trace);
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert_eq!(v[0].constraint, "tFAW");
+        assert_eq!(v[0].record.cycle, gap * 4);
+    }
+
+    #[test]
+    fn act_pair_too_close_violates_trrd() {
+        let timing = t();
+        let v = ProtocolChecker::audit(timing, 8, None, &[act(0, 0, 1), act(2, 1, 1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "tRRD");
+        assert!(
+            v[0].detail.contains(&format!("{}", timing.trrd_cycles())),
+            "diagnostic should name the legal cycle: {}",
+            v[0].detail
+        );
+    }
+
+    #[test]
+    fn spaced_activates_pass_trrd_and_tfaw() {
+        let timing = t();
+        let gap = timing.tfaw_cycles() / 4 + 1; // 4 ACTs never fit a window
+        let trace: Vec<CmdRecord> = (0..8).map(|i| act(gap * i, i as usize, 1)).collect();
+        let v = ProtocolChecker::audit(timing, 8, None, &trace);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn command_during_refresh_blackout_is_caught() {
+        let timing = t();
+        let v = ProtocolChecker::audit(
+            timing,
+            8,
+            None,
+            &[refresh(100), act(100 + timing.trfc_cycles() - 1, 0, 1)],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "tRFC");
+    }
+
+    #[test]
+    fn refresh_with_open_row_is_caught() {
+        let v = ProtocolChecker::audit(t(), 8, None, &[act(0, 3, 9), refresh(5)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "bank-state");
+        assert!(v[0].detail.contains("bank 3"));
+    }
+
+    #[test]
+    fn postponed_refresh_beyond_nine_trefi_is_caught() {
+        let timing = t();
+        let trefi = 1563u64;
+        let v = ProtocolChecker::audit(
+            timing,
+            8,
+            Some(trefi),
+            &[refresh(0), refresh(9 * trefi + 1)],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "tREFI-window");
+        // Exactly at the bound is still legal.
+        let ok = ProtocolChecker::audit(timing, 8, Some(trefi), &[refresh(0), refresh(9 * trefi)]);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn overlapping_bursts_are_caught() {
+        let timing = t();
+        let rc = timing.trcd_cycles();
+        // Two reads on different banks one cycle apart: second burst starts
+        // inside the first (tCCD only constrains the same bank's column
+        // pipeline; the shared data bus catches the overlap).
+        let v = ProtocolChecker::audit(
+            timing,
+            8,
+            None,
+            &[
+                act(0, 0, 1),
+                act(timing.trrd_cycles(), 1, 2),
+                rd(rc + 5, 0, 1),
+                rd(rc + 6, 1, 2),
+            ],
+        );
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert_eq!(v[0].constraint, "data-bus");
+    }
+
+    #[test]
+    fn two_commands_in_one_cycle_are_caught() {
+        let v = ProtocolChecker::audit(t(), 8, None, &[act(0, 0, 1), act(0, 1, 1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "cmd-bus");
+    }
+
+    #[test]
+    fn act_on_open_bank_and_early_precharge_are_caught() {
+        let timing = t();
+        let v = ProtocolChecker::audit(timing, 8, None, &[act(0, 0, 1), act(40, 0, 2)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "bank-state");
+        let v2 = ProtocolChecker::audit(timing, 8, None, &[act(0, 0, 1), pre(5, 0)]);
+        assert_eq!(v2.len(), 1);
+        assert_eq!(v2[0].constraint, "tRAS/tRTP/tWR");
+    }
+
+    #[test]
+    fn violations_accumulate_and_display_reads_well() {
+        let mut c = ProtocolChecker::new(t(), 8);
+        assert!(c.observe(act(0, 0, 1)).is_ok());
+        let err = c.observe(rd(1, 0, 1)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("RD") && msg.contains("bank 0"), "{msg}");
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.checked, 2);
+    }
+}

@@ -7,13 +7,11 @@
 //! by stretching the effective `tREFI` according to the refresh-operation
 //! reduction they achieve.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::RefreshPolicy;
 use dram::timing::TimingParams;
 
 /// Tracks when refreshes are due and how many were issued.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefreshScheduler {
     trefi_cycles: Option<u64>,
     next_due: u64,

@@ -1,14 +1,12 @@
 //! Memory requests at cache-block granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier handed back on completion so the issuing core can unblock the
 /// right ROB entry.
 pub type RequestId = u64;
 
 /// Who issued a request — a core (demand traffic) or the MEMCON test engine
 /// (injected test traffic, Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Requester {
     /// Demand access from core `id`.
     Core(u8),
@@ -17,7 +15,7 @@ pub enum Requester {
 }
 
 /// One cache-block DRAM request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Unique id (assigned by the system).
     pub id: RequestId,
@@ -36,7 +34,7 @@ pub struct MemRequest {
 }
 
 /// A completed request: its id and the cycle its data transfer finished.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The completed request's id.
     pub id: RequestId,
@@ -69,7 +67,7 @@ mod tests {
             is_write: false,
             arrive_cycle: 100,
         };
-        let s = serde_json::to_string(&r).unwrap();
-        assert_eq!(serde_json::from_str::<MemRequest>(&s).unwrap(), r);
+        let copy = r;
+        assert_eq!(copy, r, "MemRequest is Copy + Eq plain data");
     }
 }

@@ -5,8 +5,6 @@
 //! every core retires its instruction target, then reports per-core cycle
 //! counts and IPC plus the DRAM statistics the experiments aggregate.
 
-use serde::{Deserialize, Serialize};
-
 use memtrace::cpu::{AccessTraceGenerator, CpuWorkloadProfile};
 
 use crate::config::SystemConfig;
@@ -16,7 +14,7 @@ use crate::request::Requester;
 use crate::testinject::{TestInjectConfig, TestTrafficInjector};
 
 /// Results of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// DRAM cycle at which each core reached its instruction target.
     pub per_core_cycles: Vec<u64>,
@@ -135,7 +133,13 @@ impl System {
                     self.config.geometry.blocks_per_row(),
                     self.seed.wrapping_add(i as u64 * 0x9E37_79B9),
                 );
-                OooCore::new(i as u8, gen, map, u64::from(self.config.window), instructions_per_core)
+                OooCore::new(
+                    i as u8,
+                    gen,
+                    map,
+                    u64::from(self.config.window),
+                    instructions_per_core,
+                )
             })
             .collect();
         self.instructions_per_core = instructions_per_core;
@@ -298,8 +302,7 @@ mod tests {
             .with_test_injection(crate::testinject::TestInjectConfig::read_and_compare(256));
         let with_tests = injected.run(INST);
         assert!(with_tests.test_requests > 0);
-        let slowdown =
-            with_tests.per_core_cycles[0] as f64 / base.per_core_cycles[0] as f64 - 1.0;
+        let slowdown = with_tests.per_core_cycles[0] as f64 / base.per_core_cycles[0] as f64 - 1.0;
         // Paper Table 3: ~0.5% at 256 tests; allow generous headroom but it
         // must stay small.
         assert!(

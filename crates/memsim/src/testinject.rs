@@ -6,15 +6,14 @@
 //! injector spreads the resulting block accesses uniformly over the window
 //! and contends with demand traffic like any other requester.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use crate::controller::MemoryController;
-use crate::request::{MemRequest, Requester, RequestId};
+use crate::request::{MemRequest, RequestId, Requester};
 
 /// Configuration of the injected test traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TestInjectConfig {
     /// Tests performed per window (paper: 256, 512, or 1024).
     pub concurrent_tests: u32,

@@ -1,12 +1,14 @@
 //! Property tests of the memory controller: for arbitrary request streams,
 //! every accepted request completes exactly once, in bounded time, with
 //! bank/bus constraints visible in the completion times.
-
-use proptest::prelude::*;
+//!
+//! Originally `proptest` strategies; rewritten as seeded-PRNG loops so the
+//! workspace builds hermetically offline.
 
 use memsim::config::{RefreshPolicy, SystemConfig};
 use memsim::controller::MemoryController;
 use memsim::request::{MemRequest, Requester};
+use memutil::rng::{Rng, SeedableRng, SmallRng};
 
 use dram::geometry::ChipDensity;
 
@@ -25,26 +27,23 @@ struct ReqSpec {
     gap: u8,
 }
 
-fn req_strategy() -> impl Strategy<Value = ReqSpec> {
-    (0usize..8, 0u32..64, 0u32..128, any::<bool>(), 0u8..40).prop_map(
-        |(bank, row, block, is_write, gap)| ReqSpec {
-            bank,
-            row,
-            block,
-            is_write,
-            gap,
-        },
-    )
+fn random_spec(rng: &mut SmallRng) -> ReqSpec {
+    ReqSpec {
+        bank: rng.gen_range(0usize..8),
+        row: rng.gen_range(0u32..64),
+        block: rng.gen_range(0u32..128),
+        is_write: rng.gen_bool(0.5),
+        gap: rng.gen_range(0u8..40),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_accepted_request_completes_exactly_once(
-        specs in proptest::collection::vec(req_strategy(), 1..80),
-        refresh in any::<bool>(),
-    ) {
+#[test]
+fn every_accepted_request_completes_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(0xC7_0001);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..80);
+        let specs: Vec<ReqSpec> = (0..n).map(|_| random_spec(&mut rng)).collect();
+        let refresh = rng.gen_bool(0.5);
         let policy = if refresh {
             RefreshPolicy::baseline_16ms()
         } else {
@@ -84,28 +83,37 @@ proptest! {
             }
             now += 1;
         }
-        prop_assert!(upcoming.is_none() && ctrl.queued() == 0,
-            "requests left unserved after {now} cycles");
+        assert!(
+            upcoming.is_none() && ctrl.queued() == 0,
+            "case {case}: requests left unserved after {now} cycles"
+        );
         // Exactly-once completion.
         let mut ids: Vec<u64> = completed.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), completed.len(), "duplicate completions");
-        prop_assert_eq!(ids.len(), accepted.len(), "missing completions");
+        assert_eq!(ids.len(), completed.len(), "duplicate completions");
+        assert_eq!(ids.len(), accepted.len(), "missing completions");
         // Data bursts never overlap: completions sorted by done_cycle differ
         // by at least the burst length when on the shared bus.
         let mut dones: Vec<u64> = completed.iter().map(|c| c.done_cycle).collect();
         dones.sort_unstable();
         for w in dones.windows(2) {
-            prop_assert!(w[1] - w[0] >= 4 || w[1] == w[0],
-                "bursts overlap: {} then {}", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= 4 || w[1] == w[0],
+                "bursts overlap: {} then {}",
+                w[0],
+                w[1]
+            );
         }
     }
+}
 
-    #[test]
-    fn stats_reads_plus_writes_equals_completions(
-        specs in proptest::collection::vec(req_strategy(), 1..40),
-    ) {
+#[test]
+fn stats_reads_plus_writes_equals_completions() {
+    let mut rng = SmallRng::seed_from_u64(0xC7_0002);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..40);
+        let specs: Vec<ReqSpec> = (0..n).map(|_| random_spec(&mut rng)).collect();
         let mut ctrl = MemoryController::new(&config(RefreshPolicy::None));
         let mut enqueued = 0u64;
         for (i, s) in specs.iter().enumerate() {
@@ -130,7 +138,7 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(done, enqueued);
-        prop_assert_eq!(ctrl.stats.reads + ctrl.stats.writes, enqueued);
+        assert_eq!(done, enqueued);
+        assert_eq!(ctrl.stats.reads + ctrl.stats.writes, enqueued);
     }
 }

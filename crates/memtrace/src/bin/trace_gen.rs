@@ -2,7 +2,8 @@
 //!
 //! The paper published its (binary) write-interval traces online; this tool
 //! produces the equivalent artifacts from the calibrated generators, as JSON
-//! (the `WriteTrace` serde form) or a compact `time_ns page` text listing.
+//! (the `WriteTrace::to_json` form) or a compact `time_ns page` text
+//! listing.
 //!
 //! ```text
 //! trace-gen <workload|all> [--scale S] [--window SECONDS] [--seed N]
@@ -34,10 +35,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
             "--window" => {
@@ -73,7 +71,7 @@ fn export(profile: &WorkloadProfile, args: &Args) -> std::io::Result<()> {
     let path = args.out.join(format!("{}.trace.{ext}", w.name));
     let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
     if args.json {
-        serde_json::to_writer(&mut file, &trace).map_err(std::io::Error::other)?;
+        file.write_all(trace.to_json().emit().as_bytes())?;
     } else {
         writeln!(
             file,

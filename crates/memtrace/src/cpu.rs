@@ -8,13 +8,12 @@
 //! The generator yields an infinite instruction-annotated access stream the
 //! core model consumes.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memutil::rng::SliceRandom;
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 /// One application's memory behaviour at the DRAM interface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuWorkloadProfile {
     /// Display name.
     pub name: &'static str,
@@ -84,7 +83,7 @@ pub fn random_mixes(n_mixes: usize, cores: usize, seed: u64) -> Vec<Vec<CpuWorkl
 
 /// One memory access annotated with the number of non-memory instructions
 /// retired before it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuAccess {
     /// Non-memory instructions preceding this access.
     pub inst_gap: u64,
@@ -234,12 +233,10 @@ mod tests {
             row_locality: 0.9,
             footprint_rows: 10_000,
         };
-        let accesses: Vec<CpuAccess> =
-            AccessTraceGenerator::new(profile, 128, 3).take(10_000).collect();
-        let same_row = accesses
-            .windows(2)
-            .filter(|w| w[0].row == w[1].row)
-            .count();
+        let accesses: Vec<CpuAccess> = AccessTraceGenerator::new(profile, 128, 3)
+            .take(10_000)
+            .collect();
+        let same_row = accesses.windows(2).filter(|w| w[0].row == w[1].row).count();
         let frac = same_row as f64 / (accesses.len() - 1) as f64;
         assert!(frac > 0.85, "same-row fraction {frac}");
     }
@@ -247,8 +244,12 @@ mod tests {
     #[test]
     fn generator_is_deterministic() {
         let profile = spec_tpc_pool()[4];
-        let a: Vec<_> = AccessTraceGenerator::new(profile, 128, 7).take(100).collect();
-        let b: Vec<_> = AccessTraceGenerator::new(profile, 128, 7).take(100).collect();
+        let a: Vec<_> = AccessTraceGenerator::new(profile, 128, 7)
+            .take(100)
+            .collect();
+        let b: Vec<_> = AccessTraceGenerator::new(profile, 128, 7)
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -7,8 +7,8 @@
 //! sampled interval, approximating a stationary start so the trace window
 //! does not begin with a synchronized write burst across all pages.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use memutil::rng::SmallRng;
+use memutil::rng::{Rng, SeedableRng};
 
 use crate::trace::{WriteEvent, WriteTrace};
 use crate::workload::WorkloadProfile;
@@ -58,7 +58,10 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> WriteTrace {
         // interval at a uniform point.
         let mut t_ns = (sample_ms(&mut rng) * rng.gen::<f64>() * NS_PER_MS as f64) as u64;
         while t_ns <= duration_ns {
-            events.push(WriteEvent { time_ns: t_ns, page });
+            events.push(WriteEvent {
+                time_ns: t_ns,
+                page,
+            });
             let step = (sample_ms(&mut rng) * NS_PER_MS as f64) as u64;
             // Intervals are strictly positive (≥ 10 µs by construction), but
             // guard against pathological parameterizations.
@@ -122,7 +125,10 @@ mod tests {
         assert!(pages.len() > 5, "only {} cold pages wrote", pages.len());
         assert!(pages.len() < 60, "cold pages too active: {}", pages.len());
         let per_page = t.len() as f64 / pages.len().max(1) as f64;
-        assert!(per_page < 10.0, "cold pages too busy: {per_page} writes each");
+        assert!(
+            per_page < 10.0,
+            "cold pages too busy: {per_page} writes each"
+        );
     }
 
     #[test]

@@ -5,12 +5,10 @@
 //! and return plain numbers/series, so the experiment harness can print them
 //! in the paper's layout directly.
 
-use serde::{Deserialize, Serialize};
-
 use crate::trace::Interval;
 
 /// One bucket of the Fig. 7 write-interval histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramBucket {
     /// Inclusive lower bound of the bucket in milliseconds (the `< 1 ms`
     /// bucket has `lo_ms == 0.0`).
@@ -74,7 +72,7 @@ pub fn ccdf_points(intervals: &[Interval], xs_ms: &[f64]) -> Vec<(f64, f64)> {
 
 /// Result of fitting `P(len > x) = k · x^(−α)` by least squares on the
 /// log-log plane (paper Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoFit {
     /// Fitted tail index α.
     pub alpha: f64,
@@ -261,8 +259,8 @@ mod tests {
     #[test]
     fn pareto_fit_recovers_alpha() {
         // Synthesize a clean Pareto sample and check recovery.
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use memutil::rng::SeedableRng;
+        use memutil::rng::SmallRng;
         let p = crate::interval::BoundedPareto::new(1.0, 0.6, 1.0e7);
         let mut rng = SmallRng::seed_from_u64(7);
         let intervals: Vec<Interval> = (0..100_000).map(|_| iv(p.sample(&mut rng))).collect();
@@ -287,7 +285,12 @@ mod tests {
             let intervals = t.closed_intervals();
             let fit = pareto_fit(&intervals, 1.0, 10_000.0).unwrap();
             assert!(fit.r2 > 0.8, "{}: r2 {}", w.name, fit.r2);
-            assert!(fit.alpha > 0.2 && fit.alpha < 1.2, "{}: alpha {}", w.name, fit.alpha);
+            assert!(
+                fit.alpha > 0.2 && fit.alpha < 1.2,
+                "{}: alpha {}",
+                w.name,
+                fit.alpha
+            );
         }
     }
 
@@ -322,7 +325,9 @@ mod tests {
 
     #[test]
     fn coverage_decreases_with_cil() {
-        let w = WorkloadProfile::ac_brotherhood().scaled(0.02).with_window(120.0);
+        let w = WorkloadProfile::ac_brotherhood()
+            .scaled(0.02)
+            .with_window(120.0);
         let t = w.generate(17);
         let intervals = t.intervals_with_tail();
         let pts = coverage_given_cil(&intervals, 1024.0, &standard_cils_ms());
@@ -338,10 +343,7 @@ mod tests {
     fn empty_inputs_do_not_panic() {
         assert_eq!(log2_histogram(&[]).len(), 17);
         assert!(pareto_fit(&[], 1.0, 100.0).is_none());
-        assert_eq!(
-            p_ril_gt_given_cil(&[], 1024.0, &[1.0])[0].1,
-            0.0
-        );
+        assert_eq!(p_ril_gt_given_cil(&[], 1024.0, &[1.0])[0].1, 0.0);
         assert_eq!(coverage_given_cil(&[], 1024.0, &[1.0])[0].1, 0.0);
     }
 }

@@ -5,12 +5,10 @@
 //! count. Every downstream consumer — the statistics of Figs. 7–12, PRIL,
 //! and the MEMCON engine — reads traces through this type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::NS_PER_MS;
 
 /// One page-granularity write event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WriteEvent {
     /// Event time in nanoseconds from trace start.
     pub time_ns: u64,
@@ -19,7 +17,7 @@ pub struct WriteEvent {
 }
 
 /// A closed or tail (censored) write interval of one page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     /// Owning page.
     pub page: u64,
@@ -41,7 +39,7 @@ impl Interval {
 }
 
 /// A time-ordered page-write trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteTrace {
     events: Vec<WriteEvent>,
     duration_ns: u64,
@@ -195,6 +193,62 @@ impl WriteTrace {
         }
         WriteTrace::new(events, duration, page_base)
     }
+
+    /// Serializes to the compact JSON export format of `trace-gen`:
+    /// `{"duration_ns":..,"n_pages":..,"events":[[time_ns,page],..]}`.
+    #[must_use]
+    pub fn to_json(&self) -> memutil::json::Json {
+        use memutil::json::Json;
+        let events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|e| Json::arr().push(e.time_ns).push(e.page))
+            .collect();
+        Json::obj()
+            .field("duration_ns", self.duration_ns)
+            .field("n_pages", self.n_pages)
+            .field("events", Json::Arr(events))
+    }
+
+    /// Parses the [`WriteTrace::to_json`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &memutil::json::Json) -> Result<WriteTrace, String> {
+        use memutil::json::Json;
+        let duration_ns = json
+            .get("duration_ns")
+            .and_then(Json::as_u64)
+            .ok_or("missing duration_ns")?;
+        let n_pages = json
+            .get("n_pages")
+            .and_then(Json::as_u64)
+            .ok_or("missing n_pages")?;
+        let Some(Json::Arr(raw)) = json.get("events") else {
+            return Err("missing events array".into());
+        };
+        let mut events = Vec::with_capacity(raw.len());
+        for item in raw {
+            let Json::Arr(pair) = item else {
+                return Err("event is not a [time_ns, page] pair".into());
+            };
+            let (Some(time_ns), Some(page)) = (
+                pair.first().and_then(Json::as_u64),
+                pair.get(1).and_then(Json::as_u64),
+            ) else {
+                return Err("event pair holds non-integers".into());
+            };
+            if time_ns > duration_ns {
+                return Err(format!("event at {time_ns} ns beyond duration"));
+            }
+            if page >= n_pages {
+                return Err(format!("event page {page} out of range"));
+            }
+            events.push(WriteEvent { time_ns, page });
+        }
+        Ok(WriteTrace::new(events, duration_ns, n_pages))
+    }
 }
 
 #[cfg(test)]
@@ -296,9 +350,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let t = WriteTrace::new(vec![ev(1, 0), ev(2, 1)], 10 * NS_PER_MS, 2);
-        let s = serde_json::to_string(&t).unwrap();
-        assert_eq!(serde_json::from_str::<WriteTrace>(&s).unwrap(), t);
+        let s = t.to_json().emit();
+        let back = WriteTrace::from_json(&memutil::json::Json::parse(&s).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        use memutil::json::Json;
+        let missing = Json::obj().field("n_pages", 2u64);
+        assert!(WriteTrace::from_json(&missing).is_err());
+        let bad_page = Json::parse(r#"{"duration_ns":100,"n_pages":1,"events":[[5,9]]}"#).unwrap();
+        assert!(WriteTrace::from_json(&bad_page).is_err());
     }
 }

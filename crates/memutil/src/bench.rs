@@ -1,0 +1,403 @@
+//! A `std::time`-based benchmark harness with a Criterion-shaped API.
+//!
+//! The `crates/bench` suite was written against Criterion
+//! (`benchmark_group`, `bench_function`, `iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!`). Criterion cannot be fetched in the
+//! hermetic offline build, so this module re-implements the narrow API
+//! surface those benches use over `std::time::Instant`: per-benchmark
+//! warmup, a bounded number of timed samples, and a median-of-samples
+//! report with optional element/byte throughput.
+//!
+//! This is a measurement harness, not a statistics package — no outlier
+//! rejection or regression testing. Medians over ≥10 samples are stable
+//! enough to compare hot-path changes, which is what the suite is for.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement (accepted for API
+/// compatibility; every batch is measured individually here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost.
+    SmallInput,
+    /// Large per-iteration setup cost.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining an optional function name with a
+/// parameter value (Criterion-shaped; used by parameter sweeps).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only the parameter value (`from_parameter(64)` →
+    /// `"64"`).
+    #[must_use]
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter (`"sort/64"`).
+    #[must_use]
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, time_budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+            time_budget,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget_start = Instant::now();
+        // Warmup: one untimed run (also primes caches/allocations).
+        let input = setup();
+        let _ = std::hint::black_box(routine(input));
+        while self.samples.len() < self.target_samples && budget_start.elapsed() < self.time_budget
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            let _ = std::hint::black_box(out);
+            self.samples.push(dt);
+        }
+    }
+}
+
+/// One benchmark's reported result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Optional throughput declared by the benchmark.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn render(&self) -> String {
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.1} Melem/s)", n as f64 / self.median_ns * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / self.median_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+        });
+        format!(
+            "{:<44} median {:>14} ns/iter  min {:>14} ns  n={}{}",
+            self.name,
+            group_digits(self.median_ns),
+            group_digits(self.min_ns),
+            self.samples,
+            rate.unwrap_or_default()
+        )
+    }
+}
+
+fn group_digits(ns: f64) -> String {
+    let raw = format!("{:.0}", ns.max(0.0));
+    let mut out = String::new();
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// The harness: collects results and prints a summary (Criterion-shaped).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            time_budget: Duration::from_secs(3),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    #[must_use]
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.time_budget = budget;
+        self
+    }
+
+    /// Applies a substring filter from the command line (`cargo bench foo`
+    /// passes `foo`; harness flags like `--bench` are ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.run(name, None, None, body);
+        self
+    }
+
+    fn run(
+        &mut self,
+        name: String,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+        mut body: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(sample_size.unwrap_or(self.sample_size), self.time_budget);
+        body(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{name:<44} (no samples collected)");
+            return;
+        }
+        let mut ns: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e9)
+            .collect();
+        ns.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            name,
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            samples: ns.len(),
+            throughput,
+        };
+        println!("{}", result.render());
+        self.results.push(result);
+    }
+
+    /// Prints the closing line and returns the collected results.
+    pub fn final_summary(&mut self) -> Vec<BenchResult> {
+        println!("{} benchmarks measured", self.results.len());
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group (id is `group/function`).
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        self.criterion
+            .run(id, self.throughput, self.sample_size, body);
+        self
+    }
+
+    /// Runs one benchmark over an explicit input (id is
+    /// `group/id`; the input is passed by reference to the body).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run(full, self.throughput, self.sample_size, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Defines a bench group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            let _ = criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench binary's `main`, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let results = c.final_summary();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].samples, 5);
+        assert!(results[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_carry_throughput() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("inner", |b| b.iter(|| std::hint::black_box(42)));
+            g.finish();
+        }
+        let results = c.final_summary();
+        assert_eq!(results[0].name, "grp/inner");
+        assert_eq!(results[0].throughput, Some(Throughput::Elements(100)));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.final_summary()[0].samples, 3);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(1234567.0), "1,234,567");
+        assert_eq!(group_digits(12.0), "12");
+        assert_eq!(group_digits(0.4), "0");
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace automation: `memlint` and the offline `ci` pipeline.
+//!
+//! `memlint` is a dependency-free source scanner enforcing repo-specific
+//! hygiene rules that `rustc` cannot express (see [`lint`] for the rule
+//! set). Pre-existing violations are frozen in a checked-in **ratchet**
+//! file (`memlint.ratchet` at the workspace root): the lint fails only
+//! when a `(rule, file)` pair *exceeds* its frozen count, so the debt can
+//! only shrink. `cargo run -p xtask -- lint --update-ratchet` re-freezes
+//! the file after paying some down.
+//!
+//! `ci` chains the whole offline gate: rustfmt check (when rustfmt is
+//! installed), `memlint`, a release build, and the quiet test suite.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Absolute path of the workspace root (two levels above this crate).
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+/// Runs `memlint` over the workspace and prints a report.
+///
+/// Returns a process exit code: `0` when every `(rule, file)` count is at
+/// or below its ratchet entry, `1` on regressions or (without `update`) a
+/// ratchet file that no longer parses.
+#[must_use]
+pub fn lint_cmd(update_ratchet: bool) -> i32 {
+    let root = workspace_root();
+    match lint::run(&root, update_ratchet) {
+        Ok(report) => {
+            print!("{report}");
+            i32::from(!report.passed())
+        }
+        Err(e) => {
+            eprintln!("memlint: {e}");
+            1
+        }
+    }
+}
+
+/// Runs the offline CI pipeline: fmt-check (if rustfmt is installed),
+/// `memlint`, `cargo build --release`, `cargo test -q`.
+///
+/// Returns the exit code of the first failing step, or `0`.
+#[must_use]
+pub fn ci_cmd() -> i32 {
+    let root = workspace_root();
+
+    if rustfmt_available(&root) {
+        println!("ci: cargo fmt --all -- --check");
+        if let Some(code) = run_step(&root, &["fmt", "--all", "--", "--check"]) {
+            return code;
+        }
+    } else {
+        println!("ci: rustfmt not installed; skipping format check");
+    }
+
+    println!("ci: memlint");
+    let lint_code = lint_cmd(false);
+    if lint_code != 0 {
+        return lint_code;
+    }
+
+    println!("ci: cargo build --release");
+    if let Some(code) = run_step(&root, &["build", "--release"]) {
+        return code;
+    }
+
+    println!("ci: cargo test -q");
+    if let Some(code) = run_step(&root, &["test", "-q"]) {
+        return code;
+    }
+
+    println!("ci: all steps passed");
+    0
+}
+
+fn rustfmt_available(root: &Path) -> bool {
+    Command::new("cargo")
+        .args(["fmt", "--version"])
+        .current_dir(root)
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Runs one `cargo` step; `None` on success, `Some(exit_code)` on failure.
+fn run_step(root: &Path, args: &[&str]) -> Option<i32> {
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(status) if status.success() => None,
+        Ok(status) => {
+            eprintln!("ci: `cargo {}` failed", args.join(" "));
+            Some(status.code().unwrap_or(1))
+        }
+        Err(e) => {
+            eprintln!("ci: could not spawn `cargo {}`: {e}", args.join(" "));
+            Some(1)
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! `memlint` — repo-specific source lints with a ratcheted allowlist.
+//!
+//! Four rules, all motivated by past or feared bug classes in a
+//! cycle-accurate DRAM simulator:
+//!
+//! * **`no-unwrap`** — `.unwrap()` / `.expect(...)` in non-test library
+//!   code. Library crates must surface errors as values; aborting inside
+//!   a long figure-reproduction run loses hours of work.
+//! * **`no-panic`** — `panic!` in non-test library code, same rationale.
+//!   (Deliberate invariant panics, e.g. the `strict-invariants` auditor,
+//!   are frozen in the ratchet or carry an inline allow marker.)
+//! * **`cast-truncation`** — `as` casts to a type narrower than 64 bits on
+//!   lines handling addresses or cycle counts (identifiers mentioning
+//!   `cycle`/`addr`/`row`/`col`/`bank`/`page`). A truncated cycle counter
+//!   silently wraps after hours of simulated time.
+//! * **`float-eq`** — `==` / `!=` where an operand is a timing value
+//!   (identifier containing `_ns` or `_ms`). Timing arithmetic mixes
+//!   ns→cycle conversions; exact float comparison is almost always a bug
+//!   outside of test assertions on closed-form constants.
+//!
+//! The scanner is a line-based heuristic, not a parser: string literals,
+//! char literals and comments are stripped before matching, `#[cfg(test)]`
+//! regions are excluded by brace tracking, and a raw line containing
+//! `memlint: allow` is skipped entirely (a standalone comment line with the
+//! marker also covers the line below it). Bypassing it is easy — the point
+//! is to catch the default path, not an adversary.
+//!
+//! Pre-existing violations are frozen per `(rule, file)` in
+//! `memlint.ratchet`; only *new* violations fail the lint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a source file is treated by the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: all four rules apply.
+    Library,
+    /// Binary targets (`src/main.rs`, `src/bin/**`): panics and unwraps
+    /// are legitimate CLI error handling; only the data-integrity rules
+    /// (`cast-truncation`, `float-eq`) apply.
+    Binary,
+    /// Tests, benches, examples: no rules apply.
+    Test,
+}
+
+/// One rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (`no-unwrap`, `no-panic`, `cast-truncation`,
+    /// `float-eq`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// All rule identifiers, in report order.
+pub const RULES: [&str; 4] = ["no-unwrap", "no-panic", "cast-truncation", "float-eq"];
+
+/// Classifies a workspace-relative path.
+#[must_use]
+pub fn classify(path: &str) -> FileClass {
+    let p = path.replace('\\', "/");
+    for dir in ["tests/", "benches/", "examples/"] {
+        if p.starts_with(dir) || p.contains(&format!("/{dir}")) {
+            return FileClass::Test;
+        }
+    }
+    if p.ends_with("/main.rs") || p.contains("/bin/") {
+        return FileClass::Binary;
+    }
+    FileClass::Library
+}
+
+/// Strips string literals, char literals, and `//` comments from one line
+/// of source, so rule needles never match inside quoted text. Returns the
+/// stripped line and whether a `/* … */` block comment opened (`true`) or
+/// the incoming block-comment state after the line.
+fn strip_line(raw: &str, mut in_block: bool) -> (String, bool) {
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if in_block {
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break,
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                in_block = true;
+                i += 2;
+            }
+            b'"' => {
+                // Skip the string literal, honouring backslash escapes.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push(' ');
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{..}') vs lifetime ('a in
+                // generics): a literal is one (possibly escaped) char then
+                // a closing quote; a lifetime never closes.
+                let rest = &raw[i + 1..];
+                let close = if rest.starts_with('\\') {
+                    // Skip the backslash and the escaped char (which may
+                    // itself be a quote), then find the closing quote.
+                    rest.char_indices()
+                        .nth(2)
+                        .and_then(|(k, _)| rest[k..].find('\'').map(|j| k + j))
+                } else {
+                    let mut it = rest.char_indices();
+                    match (it.next(), it.next()) {
+                        (Some((_, c)), Some((k, '\''))) if c != '\'' => Some(k),
+                        _ => None,
+                    }
+                };
+                if let Some(j) = close {
+                    i += 1 + j + 1;
+                    out.push(' ');
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    (out, in_block)
+}
+
+/// A source line after preprocessing: raw text, stripped text, and whether
+/// it sits inside a `#[cfg(test)]` region.
+#[derive(Debug)]
+struct Line {
+    number: usize,
+    raw: String,
+    stripped: String,
+    in_test: bool,
+}
+
+/// Splits `content` into preprocessed lines, tracking block comments and
+/// `#[cfg(test)]` regions (attribute, optional further attributes, then
+/// the braced item — skipped until its braces balance).
+fn preprocess(content: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut in_block = false;
+    // cfg(test) tracking: armed after the attribute, counting once the
+    // item's first `{` appears, inside until depth returns to zero.
+    let mut armed = false;
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    let mut in_test = false;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let (stripped, next_block) = strip_line(raw, in_block);
+        in_block = next_block;
+        let trimmed = stripped.trim();
+
+        if !in_test && trimmed.starts_with("#[cfg(test)]") {
+            armed = true;
+            depth = 0;
+            opened = false;
+        } else if armed && !in_test {
+            // Skip any further attributes between #[cfg(test)] and the item.
+            if !trimmed.starts_with("#[") {
+                in_test = true;
+            }
+        }
+
+        if in_test {
+            for c in stripped.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            lines.push(Line {
+                number: idx + 1,
+                raw: raw.to_string(),
+                stripped,
+                in_test: true,
+            });
+            if opened && depth <= 0 {
+                in_test = false;
+                armed = false;
+            }
+            continue;
+        }
+
+        lines.push(Line {
+            number: idx + 1,
+            raw: raw.to_string(),
+            stripped,
+            in_test: false,
+        });
+    }
+    lines
+}
+
+/// Identifier-ish token ending at byte `end` of `s`, skipping whitespace
+/// (for operand checks around an operator).
+fn token_before(s: &str, mut end: usize) -> &str {
+    let bytes = s.as_bytes();
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_ascii_alphanumeric() || "_.()".contains(c) {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &s[start..end]
+}
+
+/// Identifier-ish token starting at byte `start` of `s`, skipping
+/// whitespace.
+fn token_after(s: &str, mut start: usize) -> &str {
+    let bytes = s.as_bytes();
+    while start < bytes.len() && bytes[start].is_ascii_whitespace() {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_ascii_alphanumeric() || "_.()".contains(c) {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    &s[start..end]
+}
+
+/// Integer types narrower than the 64-bit address/cycle domain.
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments marking a line as address/cycle arithmetic.
+const ADDR_CYCLE_WORDS: [&str; 6] = ["cycle", "addr", "row", "col", "bank", "page"];
+
+fn timing_token(tok: &str) -> bool {
+    tok.contains("_ns") || tok.contains("_ms")
+}
+
+/// Scans one file's content. `path` is workspace-relative and determines
+/// which rules apply (see [`classify`]).
+#[must_use]
+pub fn scan_source(path: &str, content: &str) -> Vec<Violation> {
+    let class = classify(path);
+    if class == FileClass::Test {
+        return Vec::new();
+    }
+    // Built by concatenation so the scanner never flags its own source.
+    let allow_marker: String = ["memlint:", " allow"].concat();
+    let unwrap_needle: String = [".unwrap", "()"].concat();
+    let expect_needle: String = [".expect", "("].concat();
+    let panic_needle: String = ["panic", "!"].concat();
+
+    let mut out = Vec::new();
+    // A marker suppresses its own line; a standalone comment line carrying
+    // the marker suppresses the line below it (survives rustfmt splitting
+    // a trailing comment off a long statement).
+    let mut prev_comment_allows = false;
+    for line in preprocess(content) {
+        let has_marker = line.raw.contains(&allow_marker);
+        let suppressed = line.in_test || has_marker || prev_comment_allows;
+        prev_comment_allows = has_marker && line.raw.trim_start().starts_with("//");
+        if suppressed {
+            continue;
+        }
+        let s = &line.stripped;
+        let mut push = |rule: &'static str| {
+            out.push(Violation {
+                rule,
+                path: path.to_string(),
+                line: line.number,
+                excerpt: line.raw.trim().to_string(),
+            });
+        };
+
+        if class == FileClass::Library {
+            if s.contains(&unwrap_needle) || s.contains(&expect_needle) {
+                push("no-unwrap");
+            }
+            // `debug_assert!`/`assert!` are fine; only the explicit macro
+            // counts, and `#[should_panic]` never survives stripping into
+            // a bare `panic!` token.
+            if find_macro(s, &panic_needle) {
+                push("no-panic");
+            }
+        }
+
+        // Data-integrity rules apply to libraries and binaries alike.
+        let lower = s.to_lowercase();
+        if ADDR_CYCLE_WORDS.iter().any(|w| lower.contains(w)) {
+            let mut from = 0;
+            while let Some(pos) = s[from..].find(" as ") {
+                let at = from + pos;
+                let target = token_after(s, at + 4);
+                let target_ty = target.trim_end_matches([',', ')', ';', '}']);
+                if NARROW_TYPES.contains(&target_ty) {
+                    push("cast-truncation");
+                    break;
+                }
+                from = at + 4;
+            }
+        }
+
+        for op in ["==", "!="] {
+            let mut from = 0;
+            let mut hit = false;
+            while let Some(pos) = s[from..].find(op) {
+                let at = from + pos;
+                let prev = at.checked_sub(1).map(|i| s.as_bytes()[i] as char);
+                let next = s.as_bytes().get(at + op.len()).map(|&b| b as char);
+                let standalone =
+                    !matches!(prev, Some('<' | '>' | '!' | '=')) && !matches!(next, Some('='));
+                if standalone
+                    && (timing_token(token_before(s, at))
+                        || timing_token(token_after(s, at + op.len())))
+                {
+                    hit = true;
+                    break;
+                }
+                from = at + op.len();
+            }
+            if hit {
+                push("float-eq");
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// `panic!` must be a macro invocation, not a substring of another
+/// identifier (e.g. `should_panic` or `catch_panic!`-style names).
+fn find_macro(s: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = s[from..].find(needle) {
+        let at = from + pos;
+        let prev = at.checked_sub(1).map(|i| s.as_bytes()[i] as char);
+        let boundary = !matches!(prev, Some(c) if c.is_ascii_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Ratchet
+// ---------------------------------------------------------------------------
+
+/// Frozen violation counts, keyed by `(rule, workspace-relative path)`.
+pub type Ratchet = BTreeMap<(String, String), usize>;
+
+/// Parses a ratchet file: one `rule<TAB>path<TAB>count` entry per line,
+/// `#` comments and blank lines ignored.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_ratchet(text: &str) -> Result<Ratchet, String> {
+    let mut map = Ratchet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let entry = (|| {
+            let rule = parts.next()?;
+            let path = parts.next()?;
+            let count: usize = parts.next()?.parse().ok()?;
+            Some(((rule.to_string(), path.to_string()), count))
+        })();
+        match entry {
+            Some((key, count)) => {
+                map.insert(key, count);
+            }
+            None => return Err(format!("ratchet line {} is malformed: {line:?}", idx + 1)),
+        }
+    }
+    Ok(map)
+}
+
+/// Serialises a ratchet (zero-count entries dropped, keys sorted).
+#[must_use]
+pub fn format_ratchet(ratchet: &Ratchet) -> String {
+    let mut out = String::from(
+        "# memlint ratchet: frozen per-(rule, file) violation counts.\n\
+         # Regenerate with `cargo run -p xtask -- lint --update-ratchet`.\n\
+         # Counts may only decrease; new violations fail the lint.\n",
+    );
+    for ((rule, path), count) in ratchet {
+        if *count > 0 {
+            out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+        }
+    }
+    out
+}
+
+/// Collapses violations into per-`(rule, file)` counts.
+#[must_use]
+pub fn count_by_rule_file(violations: &[Violation]) -> Ratchet {
+    let mut map = Ratchet::new();
+    for v in violations {
+        *map.entry((v.rule.to_string(), v.path.clone())).or_insert(0) += 1;
+    }
+    map
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Every violation found (frozen ones included).
+    pub violations: Vec<Violation>,
+    /// `(rule, file)` pairs whose count exceeds the ratchet, with the
+    /// (current, frozen) counts.
+    pub regressions: Vec<((String, String), usize, usize)>,
+    /// `(rule, file)` pairs now below their frozen count (debt paid down;
+    /// the ratchet can be tightened).
+    pub improvements: Vec<((String, String), usize, usize)>,
+    /// Whether `--update-ratchet` rewrote the ratchet file.
+    pub updated: bool,
+}
+
+impl Report {
+    /// Whether the lint gate passes (no regressions).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ((rule, path), current, frozen) in &self.regressions {
+            writeln!(
+                f,
+                "memlint: {rule} regressed in {path}: {current} violations (ratchet allows {frozen})"
+            )?;
+            for v in self
+                .violations
+                .iter()
+                .filter(|v| v.rule == rule && &v.path == path)
+            {
+                writeln!(f, "  {v}")?;
+            }
+        }
+        for ((rule, path), current, frozen) in &self.improvements {
+            writeln!(
+                f,
+                "memlint: note: {rule} improved in {path}: {current} (ratchet froze {frozen}) — \
+                 run `cargo run -p xtask -- lint --update-ratchet` to tighten"
+            )?;
+        }
+        if self.updated {
+            writeln!(f, "memlint: ratchet updated")?;
+        }
+        writeln!(
+            f,
+            "memlint: {} files, {} violations ({} frozen), {}",
+            self.files,
+            self.violations.len(),
+            self.violations.len()
+                - self
+                    .regressions
+                    .iter()
+                    .map(|(_, c, fz)| c - fz)
+                    .sum::<usize>(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares current counts against the frozen ratchet.
+#[must_use]
+pub fn compare(
+    current: &Ratchet,
+    frozen: &Ratchet,
+) -> (
+    Vec<((String, String), usize, usize)>,
+    Vec<((String, String), usize, usize)>,
+) {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for (key, &count) in current {
+        let allowed = frozen.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            regressions.push((key.clone(), count, allowed));
+        } else if count < allowed {
+            improvements.push((key.clone(), count, allowed));
+        }
+    }
+    for (key, &allowed) in frozen {
+        if allowed > 0 && !current.contains_key(key) {
+            improvements.push((key.clone(), 0, allowed));
+        }
+    }
+    (regressions, improvements)
+}
+
+/// Recursively collects `.rs` files below `dir` (skipping `target/`).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git")
+            {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The ratchet file name at the workspace root.
+pub const RATCHET_FILE: &str = "memlint.ratchet";
+
+/// Runs the lint over `root/crates` and `root/tests`, compares against the
+/// ratchet, and optionally rewrites it.
+///
+/// # Errors
+///
+/// I/O failures and a malformed ratchet file are reported as strings.
+pub fn run(root: &Path, update_ratchet: bool) -> Result<Report, String> {
+    let mut files = Vec::new();
+    // The umbrella crate lives at the root (src/, tests/, examples/);
+    // everything else under crates/.
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    for top in ["src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        violations.extend(scan_source(&rel, &content));
+    }
+
+    let ratchet_path = root.join(RATCHET_FILE);
+    let frozen = if ratchet_path.is_file() {
+        let text = fs::read_to_string(&ratchet_path)
+            .map_err(|e| format!("cannot read {RATCHET_FILE}: {e}"))?;
+        parse_ratchet(&text)?
+    } else {
+        Ratchet::new()
+    };
+
+    let current = count_by_rule_file(&violations);
+    let (regressions, improvements) = compare(&current, &frozen);
+
+    let mut updated = false;
+    if update_ratchet {
+        fs::write(&ratchet_path, format_ratchet(&current))
+            .map_err(|e| format!("cannot write {RATCHET_FILE}: {e}"))?;
+        updated = true;
+    }
+
+    Ok(Report {
+        files: files.len(),
+        violations,
+        regressions: if updated { Vec::new() } else { regressions },
+        improvements: if updated { Vec::new() } else { improvements },
+        updated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> =
+            scan_source(path, src).into_iter().map(|v| v.rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/dram/src/bank.rs"), FileClass::Library);
+        assert_eq!(
+            classify("crates/memtrace/src/bin/trace_gen.rs"),
+            FileClass::Binary
+        );
+        assert_eq!(
+            classify("crates/experiments/src/main.rs"),
+            FileClass::Binary
+        );
+        assert_eq!(
+            classify("crates/memcon/tests/engine_properties.rs"),
+            FileClass::Test
+        );
+        assert_eq!(classify("crates/bench/benches/micro.rs"), FileClass::Test);
+        assert_eq!(classify("tests/end_to_end.rs"), FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Test);
+        assert_eq!(classify("src/lib.rs"), FileClass::Library);
+    }
+
+    #[test]
+    fn unwrap_flagged_in_library_code() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = scan_source(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].excerpt.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn expect_flagged_in_library_code() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n";
+        assert_eq!(rules_hit(LIB, src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_allowed_in_tests_binaries_and_cfg_test() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(scan_source("crates/demo/tests/it.rs", src).is_empty());
+        assert!(scan_source("crates/demo/src/main.rs", src).is_empty());
+        let lib = "fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   use super::*;\n\
+                   #[test]\n\
+                   fn t() { ok(); Some(3).unwrap(); panic!(\"fine here\") }\n\
+                   }\n";
+        assert!(scan_source(LIB, lib).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_region_is_scanned_again() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   fn later(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = scan_source(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn panic_flagged_only_as_macro() {
+        assert_eq!(
+            rules_hit(LIB, "fn f() { panic!(\"no\") }\n"),
+            vec!["no-panic"]
+        );
+        // Substrings of identifiers don't count.
+        assert!(scan_source(LIB, "fn f() { my_should_panic!powers() }\n").is_empty());
+    }
+
+    #[test]
+    fn needles_inside_strings_and_comments_ignored() {
+        let src = "const HELP: &str = \"call .unwrap() or panic!\";\n\
+                   // the old code used row as u32 here\n\
+                   /* block: cycle as u16 */\n";
+        assert!(scan_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_on_cycle_line_flagged() {
+        let src = "fn f(cycle: u64) -> u32 { cycle as u32 }\n";
+        let v = scan_source(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "cast-truncation");
+    }
+
+    #[test]
+    fn widening_or_offdomain_casts_pass() {
+        // u64 target: not truncating.
+        assert!(scan_source(LIB, "fn f(row: u32) -> u64 { row as u64 }\n").is_empty());
+        // Narrow cast on a line with no address/cycle identifiers.
+        assert!(scan_source(LIB, "fn g(flags: u64) -> u8 { flags as u8 }\n").is_empty());
+    }
+
+    #[test]
+    fn cast_rule_applies_to_binaries_too() {
+        let src = "fn f(addr: u64) -> u16 { addr as u16 }\n";
+        let v = scan_source("crates/demo/src/main.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "cast-truncation");
+    }
+
+    #[test]
+    fn float_eq_on_timing_values_flagged() {
+        let src = "fn f(a_ns: f64, b: f64) -> bool { a_ns == b }\n";
+        assert_eq!(rules_hit(LIB, src), vec!["float-eq"]);
+        let src2 = "fn f(t: &T) -> bool { t.trcd_ns != 11.0 }\n";
+        assert_eq!(rules_hit(LIB, src2), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn float_eq_ignores_orderings_and_nontiming() {
+        assert!(scan_source(LIB, "fn f(a_ns: f64) -> bool { a_ns >= 1.0 }\n").is_empty());
+        assert!(scan_source(LIB, "fn f(n: u64) -> bool { n == 3 }\n").is_empty());
+    }
+
+    #[test]
+    fn inline_allow_marker_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // memlint: allow\n";
+        assert!(scan_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_on_preceding_comment_line_suppresses() {
+        let src = "// memlint: allow (deliberate)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(scan_source(LIB, src).is_empty());
+        // The marker covers exactly one line, not everything after it.
+        let src2 = "// memlint: allow\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = scan_source(LIB, src2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        // A marker on a code line does not spill onto the next line.
+        let src3 = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // memlint: allow\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = scan_source(LIB, src3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn ratchet_roundtrip_and_compare() {
+        let mut current = Ratchet::new();
+        current.insert(("no-unwrap".into(), "crates/a/src/lib.rs".into()), 3);
+        current.insert(("no-panic".into(), "crates/b/src/lib.rs".into()), 1);
+        let text = format_ratchet(&current);
+        let parsed = parse_ratchet(&text).unwrap();
+        assert_eq!(parsed, current);
+
+        // Equal counts: clean pass.
+        let (reg, imp) = compare(&current, &parsed);
+        assert!(reg.is_empty() && imp.is_empty());
+
+        // One count above the freeze: regression.
+        let mut worse = current.clone();
+        worse.insert(("no-unwrap".into(), "crates/a/src/lib.rs".into()), 4);
+        let (reg, _) = compare(&worse, &parsed);
+        assert_eq!(
+            reg,
+            vec![(("no-unwrap".into(), "crates/a/src/lib.rs".into()), 4, 3)]
+        );
+
+        // A brand-new (rule, file) pair is a regression against count 0.
+        let mut novel = current.clone();
+        novel.insert(("float-eq".into(), "crates/c/src/lib.rs".into()), 1);
+        let (reg, _) = compare(&novel, &parsed);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].2, 0);
+
+        // Paid-down debt and fully fixed files surface as improvements.
+        let mut better = current.clone();
+        better.insert(("no-unwrap".into(), "crates/a/src/lib.rs".into()), 1);
+        better.remove(&("no-panic".to_string(), "crates/b/src/lib.rs".to_string()));
+        let (reg, imp) = compare(&better, &parsed);
+        assert!(reg.is_empty());
+        assert_eq!(imp.len(), 2);
+    }
+
+    #[test]
+    fn ratchet_rejects_malformed_lines() {
+        assert!(parse_ratchet("# comment\n\nno-unwrap\tcrates/a.rs\t2\n").is_ok());
+        assert!(parse_ratchet("no-unwrap crates/a.rs 2\n").is_err());
+        assert!(parse_ratchet("no-unwrap\tcrates/a.rs\tmany\n").is_err());
+    }
+
+    #[test]
+    fn report_display_names_file_and_line() {
+        let violations = vec![Violation {
+            rule: "no-unwrap",
+            path: "crates/a/src/lib.rs".into(),
+            line: 7,
+            excerpt: "x.unwrap()".into(),
+        }];
+        let current = count_by_rule_file(&violations);
+        let (regressions, improvements) = compare(&current, &Ratchet::new());
+        let report = Report {
+            files: 1,
+            violations,
+            regressions,
+            improvements,
+            updated: false,
+        };
+        assert!(!report.passed());
+        let text = report.to_string();
+        assert!(text.contains("crates/a/src/lib.rs:7: no-unwrap"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_stripping() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        assert!(scan_source(LIB, src).is_empty());
+        // A char literal containing a quote-sensitive byte is still removed.
+        let src2 = "fn g() -> char { '\\'' }\n";
+        assert!(scan_source(LIB, src2).is_empty());
+    }
+}

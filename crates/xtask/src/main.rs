@@ -1,0 +1,33 @@
+//! `cargo run -p xtask -- <command>` — workspace automation entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-ratchet");
+            xtask::lint_cmd(update)
+        }
+        Some("ci") => xtask::ci_cmd(),
+        Some(other) => {
+            eprintln!("xtask: unknown command {other:?}");
+            usage();
+            2
+        }
+        None => {
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\
+         \n\
+         commands:\n\
+         \x20 lint [--update-ratchet]   run memlint against the ratchet\n\
+         \x20 ci                        fmt-check (if rustfmt present), memlint,\n\
+         \x20                           cargo build --release, cargo test -q"
+    );
+}

@@ -61,11 +61,7 @@ fn main() {
 
     println!("\nProgram content (three SPEC profiles):");
     let words = geometry.words_per_row();
-    for bench in [
-        SpecBenchmark::Lbm,
-        SpecBenchmark::Gcc,
-        SpecBenchmark::Astar,
-    ] {
+    for bench in [SpecBenchmark::Lbm, SpecBenchmark::Gcc, SpecBenchmark::Astar] {
         let profile = bench.profile();
         tester.fill_with(|row| profile.row_content(bench as u64, 0, row, words));
         let _ = tester.idle_ms(interval_ms);

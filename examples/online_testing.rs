@@ -31,15 +31,30 @@ fn main() {
     let mut events = Vec::new();
     // Page 0: busy — written every 100 ms.
     for i in 0..100u64 {
-        events.push(WriteEvent { time_ns: i * 100 * MS, page: 0 });
+        events.push(WriteEvent {
+            time_ns: i * 100 * MS,
+            page: 0,
+        });
     }
     // Page 1: one write, then idle forever.
-    events.push(WriteEvent { time_ns: 50 * MS, page: 1 });
+    events.push(WriteEvent {
+        time_ns: 50 * MS,
+        page: 1,
+    });
     // Page 2: one write, tested, then rewritten 150 ms after the test.
-    events.push(WriteEvent { time_ns: 10 * MS, page: 2 });
-    events.push(WriteEvent { time_ns: 2250 * MS, page: 2 });
+    events.push(WriteEvent {
+        time_ns: 10 * MS,
+        page: 2,
+    });
+    events.push(WriteEvent {
+        time_ns: 2250 * MS,
+        page: 2,
+    });
     // Page 3: one write, then idle — but its content fails the test.
-    events.push(WriteEvent { time_ns: 20 * MS, page: 3 });
+    events.push(WriteEvent {
+        time_ns: 20 * MS,
+        page: 3,
+    });
 
     let trace = WriteTrace::new(events, 10_240 * MS, 4);
     let config = MemconConfig::paper_default().with_cold_start();
@@ -62,7 +77,10 @@ fn main() {
     println!("  page 3: idle but content fails -> tested, kept at HI-REF\n");
 
     println!("Engine outcome:");
-    println!("  PRIL: {} writes seen, {} candidates", internals.pril.writes, internals.pril.candidates);
+    println!(
+        "  PRIL: {} writes seen, {} candidates",
+        internals.pril.writes, internals.pril.candidates
+    );
     println!(
         "  tests: {} started, {} failed, {} aborted",
         internals.tests.started, internals.tests.failed, internals.tests.aborted

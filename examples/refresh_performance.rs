@@ -26,11 +26,14 @@ fn main() {
         "Density", "Policy", "cycles", "IPC", "speedup"
     );
     for density in ChipDensity::ALL {
-        let baseline_cfg =
-            SystemConfig::new(1, density, RefreshPolicy::baseline_16ms());
+        let baseline_cfg = SystemConfig::new(1, density, RefreshPolicy::baseline_16ms());
         let base = System::new(baseline_cfg, vec![profile], 7).run(instructions);
         let configs: Vec<(String, RefreshPolicy, bool)> = vec![
-            ("16 ms baseline".into(), RefreshPolicy::baseline_16ms(), false),
+            (
+                "16 ms baseline".into(),
+                RefreshPolicy::baseline_16ms(),
+                false,
+            ),
             (
                 "MEMCON (70% red + test)".into(),
                 RefreshPolicy::Reduced {
@@ -39,7 +42,11 @@ fn main() {
                 },
                 true,
             ),
-            ("64 ms ideal".into(), RefreshPolicy::Fixed { interval_ms: 64.0 }, false),
+            (
+                "64 ms ideal".into(),
+                RefreshPolicy::Fixed { interval_ms: 64.0 },
+                false,
+            ),
             ("no refresh".into(), RefreshPolicy::None, false),
         ];
         for (label, policy, inject) in configs {

@@ -34,13 +34,7 @@ fn small_chip(pages: u64) -> (DramModule, CouplingFailureModel) {
 fn memcon_with_physics_oracle_reduces_refreshes() {
     let trace = WorkloadProfile::netflix().scaled(0.1).generate(42);
     let (module, model) = small_chip(trace.n_pages());
-    let oracle = ContentOracle::new(
-        module,
-        model,
-        WorkloadProfileContent::netflix(),
-        64.0,
-        7,
-    );
+    let oracle = ContentOracle::new(module, model, WorkloadProfileContent::netflix(), 64.0, 7);
     let config = MemconConfig::paper_default();
     let mut engine = MemconEngine::with_oracle(config, trace.n_pages(), Box::new(oracle));
     let report = engine.run(&trace);
@@ -86,9 +80,7 @@ fn report_arithmetic_is_consistent() {
     let mut engine = MemconEngine::new(MemconConfig::paper_default(), trace.n_pages());
     let r = engine.run(&trace);
     // Shares sum to one.
-    let hi_share = 1.0
-        - r.lo_coverage
-        - r.testing_fraction;
+    let hi_share = 1.0 - r.lo_coverage - r.testing_fraction;
     assert!((0.0..=1.0).contains(&hi_share), "hi share {hi_share}");
     // Ops are consistent with the time integrals: baseline - memcon ops
     // equals reduction x baseline.

@@ -54,7 +54,9 @@ fn refresh_policies_order_performance_correctly() {
     let profile = spec_tpc_pool()[0]; // mcf
     let cycles = |policy: RefreshPolicy| {
         let config = SystemConfig::new(1, ChipDensity::Gb32, policy);
-        System::new(config, vec![profile], 9).run(INST).per_core_cycles[0]
+        System::new(config, vec![profile], 9)
+            .run(INST)
+            .per_core_cycles[0]
     };
     let none = cycles(RefreshPolicy::None);
     let ms64 = cycles(RefreshPolicy::Fixed { interval_ms: 64.0 });
@@ -73,7 +75,8 @@ fn mixes_run_reproducibly_across_core_counts() {
     let mixes = random_mixes(2, 4, 5);
     for mix in &mixes {
         for cores in [1usize, 4] {
-            let config = SystemConfig::new(cores, ChipDensity::Gb16, RefreshPolicy::baseline_16ms());
+            let config =
+                SystemConfig::new(cores, ChipDensity::Gb16, RefreshPolicy::baseline_16ms());
             let a = System::new(config.clone(), mix[..cores].to_vec(), 1).run(60_000);
             let b = System::new(config, mix[..cores].to_vec(), 1).run(60_000);
             assert_eq!(a.per_core_cycles, b.per_core_cycles);
@@ -94,8 +97,8 @@ fn injected_tests_share_bandwidth_without_starvation() {
     );
     let pool = spec_tpc_pool();
     let mix = vec![pool[0], pool[1], pool[4], pool[15]];
-    let mut system = System::new(config, mix, 11)
-        .with_test_injection(TestInjectConfig::copy_and_compare(1024));
+    let mut system =
+        System::new(config, mix, 11).with_test_injection(TestInjectConfig::copy_and_compare(1024));
     let stats = system.run(INST);
     assert!(stats.test_requests > 0, "tests must inject");
     // All cores still finish (no starvation) with sane IPC.
