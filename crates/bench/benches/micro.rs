@@ -1,149 +1,7 @@
-//! Micro-benchmarks of the core data structures: PRIL write handling, the
-//! chip tester, the cost model, Pareto sampling, the FR-FCFS controller,
-//! and the ECC codes.
+//! `cargo bench --bench micro` — thin harness over the shared suite in
+//! `bench_suite::micro`, which `xtask bench baseline` also runs.
 
-use memutil::bench::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use memutil::rng::SmallRng;
-use memutil::rng::{Rng, SeedableRng};
+use memutil::bench::{criterion_group, criterion_main};
 
-use dram::bank::Bank;
-use dram::command::DramCommand;
-use dram::geometry::DramGeometry;
-use dram::module::DramModule;
-use dram::timing::TimingParams;
-use failure_model::params::FailureModelParams;
-use failure_model::patterns::TestPattern;
-use failure_model::tester::ChipTester;
-use memcon::cost::{CostModel, TestMode};
-use memcon::ecc::{Crc64, Hamming72};
-use memcon::pril::Pril;
-use memtrace::interval::WriteIntervalModel;
-use memtrace::workload::WorkloadProfile;
-
-fn bench_pril(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pril");
-    let writes: Vec<u64> = {
-        let mut rng = SmallRng::seed_from_u64(1);
-        (0..10_000).map(|_| rng.gen_range(0..65_536)).collect()
-    };
-    g.throughput(Throughput::Elements(writes.len() as u64));
-    g.bench_function("on_write_10k", |b| {
-        b.iter_batched(
-            || Pril::new(65_536, 4096),
-            |mut pril| {
-                for &w in &writes {
-                    pril.on_write(w);
-                }
-                std::hint::black_box(pril.end_quantum())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_tester(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chip_tester");
-    g.sample_size(10);
-    g.bench_function("fill_idle_readback", |b| {
-        let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 7);
-        let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
-        b.iter(|| {
-            tester.fill_pattern(&TestPattern::Random(3));
-            let _ = tester.idle_ms(328.0);
-            std::hint::black_box(tester.read_back().flipped_bits())
-        })
-    });
-    g.finish();
-}
-
-fn bench_cost_model(c: &mut Criterion) {
-    c.bench_function("cost_model/min_write_interval", |b| {
-        let m = CostModel::paper_default();
-        b.iter(|| std::hint::black_box(m.min_write_interval_ms(TestMode::CopyAndCompare)))
-    });
-}
-
-fn bench_pareto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pareto");
-    let model = WriteIntervalModel::typical();
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("sample_10k", |b| {
-        let mut rng = SmallRng::seed_from_u64(3);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..10_000 {
-                acc += model.sample_ms(&mut rng);
-            }
-            std::hint::black_box(acc)
-        })
-    });
-    g.finish();
-}
-
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.sample_size(10);
-    g.bench_function("netflix_scaled", |b| {
-        let w = WorkloadProfile::netflix().scaled(0.05);
-        b.iter(|| std::hint::black_box(w.generate(11).len()))
-    });
-    g.finish();
-}
-
-fn bench_bank_fsm(c: &mut Criterion) {
-    let timing = TimingParams::ddr3_1600();
-    c.bench_function("bank_fsm/act_rd_pre_cycle", |b| {
-        b.iter_batched(
-            Bank::new,
-            |mut bank| {
-                let mut now = 0;
-                for row in 0..64u32 {
-                    now = bank
-                        .issue(DramCommand::Activate, row, now, &timing)
-                        .unwrap();
-                    now = bank.issue(DramCommand::Read, row, now, &timing).unwrap();
-                    let tras = bank.ready_cycle(DramCommand::Precharge).max(now);
-                    now = bank
-                        .issue(DramCommand::Precharge, row, tras, &timing)
-                        .unwrap();
-                }
-                std::hint::black_box(bank.acts)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_ecc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ecc");
-    let row: Vec<u64> = {
-        let mut rng = SmallRng::seed_from_u64(4);
-        (0..1024).map(|_| rng.gen()).collect()
-    };
-    g.throughput(Throughput::Bytes(8192));
-    g.bench_function("crc64_8kb_row", |b| {
-        let crc = Crc64::new();
-        b.iter(|| std::hint::black_box(crc.row_signature(&row)))
-    });
-    g.bench_function("hamming72_encode_decode", |b| {
-        let h = Hamming72;
-        b.iter(|| {
-            let cw = h.encode(std::hint::black_box(0xDEAD_BEEF_CAFE_BABE));
-            std::hint::black_box(h.decode(cw ^ (1 << 17)))
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(
-    micro,
-    bench_pril,
-    bench_tester,
-    bench_cost_model,
-    bench_pareto,
-    bench_trace_generation,
-    bench_bank_fsm,
-    bench_ecc
-);
+criterion_group!(micro, bench_suite::micro::register);
 criterion_main!(micro);

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use experiments::RunOptions;
 
 /// Bench-sized experiment options: small enough for Criterion's repeated
@@ -20,6 +22,7 @@ pub fn bench_opts() -> RunOptions {
         rows_per_bank: 128,
         snapshots: 1,
         seed: 0xBE11C4,
+        jobs: 1,
     }
 }
 

@@ -77,20 +77,27 @@ pub fn compute(opts: &RunOptions) -> Fig14 {
 }
 
 fn compute_uncached(opts: &RunOptions) -> Fig14 {
-    let mut runs = Vec::new();
-    for w in WorkloadProfile::all() {
-        let trace = crate::output::cached_trace(&w, opts);
-        for quantum in QUANTA_MS {
-            let config = MemconConfig::paper_default().with_quantum_ms(quantum);
-            let mut engine = MemconEngine::new(config, trace.n_pages());
-            let report = engine.run(&trace);
-            runs.push(EngineRun {
-                workload: w.name.clone(),
-                quantum_ms: quantum,
-                report,
-            });
-        }
-    }
+    // Workloads fan out across the pool; each worker runs that workload's
+    // three quanta in order, and the per-workload run lists are reduced in
+    // `WorkloadProfile::all()` order — bit-identical to the sequential loop.
+    let workloads = WorkloadProfile::all();
+    let runs = memutil::par::ordered_flat_map_with(opts.jobs, workloads.len(), |wi| {
+        let w = &workloads[wi];
+        let trace = crate::output::cached_trace(w, opts);
+        QUANTA_MS
+            .iter()
+            .map(|&quantum| {
+                let config = MemconConfig::paper_default().with_quantum_ms(quantum);
+                let mut engine = MemconEngine::new(config, trace.n_pages());
+                let report = engine.run(&trace);
+                EngineRun {
+                    workload: w.name.clone(),
+                    quantum_ms: quantum,
+                    report,
+                }
+            })
+            .collect()
+    });
     Fig14 {
         runs,
         upper_bound: MemconConfig::paper_default()

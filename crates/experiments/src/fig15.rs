@@ -62,35 +62,43 @@ impl Fig15 {
 }
 
 /// Runs the full sweep over `opts.mixes` workload mixes.
+///
+/// The six `(cores, density)` cells fan out across the [`memutil::par`]
+/// pool; each cell runs its mixes and reduction points in order and the
+/// cells are reduced in sweep order, so the figure is bit-identical to the
+/// sequential nested loop at any worker count.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Fig15 {
     let mixes = random_mixes(opts.mixes, 4, opts.seed);
-    let mut points = Vec::new();
-    for cores in [1usize, 4] {
-        for density in ChipDensity::ALL {
-            // Baselines per mix, reused across the two reduction points.
-            let baselines: Vec<SimStats> = mixes
-                .iter()
-                .enumerate()
-                .map(|(i, mix)| {
-                    let profiles = mix[..cores].to_vec();
-                    run_config(cores, density, None, profiles, opts, i as u64)
-                })
-                .collect();
-            for reduction in REDUCTIONS {
-                let mut speedups = Vec::new();
-                for (i, mix) in mixes.iter().enumerate() {
-                    let profiles = mix[..cores].to_vec();
-                    let stats =
-                        run_config(cores, density, Some(reduction), profiles, opts, i as u64);
-                    speedups.push(stats.speedup_over(&baselines[i]));
-                }
-                let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-                let max = speedups.iter().cloned().fold(0.0, f64::max);
-                points.push((cores, density, reduction, mean, max));
+    let cells: Vec<(usize, ChipDensity)> = [1usize, 4]
+        .iter()
+        .flat_map(|&cores| ChipDensity::ALL.iter().map(move |&d| (cores, d)))
+        .collect();
+    let points = memutil::par::ordered_flat_map_with(opts.jobs, cells.len(), |ci| {
+        let (cores, density) = cells[ci];
+        // Baselines per mix, reused across the two reduction points.
+        let baselines: Vec<SimStats> = mixes
+            .iter()
+            .enumerate()
+            .map(|(i, mix)| {
+                let profiles = mix[..cores].to_vec();
+                run_config(cores, density, None, profiles, opts, i as u64)
+            })
+            .collect();
+        let mut cell_points = Vec::with_capacity(REDUCTIONS.len());
+        for reduction in REDUCTIONS {
+            let mut speedups = Vec::new();
+            for (i, mix) in mixes.iter().enumerate() {
+                let profiles = mix[..cores].to_vec();
+                let stats = run_config(cores, density, Some(reduction), profiles, opts, i as u64);
+                speedups.push(stats.speedup_over(&baselines[i]));
             }
+            let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            let max = speedups.iter().cloned().fold(0.0, f64::max);
+            cell_points.push((cores, density, reduction, mean, max));
         }
-    }
+        cell_points
+    });
     Fig15 { points }
 }
 

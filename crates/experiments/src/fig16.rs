@@ -103,46 +103,52 @@ fn policy_of(m: Mechanism, memcon_red: f64, raidr_red: f64) -> RefreshPolicy {
 }
 
 /// Runs the comparison sweep.
+///
+/// After the (shared, memoized) Fig. 14 engine runs fix the MEMCON
+/// reduction, the six `(cores, density)` cells fan out across the
+/// [`memutil::par`] pool and are reduced in sweep order — bit-identical to
+/// the sequential nested loop at any worker count.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Fig16 {
     let memcon_red = memcon_reduction(opts);
     let raidr_red = raidr_reduction(opts);
     let mixes = random_mixes(opts.mixes, 4, opts.seed);
-    let mut points = Vec::new();
-    for cores in [1usize, 4] {
-        for density in ChipDensity::ALL {
-            let baselines: Vec<SimStats> = mixes
-                .iter()
-                .enumerate()
-                .map(|(i, mix)| {
-                    let config = SystemConfig::new(cores, density, RefreshPolicy::baseline_16ms());
-                    System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
-                        .run(opts.instructions)
-                })
-                .collect();
-            for m in Mechanism::ALL {
-                let mut speedups = Vec::new();
-                for (i, mix) in mixes.iter().enumerate() {
-                    let config =
-                        SystemConfig::new(cores, density, policy_of(m, memcon_red, raidr_red));
-                    let mut system =
-                        System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64);
-                    if m == Mechanism::Memcon {
-                        system =
-                            system.with_test_injection(TestInjectConfig::read_and_compare(256));
-                    }
-                    let stats = system.run(opts.instructions);
-                    speedups.push(stats.speedup_over(&baselines[i]));
+    let cells: Vec<(usize, ChipDensity)> = [1usize, 4]
+        .iter()
+        .flat_map(|&cores| ChipDensity::ALL.iter().map(move |&d| (cores, d)))
+        .collect();
+    let points = memutil::par::ordered_flat_map_with(opts.jobs, cells.len(), |ci| {
+        let (cores, density) = cells[ci];
+        let baselines: Vec<SimStats> = mixes
+            .iter()
+            .enumerate()
+            .map(|(i, mix)| {
+                let config = SystemConfig::new(cores, density, RefreshPolicy::baseline_16ms());
+                System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
+                    .run(opts.instructions)
+            })
+            .collect();
+        let mut cell_points = Vec::with_capacity(Mechanism::ALL.len());
+        for m in Mechanism::ALL {
+            let mut speedups = Vec::new();
+            for (i, mix) in mixes.iter().enumerate() {
+                let config = SystemConfig::new(cores, density, policy_of(m, memcon_red, raidr_red));
+                let mut system = System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64);
+                if m == Mechanism::Memcon {
+                    system = system.with_test_injection(TestInjectConfig::read_and_compare(256));
                 }
-                points.push((
-                    cores,
-                    density,
-                    m,
-                    speedups.iter().sum::<f64>() / speedups.len() as f64,
-                ));
+                let stats = system.run(opts.instructions);
+                speedups.push(stats.speedup_over(&baselines[i]));
             }
+            cell_points.push((
+                cores,
+                density,
+                m,
+                speedups.iter().sum::<f64>() / speedups.len() as f64,
+            ));
         }
-    }
+        cell_points
+    });
     Fig16 {
         points,
         memcon_reduction: memcon_red,

@@ -55,6 +55,11 @@ impl Fig3 {
 }
 
 /// Runs the 100-pattern sweep at the paper's 328 ms-equivalent interval.
+///
+/// The per-pattern fill → idle → read-back runs fan out across the
+/// [`memutil::par`] pool (via [`ChipTester::run_suite`]); cell ids are
+/// assigned from the in-order reports, so the scatter is bit-identical to
+/// the sequential sweep at any worker count.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Fig3 {
     let module = DramModule::new(
@@ -62,17 +67,15 @@ pub fn compute(opts: &RunOptions) -> Fig3 {
         TimingParams::ddr3_1600(),
         opts.seed,
     );
-    let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
+    let mut tester = ChipTester::new(module, FailureModelParams::calibrated()).with_jobs(opts.jobs);
     let patterns = TestPattern::suite(92);
+    let reports = tester.run_suite(&patterns, 328.0);
+    let g = *tester.module().geometry();
     let mut cell_ids: BTreeMap<(u64, u64), usize> = BTreeMap::new();
     let mut dots = Vec::new();
-    for (pi, pattern) in patterns.iter().enumerate() {
-        tester.fill_pattern(pattern);
-        let _ = tester.idle_ms(328.0);
-        let report = tester.read_back();
+    for (pi, (_, report)) in reports.iter().enumerate() {
         for (row, bits) in &report.failing_rows {
-            let g = tester.module().geometry();
-            let row_id = row.to_row_id(g);
+            let row_id = row.to_row_id(&g);
             for &bit in bits {
                 let next = cell_ids.len();
                 let id = *cell_ids.entry((row_id, bit)).or_insert(next);

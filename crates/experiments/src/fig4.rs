@@ -56,37 +56,41 @@ impl Fig4 {
 }
 
 /// Runs the Fig. 4 sweep at the 328 ms-equivalent test interval.
+///
+/// Benchmarks fan out across the [`memutil::par`] pool, each on its own
+/// tester clone (sound because `fill_with` overwrites every row before each
+/// snapshot); results are reduced in `SpecBenchmark::ALL` order, so the
+/// figure is bit-identical to the sequential sweep at any worker count.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Fig4 {
     let geometry = crate::output::chip_test_geometry(opts);
     let interval_ms = 328.0;
     let module = DramModule::new(geometry, TimingParams::ddr3_1600(), opts.seed);
     let model = CouplingFailureModel::new(FailureModelParams::calibrated());
-    let all_fail = model.worst_case_failing_row_fraction(&module, interval_ms);
+    let all_fail = model.worst_case_failing_row_fraction_with_jobs(&module, interval_ms, opts.jobs);
 
-    let mut tester = ChipTester::new(module, FailureModelParams::calibrated());
+    let tester = ChipTester::new(module, FailureModelParams::calibrated());
     let words = geometry.words_per_row();
-    let benchmarks = SpecBenchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let profile = bench.profile();
-            let mut fracs = Vec::new();
-            for snapshot in 0..opts.snapshots {
-                tester.fill_with(|row| {
-                    profile.row_content(opts.seed ^ bench as u64, snapshot, row, words)
-                });
-                let _ = tester.idle_ms(interval_ms);
-                fracs.push(tester.read_back().failing_row_fraction());
-            }
-            let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
-            BenchmarkRow {
-                name: bench.name(),
-                mean,
-                min: fracs.iter().cloned().fold(f64::INFINITY, f64::min),
-                max: fracs.iter().cloned().fold(0.0, f64::max),
-            }
-        })
-        .collect();
+    let benchmarks = memutil::par::ordered_map_with(opts.jobs, SpecBenchmark::ALL.len(), |bi| {
+        let bench = SpecBenchmark::ALL[bi];
+        let profile = bench.profile();
+        let mut tester = tester.clone().with_jobs(1);
+        let mut fracs = Vec::new();
+        for snapshot in 0..opts.snapshots {
+            tester.fill_with(|row| {
+                profile.row_content(opts.seed ^ bench as u64, snapshot, row, words)
+            });
+            let _ = tester.idle_ms(interval_ms);
+            fracs.push(tester.read_back().failing_row_fraction());
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        BenchmarkRow {
+            name: bench.name(),
+            mean,
+            min: fracs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: fracs.iter().cloned().fold(0.0, f64::max),
+        }
+    });
     Fig4 {
         benchmarks,
         all_fail,
@@ -144,6 +148,45 @@ mod tests {
         let (lo, hi) = r.gap_range();
         assert!(lo > 1.5, "minimum gap {lo}");
         assert!(hi > 8.0, "maximum gap {hi}");
+    }
+
+    #[test]
+    fn compute_is_jobs_invariant() {
+        // The parallel sweep must be bit-identical to the sequential path
+        // (jobs = 1) for every seed and worker count — floats compared by
+        // bit pattern, not tolerance.
+        for seed in [3u64, 17, 0xC0FFEE] {
+            let base = RunOptions {
+                rows_per_bank: 64,
+                snapshots: 2,
+                seed,
+                ..RunOptions::quick()
+            };
+            let key = |r: &Fig4| -> Vec<(String, u64, u64, u64)> {
+                let mut rows: Vec<_> = r
+                    .benchmarks
+                    .iter()
+                    .map(|b| {
+                        (
+                            b.name.to_string(),
+                            b.mean.to_bits(),
+                            b.min.to_bits(),
+                            b.max.to_bits(),
+                        )
+                    })
+                    .collect();
+                rows.push(("ALL FAIL".to_string(), r.all_fail.to_bits(), 0, 0));
+                rows
+            };
+            let sequential = key(&compute(&base.with_jobs(1)));
+            for jobs in [2usize, 8] {
+                assert_eq!(
+                    sequential,
+                    key(&compute(&base.with_jobs(jobs))),
+                    "seed {seed} diverged at jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -79,6 +79,19 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<String, String> {
     }
 }
 
+/// Runs several experiments concurrently, returning the rendered outputs in
+/// the requested order.
+///
+/// Independent figures fan out across the [`memutil::par`] pool
+/// (`opts.jobs` workers); the pool is non-reentrant, so each figure's inner
+/// sweeps run inline inside its worker. The ordered reduction means the
+/// concatenated output is byte-identical to running the ids one by one —
+/// the `xtask ci` determinism gate diffs exactly that.
+#[must_use]
+pub fn run_all(ids: &[&str], opts: &RunOptions) -> Vec<Result<String, String>> {
+    memutil::par::ordered_map_with(opts.jobs, ids.len(), |i| run_experiment(ids[i], opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +99,19 @@ mod tests {
     #[test]
     fn unknown_experiment_is_an_error() {
         assert!(run_experiment("fig99", &RunOptions::quick()).is_err());
+    }
+
+    #[test]
+    fn run_all_matches_one_by_one() {
+        // Byte-identical to sequential dispatch, at any worker count, with
+        // errors kept in position.
+        let ids = ["table2", "fig99", "fig5", "fig6"];
+        let opts = RunOptions::quick();
+        let sequential: Vec<Result<String, String>> =
+            ids.iter().map(|id| run_experiment(id, &opts)).collect();
+        for jobs in [1usize, 4] {
+            assert_eq!(sequential, run_all(&ids, &opts.with_jobs(jobs)));
+        }
     }
 
     #[test]

@@ -1,42 +1,74 @@
 //! `memcon-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! memcon-experiments [--quick] <experiment>|all
+//! memcon-experiments [--quick] [--jobs N] <experiment>|all
 //! ```
 //!
 //! Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11
 //! fig12 fig14 fig15 fig16 table3 fig17 fig18 fig19
+//!
+//! `--jobs N` (or the `MEMCON_JOBS` environment variable) sets the worker
+//! count of the parallel sweeps; the rendered output is byte-identical at
+//! any value, and `--jobs 1` is the exact sequential path.
 
-use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+use experiments::{run_all, RunOptions, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: memcon-experiments [--quick] [--jobs N] <experiment>... | all\n\
+         experiments: {}\n\
+         --jobs N     worker threads for the parallel sweeps (default: MEMCON_JOBS\n\
+         \x20            or the available parallelism; output is identical at any N)",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let opts = if quick {
+    let mut jobs: Option<usize> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--quick" {
+            continue;
+        } else if arg == "--jobs" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("error: --jobs expects a number");
+                usage();
+            };
+            jobs = Some(n);
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            let Ok(n) = v.parse() else {
+                eprintln!("error: --jobs expects a number, got '{v}'");
+                usage();
+            };
+            jobs = Some(n);
+        } else if arg.starts_with("--") {
+            eprintln!("error: unknown flag '{arg}'");
+            usage();
+        } else {
+            targets.push(arg.as_str());
+        }
+    }
+    memutil::par::set_jobs(jobs);
+    let mut opts = if quick {
         RunOptions::quick()
     } else {
         RunOptions::full()
     };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    opts.jobs = jobs.unwrap_or(0);
     if targets.is_empty() {
-        eprintln!(
-            "usage: memcon-experiments [--quick] <experiment>... | all\n\
-             experiments: {}",
-            ALL_EXPERIMENTS.join(" ")
-        );
-        std::process::exit(2);
+        usage();
     }
     let ids: Vec<&str> = if targets == ["all"] {
         ALL_EXPERIMENTS.to_vec()
     } else {
         targets
     };
-    for id in ids {
-        match run_experiment(id, &opts) {
+    for result in run_all(&ids, &opts) {
+        match result {
             Ok(text) => println!("{text}"),
             Err(e) => {
                 eprintln!("error: {e}");

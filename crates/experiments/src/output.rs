@@ -16,6 +16,10 @@ pub struct RunOptions {
     pub snapshots: u32,
     /// Base random seed.
     pub seed: u64,
+    /// Worker count for the parallel sweeps (`--jobs N` / `MEMCON_JOBS`;
+    /// `0` resolves via [`memutil::par::jobs`], `1` is the exact
+    /// sequential path). Rendered output is bit-identical at any value.
+    pub jobs: usize,
 }
 
 impl RunOptions {
@@ -29,6 +33,7 @@ impl RunOptions {
             rows_per_bank: 2048,
             snapshots: 5,
             seed: 0xC0FFEE,
+            jobs: 0,
         }
     }
 
@@ -42,7 +47,15 @@ impl RunOptions {
             rows_per_bank: 256,
             snapshots: 2,
             seed: 0xC0FFEE,
+            jobs: 0,
         }
+    }
+
+    /// This option set with an explicit worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 

@@ -34,16 +34,22 @@ impl Table3 {
 }
 
 /// Runs the sweep: MEMCON-rate refresh with and without injected tests.
+///
+/// Two parallel stages on the [`memutil::par`] pool: the per-core-count
+/// no-test baselines first, then the six `(cores, tests)` cells against
+/// them. Both reductions are ordered, so the table is bit-identical to the
+/// sequential nested loop at any worker count.
 #[must_use]
 pub fn compute(opts: &RunOptions) -> Table3 {
+    const CORES: [usize; 2] = [1, 4];
     let policy = RefreshPolicy::Reduced {
         baseline_interval_ms: 16.0,
         reduction: 0.70,
     };
     let mixes = random_mixes(opts.mixes, 4, opts.seed);
-    let mut points = Vec::new();
-    for cores in [1usize, 4] {
-        let ideal: Vec<u64> = mixes
+    let ideals: Vec<Vec<u64>> = memutil::par::ordered_map_with(opts.jobs, CORES.len(), |ci| {
+        let cores = CORES[ci];
+        mixes
             .iter()
             .enumerate()
             .map(|(i, mix)| {
@@ -52,24 +58,27 @@ pub fn compute(opts: &RunOptions) -> Table3 {
                     .run(opts.instructions);
                 stats.per_core_cycles.iter().sum()
             })
-            .collect();
-        for tests in TEST_COUNTS {
-            let mut slowdowns = Vec::new();
-            for (i, mix) in mixes.iter().enumerate() {
-                let config = SystemConfig::new(cores, ChipDensity::Gb8, policy);
-                let stats = System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
-                    .with_test_injection(TestInjectConfig::read_and_compare(tests))
-                    .run(opts.instructions);
-                let cycles: u64 = stats.per_core_cycles.iter().sum();
-                slowdowns.push(cycles as f64 / ideal[i] as f64 - 1.0);
-            }
-            points.push((
-                cores,
-                tests,
-                slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
-            ));
+            .collect()
+    });
+    let cells = CORES.len() * TEST_COUNTS.len();
+    let points = memutil::par::ordered_map_with(opts.jobs, cells, |cell| {
+        let (ci, ti) = (cell / TEST_COUNTS.len(), cell % TEST_COUNTS.len());
+        let (cores, tests) = (CORES[ci], TEST_COUNTS[ti]);
+        let mut slowdowns = Vec::new();
+        for (i, mix) in mixes.iter().enumerate() {
+            let config = SystemConfig::new(cores, ChipDensity::Gb8, policy);
+            let stats = System::new(config, mix[..cores].to_vec(), opts.seed ^ i as u64)
+                .with_test_injection(TestInjectConfig::read_and_compare(tests))
+                .run(opts.instructions);
+            let cycles: u64 = stats.per_core_cycles.iter().sum();
+            slowdowns.push(cycles as f64 / ideals[ci][i] as f64 - 1.0);
         }
-    }
+        (
+            cores,
+            tests,
+            slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+        )
+    });
     Table3 { points }
 }
 

@@ -257,18 +257,41 @@ impl CouplingFailureModel {
 
     /// Evaluates every row of the module, returning all failures for the
     /// current content at `interval_ms`.
+    ///
+    /// Runs on the [`memutil::par`] pool at the globally resolved worker
+    /// count; see [`CouplingFailureModel::evaluate_module_with_jobs`] for
+    /// the determinism contract.
     #[must_use]
     pub fn evaluate_module(&self, module: &DramModule, interval_ms: f64) -> Vec<CellFailure> {
+        self.evaluate_module_with_jobs(module, interval_ms, 0)
+    }
+
+    /// [`CouplingFailureModel::evaluate_module`] with an explicit worker
+    /// count (`jobs = 0` resolves automatically, `jobs = 1` is the plain
+    /// sequential loop).
+    ///
+    /// The sweep fans out per `(rank, bank)` and reduces the per-bank
+    /// failure lists in rank-major order, so the result is bit-identical
+    /// to the sequential rank → bank → row iteration at any `jobs`.
+    #[must_use]
+    pub fn evaluate_module_with_jobs(
+        &self,
+        module: &DramModule,
+        interval_ms: f64,
+        jobs: usize,
+    ) -> Vec<CellFailure> {
         let g = *module.geometry();
-        let mut out = Vec::new();
-        for rank in 0..g.ranks {
-            for bank in 0..g.banks {
-                for row in 0..g.rows_per_bank {
-                    out.extend(self.evaluate_row(module, rank, bank, row, interval_ms));
-                }
+        let banks: Vec<(u8, u8)> = (0..g.ranks)
+            .flat_map(|rank| (0..g.banks).map(move |bank| (rank, bank)))
+            .collect();
+        memutil::par::ordered_flat_map_with(jobs, banks.len(), |i| {
+            let (rank, bank) = banks[i];
+            let mut out = Vec::new();
+            for row in 0..g.rows_per_bank {
+                out.extend(self.evaluate_row(module, rank, bank, row, interval_ms));
             }
-        }
-        out
+            out
+        })
     }
 
     /// Commits a set of failures to the module content: each failing
@@ -304,19 +327,34 @@ impl CouplingFailureModel {
     /// `interval_ms` with some content.
     #[must_use]
     pub fn worst_case_failing_row_fraction(&self, module: &DramModule, interval_ms: f64) -> f64 {
+        self.worst_case_failing_row_fraction_with_jobs(module, interval_ms, 0)
+    }
+
+    /// [`CouplingFailureModel::worst_case_failing_row_fraction`] with an
+    /// explicit worker count (`jobs = 0` resolves automatically). Fans out
+    /// per `(rank, bank)`; the per-bank failing-row counts are integers, so
+    /// the reduction is exact at any `jobs`.
+    #[must_use]
+    pub fn worst_case_failing_row_fraction_with_jobs(
+        &self,
+        module: &DramModule,
+        interval_ms: f64,
+        jobs: usize,
+    ) -> f64 {
         let g = *module.geometry();
         let bits = g.bits_per_row();
-        let mut failing = 0u64;
-        for rank in 0..g.ranks {
-            for bank in 0..g.banks {
-                for row in 0..g.rows_per_bank {
-                    if self.row_can_fail(module.chip_seed(), rank, bank, row, bits, interval_ms) {
-                        failing += 1;
-                    }
-                }
-            }
-        }
-        failing as f64 / g.total_rows() as f64
+        let banks: Vec<(u8, u8)> = (0..g.ranks)
+            .flat_map(|rank| (0..g.banks).map(move |bank| (rank, bank)))
+            .collect();
+        let per_bank = memutil::par::ordered_map_with(jobs, banks.len(), |i| {
+            let (rank, bank) = banks[i];
+            (0..g.rows_per_bank)
+                .filter(|&row| {
+                    self.row_can_fail(module.chip_seed(), rank, bank, row, bits, interval_ms)
+                })
+                .count() as u64
+        });
+        per_bank.iter().sum::<u64>() as f64 / g.total_rows() as f64
     }
 }
 
@@ -503,6 +541,33 @@ mod tests {
                 .hamming_distance(module.read_row_id(id));
         }
         assert_eq!(flipped, failures.len() as u64);
+    }
+
+    #[test]
+    fn evaluate_module_is_jobs_invariant() {
+        // The parallel engine's determinism contract: bit-identical output
+        // at any worker count, across several chip seeds and contents.
+        let m = CouplingFailureModel::default();
+        for seed in [11u64, 29, 47] {
+            let mut module = test_module(seed);
+            let words = module.geometry().words_per_row();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+            module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+            let sequential = m.evaluate_module_with_jobs(&module, 16_000.0, 1);
+            for jobs in [2usize, 8] {
+                let parallel = m.evaluate_module_with_jobs(&module, 16_000.0, jobs);
+                assert_eq!(sequential, parallel, "seed {seed} diverged at jobs={jobs}");
+            }
+            let frac1 = m.worst_case_failing_row_fraction_with_jobs(&module, 16_000.0, 1);
+            for jobs in [2usize, 8] {
+                let fracn = m.worst_case_failing_row_fraction_with_jobs(&module, 16_000.0, jobs);
+                assert_eq!(
+                    frac1.to_bits(),
+                    fracn.to_bits(),
+                    "seed {seed}: fraction diverged at jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! the internal scrambling/remapping/polarity stay hidden inside the module
 //! and the failure physics.
 
-use dram::address::{iter_rows, RowAddr};
+use dram::address::RowAddr;
 use dram::cell::RowContent;
 use dram::module::DramModule;
 
@@ -69,6 +69,9 @@ pub struct ChipTester {
     model: CouplingFailureModel,
     temperature: Celsius,
     golden: Vec<RowContent>,
+    /// Worker count for the idle/read-back sweeps (0 = resolve via
+    /// [`memutil::par::jobs`]).
+    jobs: usize,
 }
 
 impl ChipTester {
@@ -84,6 +87,7 @@ impl ChipTester {
             model: CouplingFailureModel::new(params),
             temperature: Celsius::REFERENCE,
             golden,
+            jobs: 0,
         }
     }
 
@@ -92,6 +96,15 @@ impl ChipTester {
     #[must_use]
     pub fn with_temperature(mut self, temperature: Celsius) -> Self {
         self.temperature = temperature;
+        self
+    }
+
+    /// Sets the worker count for the idle/read-back sweeps (`0` resolves
+    /// via [`memutil::par::jobs`], `1` is the exact sequential path). The
+    /// reports are bit-identical at any value — see [`memutil::par`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -138,25 +151,28 @@ impl ChipTester {
     /// instrument would only learn them from [`ChipTester::read_back`]).
     pub fn idle_ms(&mut self, interval_ms: f64) -> Vec<CellFailure> {
         let equivalent = self.temperature.equivalent_interval_ms(interval_ms);
-        let failures = self.model.evaluate_module(&self.module, equivalent);
+        let failures = self
+            .model
+            .evaluate_module_with_jobs(&self.module, equivalent, self.jobs);
         self.model.apply(&mut self.module, &failures);
         failures
     }
 
     /// Reads every row back and diffs against the golden image.
+    ///
+    /// The golden-vs-readback diff fans out over chunked row ranges on the
+    /// [`memutil::par`] pool; rows are reduced in row-id order, so the
+    /// report is bit-identical to the sequential sweep at any worker count.
     #[must_use]
     pub fn read_back(&self) -> ReadBackReport {
         let g = *self.module.geometry();
-        let mut failing_rows = Vec::new();
-        for addr in iter_rows(&g) {
-            let id = addr.to_row_id(&g);
-            let diff = self.golden[id as usize].diff_bits(self.module.read_row_id(id));
-            if !diff.is_empty() {
-                failing_rows.push((addr, diff));
-            }
-        }
+        let per_row = memutil::par::ordered_map_with(self.jobs, g.total_rows() as usize, |i| {
+            let id = i as u64;
+            let diff = self.golden[i].diff_bits(self.module.read_row_id(id));
+            (!diff.is_empty()).then(|| (RowAddr::from_row_id(id, &g), diff))
+        });
         ReadBackReport {
-            failing_rows,
+            failing_rows: per_row.into_iter().flatten().collect(),
             total_rows: g.total_rows(),
         }
     }
@@ -174,19 +190,33 @@ impl ChipTester {
 
     /// Runs a whole pattern suite: for each pattern, fill → idle →
     /// read back, returning the per-pattern report.
+    ///
+    /// Patterns fan out across the pool, each on its own tester clone —
+    /// sound because `fill` overwrites every row, so each pattern's report
+    /// depends only on the pattern and the chip identity, never on the
+    /// previous pattern's residue. The tester is left in the last
+    /// pattern's post-test state, exactly as the sequential loop leaves it.
     pub fn run_suite(
         &mut self,
         patterns: &[TestPattern],
         interval_ms: f64,
     ) -> Vec<(TestPattern, ReadBackReport)> {
-        patterns
-            .iter()
-            .map(|p| {
-                self.fill_pattern(p);
-                let _ = self.idle_ms(interval_ms);
-                (*p, self.read_back())
-            })
-            .collect()
+        let mut runs = memutil::par::ordered_map_with(self.jobs, patterns.len(), |i| {
+            let mut tester = self.clone().with_jobs(1);
+            tester.fill_pattern(&patterns[i]);
+            let _ = tester.idle_ms(interval_ms);
+            let report = tester.read_back();
+            (tester, (patterns[i], report))
+        });
+        let mut out = Vec::with_capacity(runs.len());
+        if let Some((last, _)) = runs.last_mut() {
+            std::mem::swap(&mut self.module, &mut last.module);
+            std::mem::swap(&mut self.golden, &mut last.golden);
+        }
+        for (_, result) in runs {
+            out.push(result);
+        }
+        out
     }
 }
 
@@ -269,6 +299,24 @@ mod tests {
         let f = r.failing_row_fraction();
         assert!((0.0..=1.0).contains(&f));
         assert_eq!(r.failing_row_count() == 0, r.is_clean());
+    }
+
+    #[test]
+    fn reports_are_jobs_invariant() {
+        // fill → idle → read back must yield bit-identical reports at any
+        // worker count, including the whole-suite sweep.
+        let patterns = TestPattern::suite(1);
+        let run = |jobs: usize| {
+            let mut t = tester(8).with_jobs(jobs);
+            let suite = t.run_suite(&patterns, 60_000.0);
+            t.fill_pattern(&TestPattern::Random(9));
+            let failures = t.idle_ms(60_000.0);
+            (suite, failures, t.read_back())
+        };
+        let sequential = run(1);
+        for jobs in [2usize, 8] {
+            assert_eq!(sequential, run(jobs), "diverged at jobs={jobs}");
+        }
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct MemconEngine {
     lo_anchor: Vec<Option<u64>>,
     tests_correct: u64,
     tests_mispredicted: u64,
+    /// Reused completion buffer for [`TestEngine::poll_into`] — the event
+    /// loop polls at every write and quantum boundary, so a fresh `Vec` per
+    /// poll would dominate allocations.
+    outcome_buf: Vec<crate::testengine::TestOutcome>,
 }
 
 impl MemconEngine {
@@ -148,6 +152,7 @@ impl MemconEngine {
             lo_anchor: vec![None; n_pages as usize],
             tests_correct: 0,
             tests_mispredicted: 0,
+            outcome_buf: Vec::new(),
             config,
         }
     }
@@ -330,7 +335,9 @@ impl MemconEngine {
     }
 
     fn handle_completions(&mut self, now: u64, mgr: &mut RefreshManager, duration: u64) {
-        for outcome in self.tests.poll(now) {
+        let mut outcomes = std::mem::take(&mut self.outcome_buf);
+        self.tests.poll_into(now, &mut outcomes);
+        for outcome in &outcomes {
             let end = outcome.end_ns.min(duration);
             if outcome.failed {
                 mgr.transition(outcome.page, PageState::HiRef, end);
@@ -342,6 +349,7 @@ impl MemconEngine {
                 self.lo_anchor[outcome.page as usize] = Some(outcome.start_ns);
             }
         }
+        self.outcome_buf = outcomes;
     }
 }
 

@@ -67,8 +67,25 @@ impl FailureOracle for RateOracle {
     }
 }
 
+/// Hit/miss counters of [`ContentOracle`]'s content-fingerprint memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Verdicts answered from the memo.
+    pub hits: u64,
+    /// Verdicts that ran the full failure-model evaluation.
+    pub misses: u64,
+}
+
 /// Physics-backed oracle: regenerates the page's content inside a simulated
 /// chip and runs the coupling failure model at the LO-REF interval.
+///
+/// Verdicts are memoized on a **content fingerprint**: the verdict of a row
+/// is a pure function of the chip identity and the content of the victim
+/// internal row plus its two vertically adjacent internal rows (the
+/// complete input set of the coupling evaluation), so the memo key is
+/// `(row id, hash of those three rows)`. Re-testing a page whose
+/// neighborhood content is unchanged — the common case, since most pages
+/// are written rarely — answers from the memo without re-running the model.
 #[derive(Debug)]
 pub struct ContentOracle {
     module: DramModule,
@@ -76,6 +93,8 @@ pub struct ContentOracle {
     profile: ContentProfile,
     lo_ms: f64,
     content_seed: u64,
+    memo: HashMap<(u64, u64), bool>,
+    memo_stats: MemoStats,
 }
 
 impl ContentOracle {
@@ -100,14 +119,47 @@ impl ContentOracle {
             profile,
             lo_ms,
             content_seed,
+            memo: HashMap::new(),
+            memo_stats: MemoStats::default(),
         }
+    }
+
+    /// Memo hit/miss counters.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo_stats
+    }
+
+    /// Hashes the verdict's input set: the victim internal row and its
+    /// vertical neighbors, in internal-row order. `std`'s `DefaultHasher`
+    /// is deterministic (SipHash-1-3 with zero keys), so fingerprints are
+    /// stable across runs.
+    fn fingerprint(&self, addr: RowAddr) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let g = self.module.geometry();
+        let scrambler = self.module.scrambler_for(addr);
+        let ir = scrambler.to_internal_row(addr.row);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let neighborhood = [ir.checked_sub(1), Some(ir), ir.checked_add(1)];
+        for internal in neighborhood.into_iter().flatten() {
+            if internal >= g.rows_per_bank {
+                continue;
+            }
+            let system = RowAddr::new(addr.rank, addr.bank, scrambler.to_system_row(internal));
+            self.module
+                .read_row(system)
+                .expect("internal rows map inside the bank")
+                .hash(&mut h);
+        }
+        h.finish()
     }
 }
 
 impl FailureOracle for ContentOracle {
     fn page_fails(&mut self, page: PageId, generation: u64) -> bool {
         let g = *self.module.geometry();
-        let addr = RowAddr::from_row_id(page % g.total_rows(), &g);
+        let row_id = page % g.total_rows();
+        let addr = RowAddr::from_row_id(row_id, &g);
         let words = g.words_per_row();
         let content =
             self.profile
@@ -115,10 +167,18 @@ impl FailureOracle for ContentOracle {
         self.module
             .write_row(addr, content)
             .expect("address is in range by construction");
-        !self
+        let key = (row_id, self.fingerprint(addr));
+        if let Some(&failed) = self.memo.get(&key) {
+            self.memo_stats.hits += 1;
+            return failed;
+        }
+        let failed = !self
             .model
             .evaluate_system_row(&self.module, addr, self.lo_ms)
-            .is_empty()
+            .is_empty();
+        self.memo_stats.misses += 1;
+        self.memo.insert(key, failed);
+        failed
     }
 }
 
@@ -342,8 +402,20 @@ impl TestEngine {
 
     /// Pops every test whose idle window has elapsed by `now_ns` and asks
     /// the oracle for its verdict.
+    ///
+    /// Allocates a fresh `Vec` per call; hot callers should prefer
+    /// [`TestEngine::poll_into`] with a reused buffer.
     pub fn poll(&mut self, now_ns: u64) -> Vec<TestOutcome> {
         let mut out = Vec::new();
+        self.poll_into(now_ns, &mut out);
+        out
+    }
+
+    /// [`TestEngine::poll`] into a caller-owned buffer: `out` is cleared,
+    /// then filled with the completed tests in end-time order. Lets the
+    /// engine's event loop reuse one allocation across polls.
+    pub fn poll_into(&mut self, now_ns: u64, out: &mut Vec<TestOutcome>) {
+        out.clear();
         while let Some(top) = self.in_flight.peek() {
             if top.end_ns > now_ns {
                 break;
@@ -368,7 +440,6 @@ impl TestEngine {
                 end_ns: t.end_ns,
             });
         }
-        out
     }
 
     /// Earliest pending completion time, if any test is in flight.
@@ -527,6 +598,30 @@ mod tests {
     }
 
     #[test]
+    fn poll_into_matches_poll_and_reuses_buffer() {
+        let setup = || {
+            let mut e = engine(8);
+            assert!(e.try_start(1, 0, 10 * MS));
+            assert!(e.try_start(2, 0, 0));
+            assert!(e.try_start(3, 0, 5 * MS));
+            e
+        };
+        let mut a = setup();
+        let mut b = setup();
+        let mut buf = vec![TestOutcome {
+            page: 99,
+            failed: true,
+            start_ns: 0,
+            end_ns: 0,
+        }];
+        b.poll_into(200 * MS, &mut buf);
+        assert_eq!(a.poll(200 * MS), buf, "poll_into must match poll");
+        assert_eq!(a.stats, b.stats);
+        b.poll_into(300 * MS, &mut buf);
+        assert!(buf.is_empty(), "poll_into must clear stale outcomes");
+    }
+
+    #[test]
     fn content_oracle_is_content_sensitive() {
         use dram::geometry::DramGeometry;
         use dram::timing::TimingParams;
@@ -559,6 +654,70 @@ mod tests {
         assert!(
             rand_fails > zero_fails,
             "random content ({rand_fails}) should fail more than zeros ({zero_fails})"
+        );
+    }
+
+    fn content_oracle(seed: u64) -> ContentOracle {
+        use dram::geometry::DramGeometry;
+        use dram::timing::TimingParams;
+        use failure_model::params::FailureModelParams;
+
+        let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), seed);
+        let model = CouplingFailureModel::new(FailureModelParams::calibrated_at(64.0));
+        ContentOracle::new(module, model, ContentProfile::random_data(), 64.0, 7)
+    }
+
+    #[test]
+    fn content_memo_hits_on_unchanged_neighborhood() {
+        let mut o = content_oracle(11);
+        let first = o.page_fails(5, 0);
+        // Same page, same generation: identical content is rewritten and no
+        // neighbor changed, so the verdict comes from the memo.
+        let second = o.page_fails(5, 0);
+        assert_eq!(first, second);
+        assert_eq!(o.memo_stats(), MemoStats { hits: 1, misses: 1 });
+        // A new generation regenerates different random content: miss.
+        let _ = o.page_fails(5, 1);
+        assert_eq!(o.memo_stats().misses, 2);
+    }
+
+    #[test]
+    fn content_memo_preserves_verdicts() {
+        // Every memoized verdict must equal a direct (memo-free) model
+        // evaluation of the same module state; the memo may only change
+        // *when* the model runs, never the answer.
+        use dram::geometry::DramGeometry;
+        use dram::timing::TimingParams;
+        use failure_model::params::FailureModelParams;
+
+        let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 23);
+        let model = CouplingFailureModel::new(FailureModelParams::calibrated_at(64.0));
+        let mut oracle = ContentOracle::new(
+            module.clone(),
+            model,
+            ContentProfile::random_data(),
+            64.0,
+            7,
+        );
+        let profile = ContentProfile::random_data();
+        let mut reference = module;
+        let g = *reference.geometry();
+        let words = g.words_per_row();
+        for round in 0..3u64 {
+            for page in 0..64u64 {
+                let generation = round % 2;
+                let verdict = oracle.page_fails(page, generation);
+                let addr = RowAddr::from_row_id(page % g.total_rows(), &g);
+                let content = profile.row_content(7 ^ page, generation as u32, page, words);
+                reference.write_row(addr, content).expect("in range");
+                let expected = !model.evaluate_system_row(&reference, addr, 64.0).is_empty();
+                assert_eq!(verdict, expected, "diverged at page {page} round {round}");
+            }
+        }
+        assert!(
+            oracle.memo_stats().hits > 0,
+            "repeated neighborhoods should hit: {:?}",
+            oracle.memo_stats()
         );
     }
 }

@@ -221,26 +221,36 @@ mod tests {
         // intervals averages 89.5%, ranging roughly 75-97%. Our traces land
         // in the same long-interval-dominated regime (slightly higher,
         // because cold-page intervals are all super-quantum by calibration).
-        let mut fractions = Vec::new();
-        for w in WorkloadProfile::all() {
-            // Full page count: tiny scaled footprints distort the hot/cold
-            // page balance (a single hot page can be half the footprint).
-            // Seed choice matters at the band edges: individual seeds can
-            // push one heavy-tailed workload below the floor without being
-            // out of regime. Seed 42 sits mid-band for every workload.
-            let trace = w.generate(42);
-            let f = crate::stats::time_fraction_ge_ms(&trace.closed_intervals(), 1024.0);
-            assert!(
-                (0.60..=1.0).contains(&f),
-                "{}: long-interval time fraction {f}",
-                w.name
-            );
-            fractions.push(f);
-        }
-        let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        //
+        // Individual seeds can push one heavy-tailed workload below the
+        // per-workload floor without being out of regime, so (like
+        // `scrambling_breaks_adjacency` in `dram`) the band is asserted
+        // over a seed population: most seeds must land fully in band, not
+        // one hand-picked seed.
+        let seeds: [u64; 5] = [7, 42, 1234, 0xFEED, 0xC0FFEE];
+        let in_band = seeds
+            .iter()
+            .filter(|&&seed| {
+                let mut fractions = Vec::new();
+                for w in WorkloadProfile::all() {
+                    // Full page count: tiny scaled footprints distort the
+                    // hot/cold page balance (a single hot page can be half
+                    // the footprint).
+                    let trace = w.generate(seed);
+                    let f = crate::stats::time_fraction_ge_ms(&trace.closed_intervals(), 1024.0);
+                    if !(0.60..=1.0).contains(&f) {
+                        return false;
+                    }
+                    fractions.push(f);
+                }
+                let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+                (0.80..0.999).contains(&avg)
+            })
+            .count();
         assert!(
-            (0.80..0.999).contains(&avg),
-            "average long-interval time fraction {avg} (paper: 89.5%)"
+            in_band >= 4,
+            "only {in_band}/{} seeds landed in the Fig. 9 band (paper avg: 89.5%)",
+            seeds.len()
         );
     }
 

@@ -13,11 +13,15 @@
 //! * [`json`] — a minimal JSON value type with an emitter (and a parser used
 //!   by tests), for the experiment figure outputs and `trace-gen`,
 //! * [`bench`] — a `std::time`-based measurement harness replacing Criterion
-//!   for the `crates/bench` suite.
+//!   for the `crates/bench` suite,
+//! * [`par`] — a scoped work-stealing thread pool with deterministic
+//!   ordered reduction (the rayon-free parallel substrate for the failure
+//!   model, chip tester, and experiments suite).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
 pub mod json;
+pub mod par;
 pub mod rng;

@@ -9,7 +9,12 @@
 //! the file after paying some down.
 //!
 //! `ci` chains the whole offline gate: rustfmt check (when rustfmt is
-//! installed), `memlint`, a release build, and the quiet test suite.
+//! installed), `memlint`, a release build, the parallel-engine determinism
+//! gate (`memcon-experiments --quick all` at `--jobs 1` vs `--jobs 4`,
+//! byte-compared), and the quiet test suite.
+//!
+//! `bench baseline` runs the `bench_suite::micro` suite in-process and
+//! snapshots the medians to `BENCH_baseline.json` at the workspace root.
 
 #![warn(missing_docs)]
 
@@ -50,7 +55,9 @@ pub fn lint_cmd(update_ratchet: bool) -> i32 {
 }
 
 /// Runs the offline CI pipeline: fmt-check (if rustfmt is installed),
-/// `memlint`, `cargo build --release`, `cargo test -q`.
+/// `memlint`, `cargo build --workspace --release` (the determinism gate
+/// below byte-compares the freshly built experiments binary), the
+/// determinism gate, `cargo test -q`.
 ///
 /// Returns the exit code of the first failing step, or `0`.
 #[must_use]
@@ -72,8 +79,13 @@ pub fn ci_cmd() -> i32 {
         return lint_code;
     }
 
-    println!("ci: cargo build --release");
-    if let Some(code) = run_step(&root, &["build", "--release"]) {
+    println!("ci: cargo build --workspace --release");
+    if let Some(code) = run_step(&root, &["build", "--workspace", "--release"]) {
+        return code;
+    }
+
+    println!("ci: determinism gate (memcon-experiments --quick all, --jobs 1 vs --jobs 4)");
+    if let Some(code) = determinism_gate(&root) {
         return code;
     }
 
@@ -84,6 +96,126 @@ pub fn ci_cmd() -> i32 {
 
     println!("ci: all steps passed");
     0
+}
+
+/// Byte-compares the rendered `--quick all` output at one worker against
+/// four workers — the parallel engine's ordered-reduction contract says the
+/// two must be identical. `None` on success, `Some(exit_code)` on any
+/// divergence or run failure.
+fn determinism_gate(root: &Path) -> Option<i32> {
+    let bin = root.join(format!("target/release/memcon-experiments{}", EXE_SUFFIX));
+    let run = |jobs: &str| -> Result<Vec<u8>, String> {
+        let out = Command::new(&bin)
+            .args(["--quick", "--jobs", jobs, "all"])
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("could not spawn {}: {e}", bin.display()))?;
+        if out.status.success() {
+            Ok(out.stdout)
+        } else {
+            Err(format!(
+                "`--quick all --jobs {jobs}` exited with {}",
+                out.status
+            ))
+        }
+    };
+    match (run("1"), run("4")) {
+        (Ok(seq), Ok(par)) if seq == par => {
+            println!("ci: outputs byte-identical ({} bytes)", seq.len());
+            None
+        }
+        (Ok(seq), Ok(par)) => {
+            let diverges_at = seq
+                .iter()
+                .zip(par.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(seq.len().min(par.len()));
+            eprintln!(
+                "ci: determinism gate FAILED: --jobs 1 ({} bytes) and --jobs 4 ({} bytes) \
+                 outputs diverge at byte {diverges_at}",
+                seq.len(),
+                par.len()
+            );
+            Some(1)
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ci: determinism gate error: {e}");
+            Some(1)
+        }
+    }
+}
+
+const EXE_SUFFIX: &str = if cfg!(windows) { ".exe" } else { "" };
+
+/// Runs the `bench_suite::micro` suite in-process and writes the result
+/// snapshot to `BENCH_baseline.json` at the workspace root (format
+/// documented in README.md). Returns a process exit code.
+#[must_use]
+pub fn bench_baseline_cmd() -> i32 {
+    let root = workspace_root();
+    let profile = if cfg!(debug_assertions) {
+        println!("bench: NOTE: xtask built without optimizations; prefer `cargo run --release -p xtask -- bench baseline` for a checked-in baseline");
+        "debug"
+    } else {
+        "release"
+    };
+    let mut criterion = memutil::bench::Criterion::default();
+    bench_suite::micro::register(&mut criterion);
+    let results = criterion.final_summary();
+    if results.is_empty() {
+        eprintln!("bench: no benchmarks produced samples");
+        return 1;
+    }
+    let path = root.join("BENCH_baseline.json");
+    match std::fs::write(&path, baseline_json(profile, &results)) {
+        Ok(()) => {
+            println!(
+                "bench: wrote {} ({} benchmarks)",
+                path.display(),
+                results.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("bench: could not write {}: {e}", path.display());
+            1
+        }
+    }
+}
+
+fn baseline_json(profile: &str, results: &[memutil::bench::BenchResult]) -> String {
+    use memutil::bench::Throughput;
+    use memutil::json::Json;
+    let mut benchmarks = Json::arr();
+    for r in results {
+        let mut o = Json::obj()
+            .field("name", r.name.as_str())
+            .field("median_ns", r.median_ns)
+            .field("min_ns", r.min_ns)
+            .field("samples", r.samples as u64);
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                o.set("throughput_unit", "elements");
+                o.set("throughput_per_iter", n);
+                o.set("elements_per_s", n as f64 / r.median_ns * 1e9);
+            }
+            Some(Throughput::Bytes(n)) => {
+                o.set("throughput_unit", "bytes");
+                o.set("throughput_per_iter", n);
+                o.set("bytes_per_s", n as f64 / r.median_ns * 1e9);
+            }
+            None => {}
+        }
+        benchmarks = benchmarks.push(o);
+    }
+    let mut out = Json::obj()
+        .field("schema", "memcon-bench-baseline/v1")
+        .field("command", "cargo run --release -p xtask -- bench baseline")
+        .field("profile", profile)
+        .field("benchmarks", benchmarks)
+        .emit();
+    out.push('\n');
+    out
 }
 
 fn rustfmt_available(root: &Path) -> bool {

@@ -8,6 +8,14 @@ fn main() {
             xtask::lint_cmd(update)
         }
         Some("ci") => xtask::ci_cmd(),
+        Some("bench") => match args.get(1).map(String::as_str) {
+            Some("baseline") => xtask::bench_baseline_cmd(),
+            other => {
+                eprintln!("xtask: unknown bench target {other:?} (expected `baseline`)");
+                usage();
+                2
+            }
+        },
         Some(other) => {
             eprintln!("xtask: unknown command {other:?}");
             usage();
@@ -28,6 +36,9 @@ fn usage() {
          commands:\n\
          \x20 lint [--update-ratchet]   run memlint against the ratchet\n\
          \x20 ci                        fmt-check (if rustfmt present), memlint,\n\
-         \x20                           cargo build --release, cargo test -q"
+         \x20                           cargo build --release, the --jobs 1-vs-4\n\
+         \x20                           output determinism gate, cargo test -q\n\
+         \x20 bench baseline            run the micro bench suite and write\n\
+         \x20                           BENCH_baseline.json (use --release)"
     );
 }
