@@ -12,10 +12,12 @@ use memutil::rng::SmallRng;
 use memutil::rng::{Rng, SeedableRng};
 
 use dram::bank::Bank;
+use dram::cell::RowContent;
 use dram::command::DramCommand;
-use dram::geometry::DramGeometry;
+use dram::geometry::{ChipDensity, DramGeometry};
 use dram::module::DramModule;
 use dram::timing::TimingParams;
+use failure_model::model::CouplingFailureModel;
 use failure_model::params::FailureModelParams;
 use failure_model::patterns::TestPattern;
 use failure_model::tester::ChipTester;
@@ -30,11 +32,53 @@ use memtrace::workload::WorkloadProfile;
 pub fn register(c: &mut Criterion) {
     bench_pril(c);
     bench_tester(c);
+    bench_failure_model(c);
     bench_cost_model(c);
     bench_pareto(c);
     bench_trace_generation(c);
     bench_bank_fsm(c);
     bench_ecc(c);
+}
+
+fn bench_failure_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_model");
+    // One bank of paper-sized (8 KB) rows with random content: the shape of
+    // every ChipTester sweep, Fig. 3/4 data point, and TestEngine oracle call.
+    let geometry = DramGeometry {
+        ranks: 1,
+        chips_per_rank: 1,
+        banks: 1,
+        rows_per_bank: 512,
+        row_bytes: 8192,
+        block_bytes: 64,
+        density: ChipDensity::Gb8,
+    };
+    let mut module = DramModule::new(geometry, TimingParams::ddr3_1600(), 0xFA11);
+    let words = geometry.words_per_row();
+    let mut rng = SmallRng::seed_from_u64(9);
+    module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+    let model = CouplingFailureModel::default();
+
+    g.throughput(Throughput::Elements(u64::from(geometry.rows_per_bank)));
+    g.bench_function("evaluate_module_1bank", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate_module_with_jobs(&module, 328.0, 1).len()))
+    });
+
+    // The single internal row carrying the most vulnerable cells: the
+    // worst-case per-row evaluation the TestEngine oracle pays on a miss.
+    let bits = geometry.bits_per_row();
+    let row = (0..geometry.rows_per_bank)
+        .max_by_key(|&r| {
+            model
+                .vulnerable_cells(module.chip_seed(), 0, 0, r, bits)
+                .len()
+        })
+        .unwrap_or(0);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("evaluate_row_hot", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate_row(&module, 0, 0, row, 328.0).len()))
+    });
+    g.finish();
 }
 
 fn bench_pril(c: &mut Criterion) {

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod content;
 pub mod math;
 pub mod model;
@@ -57,6 +58,7 @@ pub mod patterns;
 pub mod temperature;
 pub mod tester;
 
+pub use cache::VulnerableCellCache;
 pub use content::{ContentProfile, SpecBenchmark};
 pub use model::{CellFailure, CouplingFailureModel};
 pub use params::FailureModelParams;

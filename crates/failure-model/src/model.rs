@@ -20,6 +20,24 @@
 //! so only the sparse "band" of potentially vulnerable cells is materialized,
 //! deterministically per `(chip seed, rank, bank, row)`: the model is a pure
 //! function of the chip identity, like real silicon.
+//!
+//! # Evaluation kernel
+//!
+//! Evaluation runs through a two-level fast path that is bit-identical to
+//! the definitional one ([`CouplingFailureModel::evaluate_row_reference`],
+//! kept for the equivalence tests and the `slow-reference` feature):
+//!
+//! * the [`crate::cache::VulnerableCellCache`] materializes each row's
+//!   cells once per chip — with remap neighbours and system attribution
+//!   precomputed — so a sweep pays the Poisson/RNG sampling only on its
+//!   first pass and skips empty rows (the vast majority) outright;
+//! * charge probes go through [`DramModule::charge_probe`] /
+//!   [`DramModule::charge_image_if_hot`]: once a row's charge image is
+//!   materialized, victim-vs-vertical-neighbour differences are word-wide
+//!   XORs plus a bit extraction instead of five scramble/polarity walks
+//!   per cell.
+
+use std::sync::Arc;
 
 use memutil::rng::SmallRng;
 use memutil::rng::{Rng, SeedableRng};
@@ -27,6 +45,7 @@ use memutil::rng::{Rng, SeedableRng};
 use dram::address::RowAddr;
 use dram::module::DramModule;
 
+use crate::cache::{ChipCells, VulnerableCellCache};
 use crate::math::poisson_sample;
 use crate::params::FailureModelParams;
 
@@ -87,11 +106,77 @@ pub struct CellFailure {
     pub system_bit: u64,
 }
 
-/// The coupling failure model. Stateless apart from its parameters; all
-/// chip-specific structure is derived from the module's chip seed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+fn row_seed(chip_seed: u64, rank: u8, bank: u8, internal_row: u32) -> u64 {
+    // splitmix64-style mixing of the coordinates.
+    let mut z =
+        chip_seed ^ (u64::from(rank) << 56) ^ (u64::from(bank) << 48) ^ u64::from(internal_row);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples the vulnerable cells of one internal row, in generation order.
+/// Deterministic in `(chip_seed, rank, bank, internal_row)`; this is the
+/// single source of truth both [`CouplingFailureModel::vulnerable_cells`]
+/// and the [`VulnerableCellCache`] draw from.
+pub(crate) fn sample_row_cells(
+    params: &FailureModelParams,
+    chip_seed: u64,
+    rank: u8,
+    bank: u8,
+    internal_row: u32,
+    bits_per_row: u64,
+) -> Vec<VulnerableCell> {
+    let mut rng = SmallRng::seed_from_u64(row_seed(chip_seed, rank, bank, internal_row));
+    let lambda = params.cells_per_row(bits_per_row);
+    let count = poisson_sample(&mut rng, lambda);
+    let r_cal_s = params.calibration_interval_ms / 1000.0;
+    let (h_lo, h_hi) = params.horizontal_weight;
+    let (v_lo, v_hi) = params.vertical_weight;
+    (0..count)
+        .map(|_| {
+            let internal_bit = rng.gen_range(0..bits_per_row);
+            let w_left = rng.gen_range(h_lo..=h_hi);
+            let w_right = rng.gen_range(h_lo..=h_hi);
+            let w_up = rng.gen_range(v_lo..=v_hi);
+            let w_down = rng.gen_range(v_lo..=v_hi);
+            let retention_s = if rng.gen::<f64>() < params.weak_fraction {
+                // Weak cell: retention just below the calibration
+                // interval; fails data-independently.
+                r_cal_s * rng.gen_range(0.6..1.0)
+            } else {
+                let max_sum = w_left + w_right + w_up + w_down;
+                let u: f64 = rng.gen();
+                let theta = max_sum * u.powf(params.threshold_shape);
+                r_cal_s * (1.0 + theta)
+            };
+            VulnerableCell {
+                internal_bit,
+                retention_s,
+                w_left,
+                w_right,
+                w_up,
+                w_down,
+            }
+        })
+        .collect()
+}
+
+/// The coupling failure model: the parameters plus a shared, lazily built
+/// [`VulnerableCellCache`] of per-chip cell structure. Cloning shares the
+/// cache; equality compares parameters only (the cache is pure memoization
+/// and never affects results).
+#[derive(Debug, Clone)]
 pub struct CouplingFailureModel {
     params: FailureModelParams,
+    cache: VulnerableCellCache,
+}
+
+impl PartialEq for CouplingFailureModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+    }
 }
 
 impl CouplingFailureModel {
@@ -103,7 +188,10 @@ impl CouplingFailureModel {
     #[must_use]
     pub fn new(params: FailureModelParams) -> Self {
         params.validate().expect("invalid failure-model parameters");
-        CouplingFailureModel { params }
+        CouplingFailureModel {
+            params,
+            cache: VulnerableCellCache::default(),
+        }
     }
 
     /// The model parameters.
@@ -112,14 +200,10 @@ impl CouplingFailureModel {
         &self.params
     }
 
-    fn row_seed(chip_seed: u64, rank: u8, bank: u8, internal_row: u32) -> u64 {
-        // splitmix64-style mixing of the coordinates.
-        let mut z =
-            chip_seed ^ (u64::from(rank) << 56) ^ (u64::from(bank) << 48) ^ u64::from(internal_row);
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// The model's vulnerable-cell cache (shared across clones).
+    #[must_use]
+    pub fn cell_cache(&self) -> &VulnerableCellCache {
+        &self.cache
     }
 
     /// The materialized vulnerable cells of one internal row. Deterministic
@@ -139,39 +223,14 @@ impl CouplingFailureModel {
         internal_row: u32,
         bits_per_row: u64,
     ) -> Vec<VulnerableCell> {
-        let mut rng = SmallRng::seed_from_u64(Self::row_seed(chip_seed, rank, bank, internal_row));
-        let lambda = self.params.cells_per_row(bits_per_row);
-        let count = poisson_sample(&mut rng, lambda);
-        let r_cal_s = self.params.calibration_interval_ms / 1000.0;
-        let (h_lo, h_hi) = self.params.horizontal_weight;
-        let (v_lo, v_hi) = self.params.vertical_weight;
-        (0..count)
-            .map(|_| {
-                let internal_bit = rng.gen_range(0..bits_per_row);
-                let w_left = rng.gen_range(h_lo..=h_hi);
-                let w_right = rng.gen_range(h_lo..=h_hi);
-                let w_up = rng.gen_range(v_lo..=v_hi);
-                let w_down = rng.gen_range(v_lo..=v_hi);
-                let retention_s = if rng.gen::<f64>() < self.params.weak_fraction {
-                    // Weak cell: retention just below the calibration
-                    // interval; fails data-independently.
-                    r_cal_s * rng.gen_range(0.6..1.0)
-                } else {
-                    let max_sum = w_left + w_right + w_up + w_down;
-                    let u: f64 = rng.gen();
-                    let theta = max_sum * u.powf(self.params.threshold_shape);
-                    r_cal_s * (1.0 + theta)
-                };
-                VulnerableCell {
-                    internal_bit,
-                    retention_s,
-                    w_left,
-                    w_right,
-                    w_up,
-                    w_down,
-                }
-            })
-            .collect()
+        sample_row_cells(
+            &self.params,
+            chip_seed,
+            rank,
+            bank,
+            internal_row,
+            bits_per_row,
+        )
     }
 
     /// Evaluates one internal row of `module` against the current content at
@@ -181,6 +240,132 @@ impl CouplingFailureModel {
     /// committing the flips.
     #[must_use]
     pub fn evaluate_row(
+        &self,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        interval_ms: f64,
+    ) -> Vec<CellFailure> {
+        let mut out = Vec::new();
+        self.evaluate_row_into(module, rank, bank, internal_row, interval_ms, &mut out);
+        out
+    }
+
+    /// [`CouplingFailureModel::evaluate_row`] into a caller-owned scratch
+    /// vector: **appends** this row's failures to `out` (clear it first for
+    /// a fresh result). Lets sweeps and oracles reuse one allocation.
+    pub fn evaluate_row_into(
+        &self,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        interval_ms: f64,
+        out: &mut Vec<CellFailure>,
+    ) {
+        let chip = self.cache.chip(module);
+        self.eval_row_cached(&chip, module, rank, bank, internal_row, interval_ms, out);
+    }
+
+    /// The cached word-parallel evaluation kernel. Bit-identical to
+    /// [`CouplingFailureModel::evaluate_row_reference`]: cells are walked in
+    /// generation order (via the cache's `by_gen` permutation) and aggressor
+    /// weights are summed left, right, up, down, so both the failure list
+    /// and every f64 accumulation match the definitional path exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_row_cached(
+        &self,
+        chip: &ChipCells,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        interval_ms: f64,
+        out: &mut Vec<CellFailure>,
+    ) {
+        let row = chip.row(&self.params, module, rank, bank, internal_row);
+        if row.cells.is_empty() {
+            return; // most rows: no vulnerable cells, no content probes
+        }
+        let rows_per_bank = module.geometry().rows_per_bank;
+        let victim_img = module.charge_image_if_hot(rank, bank, internal_row);
+        let up_img = (internal_row > 0)
+            .then(|| module.charge_image_if_hot(rank, bank, internal_row - 1))
+            .flatten();
+        let down_img = (internal_row + 1 < rows_per_bank)
+            .then(|| module.charge_image_if_hot(rank, bank, internal_row + 1))
+            .flatten();
+        let probe = |img: &Option<Arc<[u64]>>, r: u32, bit: u64| -> bool {
+            match img {
+                Some(words) => (words[(bit >> 6) as usize] >> (bit & 63)) & 1 == 1,
+                None => module.charge_probe(rank, bank, r, bit),
+            }
+        };
+        for &pos in row.by_gen.iter() {
+            let c = &row.cells[pos];
+            let bit = c.cell.internal_bit;
+            let victim_charged = probe(&victim_img, internal_row, bit);
+            if !victim_charged {
+                continue; // only charged cells leak to a flip
+            }
+            let mut sum = 0.0;
+            if let Some(lb) = c.left {
+                if probe(&victim_img, internal_row, lb) != victim_charged {
+                    sum += c.cell.w_left;
+                }
+            }
+            if let Some(rb) = c.right {
+                if probe(&victim_img, internal_row, rb) != victim_charged {
+                    sum += c.cell.w_right;
+                }
+            }
+            if internal_row > 0 {
+                let hostile = match (&victim_img, &up_img) {
+                    // Word-wide XOR: both polarities are baked into the
+                    // images, so a set difference bit *is* a charge
+                    // difference.
+                    (Some(v), Some(u)) => {
+                        let wi = (bit >> 6) as usize;
+                        ((v[wi] ^ u[wi]) >> (bit & 63)) & 1 == 1
+                    }
+                    _ => probe(&up_img, internal_row - 1, bit) != victim_charged,
+                };
+                if hostile {
+                    sum += c.cell.w_up;
+                }
+            }
+            if internal_row + 1 < rows_per_bank {
+                let hostile = match (&victim_img, &down_img) {
+                    (Some(v), Some(d)) => {
+                        let wi = (bit >> 6) as usize;
+                        ((v[wi] ^ d[wi]) >> (bit & 63)) & 1 == 1
+                    }
+                    _ => probe(&down_img, internal_row + 1, bit) != victim_charged,
+                };
+                if hostile {
+                    sum += c.cell.w_down;
+                }
+            }
+            if c.cell.fails(interval_ms, sum) {
+                out.push(CellFailure {
+                    rank,
+                    bank,
+                    internal_row,
+                    internal_bit: bit,
+                    system_row: RowAddr::new(rank, bank, row.sys_row),
+                    system_bit: c.sys_bit,
+                });
+            }
+        }
+    }
+
+    /// The definitional (uncached, probe-at-a-time) row evaluation the
+    /// kernel is tested against. Kept under `cfg(test)` and the
+    /// `slow-reference` feature so external users can cross-check too.
+    #[cfg(any(test, feature = "slow-reference"))]
+    #[must_use]
+    pub fn evaluate_row_reference(
         &self,
         module: &DramModule,
         rank: u8,
@@ -270,9 +455,10 @@ impl CouplingFailureModel {
     /// count (`jobs = 0` resolves automatically, `jobs = 1` is the plain
     /// sequential loop).
     ///
-    /// The sweep fans out per `(rank, bank)` and reduces the per-bank
-    /// failure lists in rank-major order, so the result is bit-identical
-    /// to the sequential rank → bank → row iteration at any `jobs`.
+    /// The sweep fans out per `(rank, bank)` — over the chip cache's
+    /// prebuilt bank list — and reduces the per-bank failure lists in
+    /// rank-major order, so the result is bit-identical to the sequential
+    /// rank → bank → row iteration at any `jobs`.
     #[must_use]
     pub fn evaluate_module_with_jobs(
         &self,
@@ -280,15 +466,14 @@ impl CouplingFailureModel {
         interval_ms: f64,
         jobs: usize,
     ) -> Vec<CellFailure> {
-        let g = *module.geometry();
-        let banks: Vec<(u8, u8)> = (0..g.ranks)
-            .flat_map(|rank| (0..g.banks).map(move |bank| (rank, bank)))
-            .collect();
+        let rows_per_bank = module.geometry().rows_per_bank;
+        let chip = self.cache.chip(module);
+        let banks = chip.bank_list();
         memutil::par::ordered_flat_map_with(jobs, banks.len(), |i| {
             let (rank, bank) = banks[i];
             let mut out = Vec::new();
-            for row in 0..g.rows_per_bank {
-                out.extend(self.evaluate_row(module, rank, bank, row, interval_ms));
+            for row in 0..rows_per_bank {
+                self.eval_row_cached(&chip, module, rank, bank, row, interval_ms, &mut out);
             }
             out
         })
@@ -332,8 +517,9 @@ impl CouplingFailureModel {
 
     /// [`CouplingFailureModel::worst_case_failing_row_fraction`] with an
     /// explicit worker count (`jobs = 0` resolves automatically). Fans out
-    /// per `(rank, bank)`; the per-bank failing-row counts are integers, so
-    /// the reduction is exact at any `jobs`.
+    /// per `(rank, bank)` over the cached cells (content never matters
+    /// here, so the cache answers directly); the per-bank failing-row
+    /// counts are integers, so the reduction is exact at any `jobs`.
     #[must_use]
     pub fn worst_case_failing_row_fraction_with_jobs(
         &self,
@@ -342,15 +528,16 @@ impl CouplingFailureModel {
         jobs: usize,
     ) -> f64 {
         let g = *module.geometry();
-        let bits = g.bits_per_row();
-        let banks: Vec<(u8, u8)> = (0..g.ranks)
-            .flat_map(|rank| (0..g.banks).map(move |bank| (rank, bank)))
-            .collect();
+        let chip = self.cache.chip(module);
+        let banks = chip.bank_list();
         let per_bank = memutil::par::ordered_map_with(jobs, banks.len(), |i| {
             let (rank, bank) = banks[i];
             (0..g.rows_per_bank)
                 .filter(|&row| {
-                    self.row_can_fail(module.chip_seed(), rank, bank, row, bits, interval_ms)
+                    chip.row(&self.params, module, rank, bank, row)
+                        .cells
+                        .iter()
+                        .any(|c| c.cell.fails(interval_ms, c.cell.max_sum()))
                 })
                 .count() as u64
         });
@@ -602,5 +789,118 @@ mod tests {
             .collect();
         assert!(!a.is_empty(), "random content should trigger failures");
         assert_ne!(a, b, "failure sets should depend on content");
+    }
+
+    /// Reference sweep in the exact order `evaluate_module_with_jobs`
+    /// promises: rank-major banks, then rows.
+    fn reference_sweep(
+        m: &CouplingFailureModel,
+        module: &DramModule,
+        interval_ms: f64,
+    ) -> Vec<CellFailure> {
+        let g = *module.geometry();
+        let mut out = Vec::new();
+        for rank in 0..g.ranks {
+            for bank in 0..g.banks {
+                for row in 0..g.rows_per_bank {
+                    out.extend(m.evaluate_row_reference(module, rank, bank, row, interval_ms));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cached_kernel_matches_reference_exactly() {
+        // The tentpole's equivalence contract: across seeds, content
+        // profiles, intervals, worker counts, and repeated passes (which
+        // drive rows through the cold → hot charge-image transition), the
+        // cached kernel returns a byte-identical Vec<CellFailure> — order
+        // included — to the definitional probe-at-a-time path.
+        let g = DramGeometry {
+            ranks: 1,
+            chips_per_rank: 1,
+            banks: 2,
+            rows_per_bank: 512,
+            row_bytes: 1024,
+            block_bytes: 64,
+            density: dram::geometry::ChipDensity::Gb8,
+        };
+        for seed in [5u64, 21] {
+            for profile in 0..3u8 {
+                let mut module = DramModule::new(g, TimingParams::ddr3_1600(), seed);
+                let words = module.geometry().words_per_row();
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+                match profile {
+                    0 => module.fill_with(|_| RowContent::zeroed(words)),
+                    1 => module.fill_with(|_| {
+                        RowContent::from_words((0..words).map(|_| rng.gen()).collect())
+                    }),
+                    _ => module
+                        .fill_with(|_| RowContent::from_words(vec![0xAAAA_AAAA_AAAA_AAAA; words])),
+                }
+                let m = CouplingFailureModel::default();
+                for interval_ms in [328.0, 60_000.0] {
+                    let expect = reference_sweep(&m, &module, interval_ms);
+                    for pass in 0..5 {
+                        for jobs in [1usize, 2, 8] {
+                            let got = m.evaluate_module_with_jobs(&module, interval_ms, jobs);
+                            assert_eq!(
+                                got, expect,
+                                "seed {seed} profile {profile} interval {interval_ms} \
+                                 pass {pass} jobs {jobs} diverged from reference"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_row_into_appends() {
+        let m = CouplingFailureModel::default();
+        let g = DramGeometry {
+            ranks: 1,
+            chips_per_rank: 1,
+            banks: 2,
+            rows_per_bank: 512,
+            row_bytes: 1024,
+            block_bytes: 64,
+            density: dram::geometry::ChipDensity::Gb8,
+        };
+        let mut module = DramModule::new(g, TimingParams::ddr3_1600(), 23);
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(3);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        let mut out = Vec::new();
+        let mut expect = Vec::new();
+        for bank in 0..module.geometry().banks {
+            for row in 0..module.geometry().rows_per_bank {
+                m.evaluate_row_into(&module, 0, bank, row, 60_000.0, &mut out);
+                expect.extend(m.evaluate_row(&module, 0, bank, row, 60_000.0));
+            }
+        }
+        assert!(!out.is_empty(), "expected some failures at 60 s");
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn kernel_tracks_writes_between_sweeps() {
+        // A write landing between sweeps must be visible to the kernel even
+        // after rows have gone hot (charge images are invalidated by the
+        // module; the cell cache is content-independent by construction).
+        let m = CouplingFailureModel::default();
+        let mut module = test_module(29);
+        let words = module.geometry().words_per_row();
+        let mut rng = SmallRng::seed_from_u64(7);
+        module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+        for _ in 0..4 {
+            let _ = m.evaluate_module(&module, 16_000.0); // heat the images
+        }
+        module.fill_with(|_| RowContent::zeroed(words));
+        let got = m.evaluate_module_with_jobs(&module, 16_000.0, 1);
+        let expect = reference_sweep(&m, &module, 16_000.0);
+        assert_eq!(got, expect, "kernel served stale content after a write");
     }
 }

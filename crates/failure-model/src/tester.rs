@@ -79,12 +79,20 @@ impl ChipTester {
     /// reference temperature.
     #[must_use]
     pub fn new(module: DramModule, params: FailureModelParams) -> Self {
+        ChipTester::with_model(module, CouplingFailureModel::new(params))
+    }
+
+    /// Wraps a module with an existing model, sharing its vulnerable-cell
+    /// cache — use this when an oracle or a prior sweep has already paid
+    /// for the chip's cell structure.
+    #[must_use]
+    pub fn with_model(module: DramModule, model: CouplingFailureModel) -> Self {
         let golden = (0..module.geometry().total_rows())
             .map(|id| module.read_row_id(id).clone())
             .collect();
         ChipTester {
             module,
-            model: CouplingFailureModel::new(params),
+            model,
             temperature: Celsius::REFERENCE,
             golden,
             jobs: 0,
@@ -317,6 +325,46 @@ mod tests {
         for jobs in [2usize, 8] {
             assert_eq!(sequential, run(jobs), "diverged at jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn with_model_shares_the_cell_cache() {
+        let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 12);
+        let model = crate::model::CouplingFailureModel::new(FailureModelParams::calibrated());
+        // Pay for the chip structure up front, as an oracle would.
+        let _ = model.worst_case_failing_row_fraction(&module, 60_000.0);
+        let t = ChipTester::with_model(module, model.clone());
+        assert_eq!(t.model().cell_cache().chip_count(), 1);
+        assert_eq!(model.cell_cache().chip_count(), 1);
+    }
+
+    #[test]
+    fn hot_charge_images_never_leak_across_writes() {
+        // Writes land on the module mid-suite (fill, idle's apply, restore)
+        // after rows have gone hot; every report must match a tester whose
+        // caches were never heated.
+        let patterns = TestPattern::suite(4);
+        let mut heated = tester(31);
+        heated.fill_pattern(&TestPattern::Random(5));
+        for _ in 0..4 {
+            // Repeated physics sweeps push every row past the hot-image
+            // threshold without mutating content.
+            let _ = heated.model().evaluate_module(heated.module(), 60_000.0);
+        }
+        let mut cold = tester(31);
+        cold.fill_pattern(&TestPattern::Random(5));
+        assert_eq!(
+            heated.run_suite(&patterns, 60_000.0),
+            cold.run_suite(&patterns, 60_000.0),
+            "heated tester diverged from cold across a suite"
+        );
+        // And the classic stale-read sequence: idle → restore → idle must
+        // reproduce the first result exactly.
+        heated.fill_pattern(&TestPattern::Random(6));
+        let first = heated.idle_ms(60_000.0);
+        heated.restore();
+        let second = heated.idle_ms(60_000.0);
+        assert_eq!(first, second, "restore left stale charge images behind");
     }
 
     #[test]

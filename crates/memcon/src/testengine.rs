@@ -642,7 +642,7 @@ mod tests {
         let model = CouplingFailureModel::new(FailureModelParams::calibrated_at(64.0));
         let mut random = ContentOracle::new(
             module.clone(),
-            model,
+            model.clone(),
             ContentProfile::random_data(),
             64.0,
             7,
@@ -694,7 +694,7 @@ mod tests {
         let model = CouplingFailureModel::new(FailureModelParams::calibrated_at(64.0));
         let mut oracle = ContentOracle::new(
             module.clone(),
-            model,
+            model.clone(),
             ContentProfile::random_data(),
             64.0,
             7,

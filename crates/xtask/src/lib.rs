@@ -15,6 +15,9 @@
 //!
 //! `bench baseline` runs the `bench_suite::micro` suite in-process and
 //! snapshots the medians to `BENCH_baseline.json` at the workspace root.
+//! `bench compare` re-runs the suite and diffs the fresh medians against
+//! that snapshot, failing on a >15 % regression of any benchmark present
+//! in both; `ci --bench` chains it after the test suite.
 
 #![warn(missing_docs)]
 
@@ -57,11 +60,14 @@ pub fn lint_cmd(update_ratchet: bool) -> i32 {
 /// Runs the offline CI pipeline: fmt-check (if rustfmt is installed),
 /// `memlint`, `cargo build --workspace --release` (the determinism gate
 /// below byte-compares the freshly built experiments binary), the
-/// determinism gate, `cargo test -q`.
+/// determinism gate, `cargo test -q`, and — when `bench` is set — the
+/// `bench compare` regression gate (run through `cargo run --release` so
+/// the fresh medians are measured at the same profile as the checked-in
+/// baseline, regardless of how this xtask itself was built).
 ///
 /// Returns the exit code of the first failing step, or `0`.
 #[must_use]
-pub fn ci_cmd() -> i32 {
+pub fn ci_cmd(bench: bool) -> i32 {
     let root = workspace_root();
 
     if rustfmt_available(&root) {
@@ -92,6 +98,16 @@ pub fn ci_cmd() -> i32 {
     println!("ci: cargo test -q");
     if let Some(code) = run_step(&root, &["test", "-q"]) {
         return code;
+    }
+
+    if bench {
+        println!("ci: bench compare (release)");
+        if let Some(code) = run_step(
+            &root,
+            &["run", "--release", "-p", "xtask", "--", "bench", "compare"],
+        ) {
+            return code;
+        }
     }
 
     println!("ci: all steps passed");
@@ -180,6 +196,211 @@ pub fn bench_baseline_cmd() -> i32 {
             eprintln!("bench: could not write {}: {e}", path.display());
             1
         }
+    }
+}
+
+/// Fractional median slowdown beyond which `bench compare` fails.
+const BENCH_REGRESSION_LIMIT: f64 = 0.15;
+
+/// Runs the `bench_suite::micro` suite in-process and compares the fresh
+/// medians against `BENCH_baseline.json`, printing one line per benchmark
+/// with the median delta. Returns `1` when any benchmark present in both
+/// the baseline and the fresh run regressed by more than 15 %, when the
+/// baseline is missing/unreadable, or when the suite produced no samples;
+/// `0` otherwise. Benchmarks only on one side are reported but never fail
+/// the gate (a new benchmark has nothing to regress against).
+///
+/// A benchmark counts as regressed only when **both** its median and its
+/// minimum are >15 % above the baseline's. On a shared machine transient
+/// scheduler interference routinely inflates a 20-sample median by tens of
+/// percent while leaving the minimum within a few percent; a genuine code
+/// regression moves both. Lines that trip the median limit alone are
+/// flagged `noisy` but pass.
+#[must_use]
+pub fn bench_compare_cmd() -> i32 {
+    let root = workspace_root();
+    let path = root.join("BENCH_baseline.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench: could not read {} ({e}); run `cargo run --release -p xtask -- bench baseline` first",
+                path.display()
+            );
+            return 1;
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench: {}: {e}", path.display());
+            return 1;
+        }
+    };
+
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    if baseline.profile != profile {
+        println!(
+            "bench: WARNING: baseline profile is `{}` but this run is `{profile}`; \
+             deltas are not meaningful (use `cargo run --release -p xtask -- bench compare`)",
+            baseline.profile
+        );
+    }
+
+    let mut criterion = memutil::bench::Criterion::default();
+    bench_suite::micro::register(&mut criterion);
+    let results = criterion.final_summary();
+    if results.is_empty() {
+        eprintln!("bench: no benchmarks produced samples");
+        return 1;
+    }
+
+    let width = results
+        .iter()
+        .map(|r| r.name.len())
+        .chain(baseline.medians.iter().map(|e| e.name.len()))
+        .max()
+        .unwrap_or(0);
+    let mut regressions = Vec::new();
+    println!(
+        "bench: comparing {} fresh benchmarks against {} baseline entries ({})",
+        results.len(),
+        baseline.medians.len(),
+        path.display()
+    );
+    for r in &results {
+        let Some(entry) = baseline.medians.iter().find(|e| e.name == r.name) else {
+            println!(
+                "  {:width$}  {:>12}  (new benchmark, no baseline)",
+                r.name,
+                format_ns(r.median_ns)
+            );
+            continue;
+        };
+        let delta = relative_delta(entry.median_ns, r.median_ns);
+        let min_delta = relative_delta(entry.min_ns, r.min_ns);
+        let speedup = if r.median_ns > 0.0 {
+            entry.median_ns / r.median_ns
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if delta > BENCH_REGRESSION_LIMIT && min_delta > BENCH_REGRESSION_LIMIT {
+            regressions.push(r.name.clone());
+            "REGRESSED".to_string()
+        } else if delta > BENCH_REGRESSION_LIMIT {
+            format!("noisy (min {:+.1}%)", min_delta * 100.0)
+        } else if delta < -BENCH_REGRESSION_LIMIT {
+            "improved".to_string()
+        } else {
+            "ok".to_string()
+        };
+        println!(
+            "  {:width$}  {:>12} -> {:>12}  {:>+8.1}%  {:>7.2}x  {verdict}",
+            r.name,
+            format_ns(entry.median_ns),
+            format_ns(r.median_ns),
+            delta * 100.0,
+            speedup
+        );
+    }
+    for entry in &baseline.medians {
+        let name = &entry.name;
+        if !results.iter().any(|r| &r.name == name) {
+            println!("  {name:width$}  WARNING: in baseline but missing from this run");
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench: no benchmark regressed beyond {:.0}%",
+            BENCH_REGRESSION_LIMIT * 100.0
+        );
+        0
+    } else {
+        eprintln!(
+            "bench: FAILED: {} benchmark(s) regressed beyond {:.0}%: {}",
+            regressions.len(),
+            BENCH_REGRESSION_LIMIT * 100.0,
+            regressions.join(", ")
+        );
+        1
+    }
+}
+
+/// `(current - base) / base`, or `0.0` when the base is degenerate.
+fn relative_delta(base: f64, current: f64) -> f64 {
+    if base > 0.0 {
+        (current - base) / base
+    } else {
+        0.0
+    }
+}
+
+/// The subset of `BENCH_baseline.json` that `bench compare` consumes.
+struct BenchBaseline {
+    profile: String,
+    /// Entries in file order.
+    medians: Vec<BaselineEntry>,
+}
+
+struct BaselineEntry {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+fn parse_baseline(text: &str) -> Result<BenchBaseline, String> {
+    use memutil::json::Json;
+    let doc = Json::parse(text)?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "memcon-bench-baseline/v1" {
+        return Err(format!("unsupported baseline schema {schema:?}"));
+    }
+    let profile = doc
+        .get("profile")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let Some(Json::Arr(entries)) = doc.get("benchmarks") else {
+        return Err("missing `benchmarks` array".to_string());
+    };
+    let mut medians = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("benchmark #{i} has no `name`"))?;
+        let median_ns = entry
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("benchmark {name:?} has no `median_ns`"))?;
+        let min_ns = entry
+            .get("min_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(median_ns);
+        medians.push(BaselineEntry {
+            name: name.to_string(),
+            median_ns,
+            min_ns,
+        });
+    }
+    Ok(BenchBaseline { profile, medians })
+}
+
+/// Renders a nanosecond count with an adaptive unit (ns/us/ms/s).
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
     }
 }
 

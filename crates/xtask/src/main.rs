@@ -7,11 +7,14 @@ fn main() {
             let update = args.iter().any(|a| a == "--update-ratchet");
             xtask::lint_cmd(update)
         }
-        Some("ci") => xtask::ci_cmd(),
+        Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("baseline") => xtask::bench_baseline_cmd(),
+            Some("compare") => xtask::bench_compare_cmd(),
             other => {
-                eprintln!("xtask: unknown bench target {other:?} (expected `baseline`)");
+                eprintln!(
+                    "xtask: unknown bench target {other:?} (expected `baseline` or `compare`)"
+                );
                 usage();
                 2
             }
@@ -35,10 +38,15 @@ fn usage() {
          \n\
          commands:\n\
          \x20 lint [--update-ratchet]   run memlint against the ratchet\n\
-         \x20 ci                        fmt-check (if rustfmt present), memlint,\n\
+         \x20 ci [--bench]              fmt-check (if rustfmt present), memlint,\n\
          \x20                           cargo build --release, the --jobs 1-vs-4\n\
-         \x20                           output determinism gate, cargo test -q\n\
+         \x20                           output determinism gate, cargo test -q;\n\
+         \x20                           --bench additionally runs `bench compare`\n\
          \x20 bench baseline            run the micro bench suite and write\n\
-         \x20                           BENCH_baseline.json (use --release)"
+         \x20                           BENCH_baseline.json (use --release)\n\
+         \x20 bench compare             run the micro bench suite and compare\n\
+         \x20                           medians against BENCH_baseline.json;\n\
+         \x20                           exits non-zero on a >15% regression\n\
+         \x20                           (use --release)"
     );
 }
