@@ -38,6 +38,7 @@ pub fn register(c: &mut Criterion) {
     bench_trace_generation(c);
     bench_bank_fsm(c);
     bench_ecc(c);
+    bench_telemetry(c);
 }
 
 fn bench_failure_model(c: &mut Criterion) {
@@ -174,6 +175,81 @@ fn bench_bank_fsm(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    // Each iteration performs a batch of operations: the single-op cost is
+    // a few ns — below the harness/timer floor on a busy host — so per-op
+    // numbers are derived (ns ÷ OPS) and the gate compares µs-scale
+    // medians that amortize scheduling jitter.
+    const OPS: u64 = 512;
+
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(OPS));
+    // The disabled path is the cost every instrumented call site pays when
+    // telemetry is off — the contract is that it stays negligible.
+    g.bench_function("counter_add_disabled_512", |b| {
+        let registry = telemetry::Registry::new();
+        let counter = registry.counter("bench.counter", telemetry::Class::Deterministic);
+        b.iter(|| {
+            for i in 0..OPS {
+                counter.add(std::hint::black_box(i & 1));
+            }
+        })
+    });
+    g.bench_function("counter_add_enabled_512", |b| {
+        let registry = telemetry::Registry::new();
+        registry.set_enabled(true);
+        let counter = registry.counter("bench.counter", telemetry::Class::Deterministic);
+        b.iter(|| {
+            for i in 0..OPS {
+                counter.add(std::hint::black_box(i & 1));
+            }
+        })
+    });
+    g.bench_function("histogram_record_enabled_512", |b| {
+        let registry = telemetry::Registry::new();
+        registry.set_enabled(true);
+        let hist = registry.histogram(
+            "bench.hist",
+            telemetry::Class::Deterministic,
+            &[1, 8, 64, 512, 4096],
+        );
+        let mut v = 0u64;
+        b.iter(|| {
+            for _ in 0..OPS {
+                v = (v + 97) % 8192;
+                hist.record(std::hint::black_box(v));
+            }
+        })
+    });
+    g.bench_function("span_enter_exit_enabled_512", |b| {
+        let registry = telemetry::Registry::new();
+        registry.set_enabled(true);
+        let span = registry.span("bench.span");
+        b.iter(|| {
+            for _ in 0..OPS {
+                let guard = span.start();
+                std::hint::black_box(&guard);
+            }
+        })
+    });
+    g.bench_function("trace_record_enabled_512", |b| {
+        let registry = Arc::new(telemetry::Registry::new());
+        registry.set_enabled(true);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..OPS {
+                i += 1;
+                registry
+                    .trace()
+                    .record("bench.event", std::hint::black_box(i));
+            }
+        })
+    });
+    g.finish();
 }
 
 fn bench_ecc(c: &mut Criterion) {

@@ -456,6 +456,10 @@ impl DramModule {
     ) -> Arc<[u64]> {
         let slot = self.row_slot(bank_idx, internal_row);
         Arc::clone(slot.image.get_or_init(|| {
+            // Heat transition: this row graduates from sparse probes to a
+            // word-wide image. Once per (row, invalidation epoch), and a
+            // pure function of total probe counts — deterministic.
+            telemetry::count("dram.charge.image_builds", 1);
             let t = self.bank_tables(bank_idx);
             let sys_row = t.sys_row_of[internal_row as usize];
             let addr = RowAddr::new(rank, bank, sys_row);

@@ -92,6 +92,27 @@ pub fn run_all(ids: &[&str], opts: &RunOptions) -> Vec<Result<String, String>> {
     memutil::par::ordered_map_with(opts.jobs, ids.len(), |i| run_experiment(ids[i], opts))
 }
 
+/// Runs experiments one at a time, attributing each one's deterministic
+/// counter deltas to its id in the current telemetry registry
+/// ([`telemetry::Registry::record_figure`]).
+///
+/// Figure-level fan-out is serialized so the per-figure attribution is
+/// exact; each figure's *inner* sweeps still use the full worker pool, and
+/// because every deterministic counter derives from simulation state the
+/// recorded deltas are byte-identical at any `--jobs` value.
+#[must_use]
+pub fn run_all_with_telemetry(ids: &[&str], opts: &RunOptions) -> Vec<Result<String, String>> {
+    let registry = telemetry::current();
+    ids.iter()
+        .map(|id| {
+            let before = registry.deterministic_counters();
+            let result = run_experiment(id, opts);
+            registry.record_figure(id, &before);
+            result
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,7 @@
 //! `memcon-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! memcon-experiments [--quick] [--jobs N] <experiment>|all
+//! memcon-experiments [--quick] [--jobs N] [--telemetry[=PATH]] <experiment>|all
 //! ```
 //!
 //! Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11
@@ -10,15 +10,22 @@
 //! `--jobs N` (or the `MEMCON_JOBS` environment variable) sets the worker
 //! count of the parallel sweeps; the rendered output is byte-identical at
 //! any value, and `--jobs 1` is the exact sequential path.
+//!
+//! `--telemetry` enables the telemetry registry for the run and writes a
+//! JSON report (default `TELEMETRY_report.json`) with per-figure counter
+//! attribution; the report's `deterministic` section is byte-identical at
+//! any `--jobs` value.
 
-use experiments::{run_all, RunOptions, ALL_EXPERIMENTS};
+use experiments::{run_all, run_all_with_telemetry, RunOptions, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: memcon-experiments [--quick] [--jobs N] <experiment>... | all\n\
+        "usage: memcon-experiments [--quick] [--jobs N] [--telemetry[=PATH]] <experiment>... | all\n\
          experiments: {}\n\
          --jobs N     worker threads for the parallel sweeps (default: MEMCON_JOBS\n\
-         \x20            or the available parallelism; output is identical at any N)",
+         \x20            or the available parallelism; output is identical at any N)\n\
+         --telemetry  collect counters/histograms and write a JSON report\n\
+         \x20            (default path: TELEMETRY_report.json)",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -28,6 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut jobs: Option<usize> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -45,6 +53,14 @@ fn main() {
                 usage();
             };
             jobs = Some(n);
+        } else if arg == "--telemetry" {
+            telemetry_path = Some("TELEMETRY_report.json".to_string());
+        } else if let Some(p) = arg.strip_prefix("--telemetry=") {
+            if p.is_empty() {
+                eprintln!("error: --telemetry= expects a path");
+                usage();
+            }
+            telemetry_path = Some(p.to_string());
         } else if arg.starts_with("--") {
             eprintln!("error: unknown flag '{arg}'");
             usage();
@@ -67,7 +83,13 @@ fn main() {
     } else {
         targets
     };
-    for result in run_all(&ids, &opts) {
+    let results = if telemetry_path.is_some() {
+        telemetry::global().set_enabled(true);
+        run_all_with_telemetry(&ids, &opts)
+    } else {
+        run_all(&ids, &opts)
+    };
+    for result in results {
         match result {
             Ok(text) => println!("{text}"),
             Err(e) => {
@@ -75,5 +97,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = telemetry_path {
+        let report = telemetry::global().report().emit();
+        if let Err(e) = std::fs::write(&path, report + "\n") {
+            eprintln!("error: cannot write telemetry report to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("telemetry report written to {path}");
     }
 }

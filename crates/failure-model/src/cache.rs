@@ -131,6 +131,33 @@ impl ChipCells {
         let slot = bank_idx * self.rows_per_bank + internal_row as usize;
         self.rows[slot].get_or_init(|| build_row(params, module, rank, bank, internal_row))
     }
+
+    /// [`ChipCells::row`], counting a cold fill into `cold` when this call
+    /// materializes the slot. The [`OnceLock`] init closure runs exactly
+    /// once per slot process-wide, so summed cold counts are independent
+    /// of worker interleaving.
+    pub fn row_counted(
+        &self,
+        params: &FailureModelParams,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        cold: &mut u64,
+    ) -> &RowCells {
+        let g = module.geometry();
+        let bank_idx = usize::from(rank) * usize::from(g.banks) + usize::from(bank);
+        let slot = bank_idx * self.rows_per_bank + internal_row as usize;
+        let mut built = false;
+        let row = self.rows[slot].get_or_init(|| {
+            built = true;
+            build_row(params, module, rank, bank, internal_row)
+        });
+        if built {
+            *cold += 1;
+        }
+        row
+    }
 }
 
 fn build_row(
@@ -207,11 +234,10 @@ impl VulnerableCellCache {
             .chips
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        Arc::clone(
-            chips
-                .entry(key)
-                .or_insert_with(|| Arc::new(ChipCells::new(module))),
-        )
+        Arc::clone(chips.entry(key).or_insert_with(|| {
+            telemetry::count("failure_model.cache.chip_builds", 1);
+            Arc::new(ChipCells::new(module))
+        }))
     }
 
     /// Number of chips with cached structure (diagnostics/tests).

@@ -37,6 +37,7 @@
 //!   XORs plus a bit extraction instead of five scramble/polarity walks
 //!   per cell.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use memutil::rng::SmallRng;
@@ -163,6 +164,83 @@ pub(crate) fn sample_row_cells(
         .collect()
 }
 
+/// Telemetry handles for one module sweep, bound before the per-bank
+/// fan-out. All deterministic class: rows/banks/failure totals are pure
+/// simulation state, and cold/warm fill counts come from once-only
+/// `OnceLock` initialization, so summed values are independent of worker
+/// interleaving.
+struct EvalTelemetry {
+    banks: Arc<telemetry::Counter>,
+    rows: Arc<telemetry::Counter>,
+    cold_fills: Arc<telemetry::Counter>,
+    warm_hits: Arc<telemetry::Counter>,
+    failures: Arc<telemetry::Counter>,
+    bank_failures: Arc<telemetry::Histogram>,
+}
+
+impl EvalTelemetry {
+    /// Bucket edges for the per-bank failure-count histogram.
+    const BANK_FAILURE_EDGES: [u64; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
+
+    /// Binds handles on the current registry, or `None` when telemetry is
+    /// disabled (the sweep then runs the uninstrumented path).
+    ///
+    /// The six registry lookups (mutex + name maps) cost ~300 ns — real
+    /// money against a single-bank sweep — so the bound handles are
+    /// memoized per thread and revalidated by registry identity: repeat
+    /// sweeps under the same registry pay one `current()` resolution, an
+    /// identity check, and a single `Arc` bump, while a scoped-registry
+    /// swap (tests, `xtask obs`) rebinds on first use.
+    fn bind() -> Option<Arc<EvalTelemetry>> {
+        thread_local! {
+            static CACHE: RefCell<Option<(Arc<telemetry::Registry>, Arc<EvalTelemetry>)>> =
+                const { RefCell::new(None) };
+        }
+        let r = telemetry::current();
+        if !r.is_enabled() {
+            return None;
+        }
+        CACHE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some((bound, tm)) = slot.as_ref() {
+                if Arc::ptr_eq(bound, &r) {
+                    return Some(Arc::clone(tm));
+                }
+            }
+            let tm = Arc::new(EvalTelemetry::bind_on(&r));
+            *slot = Some((r, Arc::clone(&tm)));
+            Some(tm)
+        })
+    }
+
+    /// Uncached handle binding against one specific registry.
+    fn bind_on(r: &telemetry::Registry) -> EvalTelemetry {
+        let det = telemetry::Class::Deterministic;
+        EvalTelemetry {
+            banks: r.counter("failure_model.eval.banks", det),
+            rows: r.counter("failure_model.eval.rows", det),
+            cold_fills: r.counter("failure_model.cache.cold_fills", det),
+            warm_hits: r.counter("failure_model.cache.warm_hits", det),
+            failures: r.counter("failure_model.eval.failures", det),
+            bank_failures: r.histogram(
+                "failure_model.eval.bank_failures",
+                det,
+                &Self::BANK_FAILURE_EDGES,
+            ),
+        }
+    }
+
+    /// Batched per-bank update: one call per `(rank, bank)` sweep leg.
+    fn note_bank(&self, rows: u64, cold: u64, failures: u64) {
+        self.banks.incr();
+        self.rows.add(rows);
+        self.cold_fills.add(cold);
+        self.warm_hits.add(rows.saturating_sub(cold));
+        self.failures.add(failures);
+        self.bank_failures.record(failures);
+    }
+}
+
 /// The coupling failure model: the parameters plus a shared, lazily built
 /// [`VulnerableCellCache`] of per-chip cell structure. Cloning shares the
 /// cache; equality compares parameters only (the cache is pure memoization
@@ -285,6 +363,23 @@ impl CouplingFailureModel {
         out: &mut Vec<CellFailure>,
     ) {
         let row = chip.row(&self.params, module, rank, bank, internal_row);
+        self.eval_row_cells(row, module, rank, bank, internal_row, interval_ms, out);
+    }
+
+    /// The kernel body proper, on already-fetched cached cells — split out
+    /// so the telemetry path can fetch rows through
+    /// [`ChipCells::row_counted`] without duplicating the evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_row_cells(
+        &self,
+        row: &crate::cache::RowCells,
+        module: &DramModule,
+        rank: u8,
+        bank: u8,
+        internal_row: u32,
+        interval_ms: f64,
+        out: &mut Vec<CellFailure>,
+    ) {
         if row.cells.is_empty() {
             return; // most rows: no vulnerable cells, no content probes
         }
@@ -469,11 +564,25 @@ impl CouplingFailureModel {
         let rows_per_bank = module.geometry().rows_per_bank;
         let chip = self.cache.chip(module);
         let banks = chip.bank_list();
+        // Telemetry handles are bound once, outside the fan-out (pool
+        // workers must not consult the process-wide current registry);
+        // when disabled the per-bank closure is the exact pre-telemetry
+        // code path plus one `Option` check.
+        let tm = EvalTelemetry::bind();
         memutil::par::ordered_flat_map_with(jobs, banks.len(), |i| {
             let (rank, bank) = banks[i];
             let mut out = Vec::new();
-            for row in 0..rows_per_bank {
-                self.eval_row_cached(&chip, module, rank, bank, row, interval_ms, &mut out);
+            if let Some(tm) = &tm {
+                let mut cold = 0u64;
+                for row in 0..rows_per_bank {
+                    let cells = chip.row_counted(&self.params, module, rank, bank, row, &mut cold);
+                    self.eval_row_cells(cells, module, rank, bank, row, interval_ms, &mut out);
+                }
+                tm.note_bank(u64::from(rows_per_bank), cold, out.len() as u64);
+            } else {
+                for row in 0..rows_per_bank {
+                    self.eval_row_cached(&chip, module, rank, bank, row, interval_ms, &mut out);
+                }
             }
             out
         })

@@ -182,6 +182,10 @@ impl MemconEngine {
         self.lo_anchor.iter_mut().for_each(|a| *a = None);
         self.tests_correct = 0;
         self.tests_mispredicted = 0;
+        // Memo counters persist across runs (the memo itself is the point);
+        // snapshot them so telemetry reports this run's delta, including the
+        // steady-state pre-pass below.
+        let memo_before = self.tests.memo_counters().unwrap_or_default();
         let mut mgr = RefreshManager::new(self.n_pages, self.config.hi_ms, self.config.lo_ms);
         if self.config.steady_state_start {
             // The trace window opens on a long-running system: every page
@@ -249,6 +253,9 @@ impl MemconEngine {
         }
 
         self.last_states = (0..self.n_pages).map(|p| mgr.state(p)).collect();
+        if telemetry::enabled() {
+            self.flush_telemetry(&mgr, memo_before);
+        }
         let test_cost = self.cost.test_cost_ns(self.config.test_mode);
         let refresh_ops = mgr.refresh_ops();
         let baseline_ops = mgr.baseline_ops();
@@ -313,8 +320,64 @@ impl MemconEngine {
         self.pril.on_write(page);
     }
 
+    /// Folds one run's component statistics into the current telemetry
+    /// registry. All values derive from simulation state, so they are
+    /// deterministic; called once at the end of [`MemconEngine::run`] rather
+    /// than per-event to keep the hot loop telemetry-free.
+    fn flush_telemetry(&self, mgr: &RefreshManager, memo_before: crate::testengine::MemoStats) {
+        let p = self.pril.stats;
+        telemetry::count("memcon.pril.writes", p.writes);
+        telemetry::count("memcon.pril.inserted", p.inserted);
+        telemetry::count("memcon.pril.evicted_repeat", p.evicted_repeat);
+        telemetry::count("memcon.pril.evicted_previous", p.evicted_previous);
+        telemetry::count("memcon.pril.overflowed", p.overflowed);
+        telemetry::count("memcon.pril.candidates", p.candidates);
+        telemetry::count("memcon.pril.quanta", p.quanta);
+        let t = self.tests.stats;
+        telemetry::count("memcon.tests.started", t.started);
+        telemetry::count("memcon.tests.completed", t.completed);
+        telemetry::count("memcon.tests.failed", t.failed);
+        telemetry::count("memcon.tests.aborted", t.aborted);
+        telemetry::count("memcon.tests.rejected", t.rejected);
+        if let Some(memo) = self.tests.memo_counters() {
+            telemetry::count(
+                "memcon.oracle.memo_hits",
+                memo.hits.saturating_sub(memo_before.hits),
+            );
+            telemetry::count(
+                "memcon.oracle.memo_misses",
+                memo.misses.saturating_sub(memo_before.misses),
+            );
+        }
+        telemetry::count("memcon.engine.tests_correct", self.tests_correct);
+        telemetry::count("memcon.engine.tests_mispredicted", self.tests_mispredicted);
+        let (to_hi, to_testing, to_lo) = mgr.transition_counts();
+        telemetry::count("memcon.refresh.to_hi", to_hi);
+        telemetry::count("memcon.refresh.to_testing", to_testing);
+        telemetry::count("memcon.refresh.to_lo", to_lo);
+        let mut finals = [0u64; 3];
+        for s in &self.last_states {
+            finals[match s {
+                PageState::HiRef => 0,
+                PageState::Testing => 1,
+                PageState::LoRef => 2,
+            }] += 1;
+        }
+        telemetry::count("memcon.refresh.final_hi", finals[0]);
+        telemetry::count("memcon.refresh.final_testing", finals[1]);
+        telemetry::count("memcon.refresh.final_lo", finals[2]);
+    }
+
     fn handle_quantum(&mut self, now: u64, mgr: &mut RefreshManager) {
-        for page in self.pril.end_quantum() {
+        let candidates = self.pril.end_quantum();
+        if telemetry::enabled() {
+            telemetry::observe(
+                "memcon.pril.quantum_candidates",
+                &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+                candidates.len() as u64,
+            );
+        }
+        for page in candidates {
             debug_assert_eq!(mgr.state(page), PageState::HiRef);
             let generation = self.generation[page as usize];
             if self.tests.try_start(page, generation, now) {

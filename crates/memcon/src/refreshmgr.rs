@@ -35,6 +35,10 @@ pub struct RefreshManager {
     testing_time_ns: f64,
     lo_time_ns: f64,
     finalized_at_ns: Option<u64>,
+    /// Transition counts into each state (HI-REF, Testing, LO-REF), for
+    /// telemetry: how often the mechanism moved pages, not just where
+    /// they ended up.
+    transitions: [u64; 3],
 }
 
 impl RefreshManager {
@@ -55,6 +59,7 @@ impl RefreshManager {
             testing_time_ns: 0.0,
             lo_time_ns: 0.0,
             finalized_at_ns: None,
+            transitions: [0; 3],
         }
     }
 
@@ -99,6 +104,22 @@ impl RefreshManager {
         );
         self.accumulate(page, now_ns);
         self.states[page as usize] = state;
+        let slot = match state {
+            PageState::HiRef => 0,
+            PageState::Testing => 1,
+            PageState::LoRef => 2,
+        };
+        self.transitions[slot] = self.transitions[slot].saturating_add(1);
+    }
+
+    /// Transition counts into (HI-REF, Testing, LO-REF) since creation.
+    #[must_use]
+    pub fn transition_counts(&self) -> (u64, u64, u64) {
+        (
+            self.transitions[0],
+            self.transitions[1],
+            self.transitions[2],
+        )
     }
 
     /// Closes the books at `end_ns`, accumulating every page's final state.

@@ -34,6 +34,14 @@ pub trait FailureOracle: std::fmt::Debug {
     /// Tests `page`'s content (the `generation` counter distinguishes
     /// successive contents of the same page across writes).
     fn page_fails(&mut self, page: PageId, generation: u64) -> bool;
+
+    /// Memo hit/miss counters, for oracles that memoize verdicts
+    /// ([`ContentOracle`]); `None` for memo-free oracles. Lets the engine
+    /// fold oracle efficiency into the telemetry registry without
+    /// downcasting.
+    fn memo_counters(&self) -> Option<MemoStats> {
+        None
+    }
 }
 
 /// Bernoulli oracle at a fixed failing-row rate (paper Fig. 4: 0.38–5.6 %
@@ -68,6 +76,7 @@ impl FailureOracle for RateOracle {
 }
 
 /// Hit/miss counters of [`ContentOracle`]'s content-fingerprint memo.
+/// Counters saturate at `u64::MAX` rather than wrapping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Verdicts answered from the memo.
@@ -169,16 +178,20 @@ impl FailureOracle for ContentOracle {
             .expect("address is in range by construction");
         let key = (row_id, self.fingerprint(addr));
         if let Some(&failed) = self.memo.get(&key) {
-            self.memo_stats.hits += 1;
+            self.memo_stats.hits = self.memo_stats.hits.saturating_add(1);
             return failed;
         }
         let failed = !self
             .model
             .evaluate_system_row(&self.module, addr, self.lo_ms)
             .is_empty();
-        self.memo_stats.misses += 1;
+        self.memo_stats.misses = self.memo_stats.misses.saturating_add(1);
         self.memo.insert(key, failed);
         failed
+    }
+
+    fn memo_counters(&self) -> Option<MemoStats> {
+        Some(self.memo_stats)
     }
 }
 
@@ -353,6 +366,13 @@ impl TestEngine {
     /// steady-state initialization).
     pub fn oracle_mut(&mut self) -> &mut dyn FailureOracle {
         self.oracle.as_mut()
+    }
+
+    /// The oracle's memo counters, if it memoizes
+    /// ([`FailureOracle::memo_counters`]).
+    #[must_use]
+    pub fn memo_counters(&self) -> Option<MemoStats> {
+        self.oracle.memo_counters()
     }
 
     /// Cancels every in-flight test and releases all staging slots (used

@@ -53,6 +53,11 @@ pub struct CtrlStats {
     /// Enqueue attempts rejected because a bank queue was full (retries of
     /// the same request count once per attempt).
     pub rejected: u64,
+    /// `ACT` attempts deferred by the rank-level `tRRD` minimum spacing
+    /// (one count per blocked bank per cycle).
+    pub trrd_stalls: u64,
+    /// `ACT` attempts deferred by the `tFAW` four-activate window.
+    pub tfaw_stalls: u64,
 }
 
 /// Row hits may bypass an older row-conflict request for at most this many
@@ -60,6 +65,12 @@ pub struct CtrlStats {
 /// DDR3-1600 — generous next to normal service times, tight next to a
 /// simulation).
 pub const STARVATION_LIMIT_CYCLES: u64 = 8_000;
+
+/// The rank-level constraint that deferred an `ACT`.
+enum ActBlock {
+    Trrd,
+    Tfaw,
+}
 
 /// The memory controller for one rank-set of DDR3 banks.
 #[derive(Debug)]
@@ -183,20 +194,21 @@ impl MemoryController {
         }
     }
 
-    /// Whether the rank-level activate constraints (`tRRD` and the `tFAW`
-    /// four-activate window) permit an `ACT` at `now`.
-    fn rank_act_allowed(&self, now: u64) -> bool {
+    /// Which rank-level activate constraint (`tRRD` minimum spacing or the
+    /// `tFAW` four-activate window) blocks an `ACT` at `now`, if any.
+    fn rank_act_blocked(&self, now: u64) -> Option<ActBlock> {
         if let Some(&last) = self.act_history.back() {
             if now < last + self.timing.trrd_cycles() {
-                return false;
+                return Some(ActBlock::Trrd);
             }
         }
         let window_start = now.saturating_sub(self.timing.tfaw_cycles() - 1);
-        self.act_history
+        let recent = self
+            .act_history
             .iter()
             .filter(|&&c| c >= window_start)
-            .count()
-            < 4
+            .count();
+        (recent >= 4).then_some(ActBlock::Tfaw)
     }
 
     /// Records an `ACT` in the rank activate history (only the last four
@@ -373,17 +385,19 @@ impl MemoryController {
                 continue;
             };
             match self.banks[bank].open_row() {
-                None => {
-                    if self.rank_act_allowed(now)
-                        && self.banks[bank].check(DramCommand::Activate, now).is_ok()
-                    {
-                        let _ = self.issue_checked(bank, DramCommand::Activate, head.row, now);
-                        self.note_act(now);
-                        self.stats.acts += 1;
-                        self.rr_start = (bank + 1) % n;
-                        return;
+                None => match self.rank_act_blocked(now) {
+                    Some(ActBlock::Trrd) => self.stats.trrd_stalls += 1,
+                    Some(ActBlock::Tfaw) => self.stats.tfaw_stalls += 1,
+                    None => {
+                        if self.banks[bank].check(DramCommand::Activate, now).is_ok() {
+                            let _ = self.issue_checked(bank, DramCommand::Activate, head.row, now);
+                            self.note_act(now);
+                            self.stats.acts += 1;
+                            self.rr_start = (bank + 1) % n;
+                            return;
+                        }
                     }
-                }
+                },
                 Some(open) => {
                     let any_hit = self.queues[bank].iter().any(|r| r.row == open);
                     let drain = !any_hit || self.front_is_starved(bank, open, now);

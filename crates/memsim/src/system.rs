@@ -152,6 +152,10 @@ impl System {
     /// Panics if the run exceeds a generous safety bound (pathological IPC
     /// below ~0.01), indicating a deadlock bug rather than a slow workload.
     pub fn run(&mut self, instructions_per_core: u64) -> SimStats {
+        // Controller statistics accumulate across runs on the same system;
+        // snapshot them so telemetry reports this run's delta.
+        let ctrl_before = self.controller.stats;
+        let injected_before = self.injector.as_ref().map_or(0, |i| i.injected);
         self.build_cores(instructions_per_core);
         let budget = self.config.retire_budget_per_dram_cycle();
         let max_cycles = instructions_per_core.max(1_000) * 120;
@@ -200,14 +204,61 @@ impl System {
             .iter()
             .map(|&c| instructions_per_core as f64 / (c * cpu_per_dram) as f64)
             .collect();
+        let test_requests = self.injector.as_ref().map_or(0, |i| i.injected);
+        if telemetry::enabled() {
+            flush_ctrl_telemetry(
+                &self.controller.stats,
+                &ctrl_before,
+                now,
+                test_requests.saturating_sub(injected_before),
+            );
+        }
         SimStats {
             per_core_cycles,
             per_core_ipc,
             ctrl: self.controller.stats,
             total_cycles: now,
-            test_requests: self.injector.as_ref().map_or(0, |i| i.injected),
+            test_requests,
         }
     }
+}
+
+/// Folds one run's controller-statistics delta into the current telemetry
+/// registry. Everything here derives from simulated cycles, so the values
+/// are deterministic; called once per [`System::run`] to keep the per-cycle
+/// loop telemetry-free.
+fn flush_ctrl_telemetry(after: &CtrlStats, before: &CtrlStats, cycles: u64, injected: u64) {
+    for (name, a, b) in [
+        ("memsim.ctrl.reads", after.reads, before.reads),
+        ("memsim.ctrl.writes", after.writes, before.writes),
+        ("memsim.ctrl.acts", after.acts, before.acts),
+        (
+            "memsim.ctrl.column_accesses",
+            after.column_accesses,
+            before.column_accesses,
+        ),
+        ("memsim.ctrl.refreshes", after.refreshes, before.refreshes),
+        (
+            "memsim.ctrl.refresh_blackout_cycles",
+            after.refresh_blackout_cycles,
+            before.refresh_blackout_cycles,
+        ),
+        ("memsim.ctrl.rejected", after.rejected, before.rejected),
+        (
+            "memsim.ctrl.trrd_stalls",
+            after.trrd_stalls,
+            before.trrd_stalls,
+        ),
+        (
+            "memsim.ctrl.tfaw_stalls",
+            after.tfaw_stalls,
+            before.tfaw_stalls,
+        ),
+    ] {
+        telemetry::count(name, a.saturating_sub(b));
+    }
+    telemetry::count("memsim.sim.cycles", cycles);
+    telemetry::count("memsim.sim.test_requests", injected);
 }
 
 #[cfg(test)]

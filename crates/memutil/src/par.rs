@@ -36,11 +36,74 @@
 //! per-figure, the figures' own inner sweeps automatically run inline.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Sentinel meaning "no explicit worker count installed".
 const JOBS_UNSET: usize = 0;
+
+/// Number of per-worker slots tracked by [`PoolStats::worker_chunks`].
+/// Workers beyond the slot count fold in modulo — wide enough for any
+/// realistic `--jobs` while keeping the counter block fixed-size.
+const STAT_WORKER_SLOTS: usize = 16;
+
+static STAT_SCOPES: AtomicU64 = AtomicU64::new(0);
+static STAT_INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static STAT_CHUNKS_RUN: AtomicU64 = AtomicU64::new(0);
+static STAT_CHUNKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+static STAT_WORKER_CHUNKS: [AtomicU64; STAT_WORKER_SLOTS] = {
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; STAT_WORKER_SLOTS]
+};
+
+/// Process-lifetime scheduling counters of the pool, for telemetry.
+///
+/// These describe *how* work was scheduled, never *what* it computed:
+/// steal counts and per-worker chunk tallies legitimately vary from run to
+/// run, so consumers must report them as timing-class (non-deterministic)
+/// metrics, outside any byte-diff determinism gate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Parallel scopes that actually spawned workers.
+    pub scopes: u64,
+    /// Calls that ran the inline sequential path (jobs/len 1, nested).
+    pub inline_runs: u64,
+    /// Chunks executed by pool workers.
+    pub chunks_run: u64,
+    /// Chunks executed after being stolen from a sibling's deque.
+    pub chunks_stolen: u64,
+    /// Chunks executed per worker index (indices fold modulo the slot
+    /// count).
+    pub worker_chunks: [u64; STAT_WORKER_SLOTS],
+}
+
+/// Snapshot of the process-lifetime [`PoolStats`].
+#[must_use]
+pub fn pool_stats() -> PoolStats {
+    let mut worker_chunks = [0u64; STAT_WORKER_SLOTS];
+    for (slot, counter) in worker_chunks.iter_mut().zip(&STAT_WORKER_CHUNKS) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    PoolStats {
+        scopes: STAT_SCOPES.load(Ordering::Relaxed),
+        inline_runs: STAT_INLINE_RUNS.load(Ordering::Relaxed),
+        chunks_run: STAT_CHUNKS_RUN.load(Ordering::Relaxed),
+        chunks_stolen: STAT_CHUNKS_STOLEN.load(Ordering::Relaxed),
+        worker_chunks,
+    }
+}
+
+/// Zeroes the process-lifetime [`PoolStats`] (tests and report scoping).
+pub fn reset_pool_stats() {
+    STAT_SCOPES.store(0, Ordering::Relaxed);
+    STAT_INLINE_RUNS.store(0, Ordering::Relaxed);
+    STAT_CHUNKS_RUN.store(0, Ordering::Relaxed);
+    STAT_CHUNKS_STOLEN.store(0, Ordering::Relaxed);
+    for counter in &STAT_WORKER_CHUNKS {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
 
 /// Process-global worker count installed by [`set_jobs`] (0 = unset).
 static CONFIGURED_JOBS: AtomicUsize = AtomicUsize::new(JOBS_UNSET);
@@ -118,8 +181,10 @@ where
     let jobs = if jobs == 0 { self::jobs() } else { jobs };
     let workers = jobs.min(len);
     if workers <= 1 || in_worker() {
+        STAT_INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
         return (0..len).map(f).collect();
     }
+    STAT_SCOPES.fetch_add(1, Ordering::Relaxed);
 
     // Chunk geometry depends only on (len, workers): deterministic.
     let chunk = chunk_size(len, workers);
@@ -138,7 +203,12 @@ where
                 scope.spawn(move || {
                     IN_WORKER.with(|flag| flag.set(true));
                     let mut done: Vec<(usize, Vec<T>)> = Vec::new();
-                    while let Some(c) = claim_chunk(queues, w) {
+                    while let Some((c, stolen)) = claim_chunk(queues, w) {
+                        STAT_CHUNKS_RUN.fetch_add(1, Ordering::Relaxed);
+                        STAT_WORKER_CHUNKS[w % STAT_WORKER_SLOTS].fetch_add(1, Ordering::Relaxed);
+                        if stolen {
+                            STAT_CHUNKS_STOLEN.fetch_add(1, Ordering::Relaxed);
+                        }
                         let start = c * chunk;
                         let end = (start + chunk).min(len);
                         done.push((c, (start..end).map(f).collect()));
@@ -192,15 +262,16 @@ fn chunk_size(len: usize, workers: usize) -> usize {
 }
 
 /// Pops a chunk id: own deque front first, then steal from the sibling
-/// with the longest deque (back side). `None` when every deque is empty —
-/// no new work is ever generated mid-run, so an empty sweep is terminal.
-fn claim_chunk(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+/// with the longest deque (back side). The flag reports whether the chunk
+/// was stolen. `None` when every deque is empty — no new work is ever
+/// generated mid-run, so an empty sweep is terminal.
+fn claim_chunk(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<(usize, bool)> {
     if let Some(c) = queues[own]
         .lock()
         .expect("worker deque poisoned")
         .pop_front()
     {
-        return Some(c);
+        return Some((c, false));
     }
     // Steal from the fullest victim to halve the largest backlog.
     let mut best: Option<(usize, usize)> = None;
@@ -218,6 +289,7 @@ fn claim_chunk(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
         .lock()
         .expect("worker deque poisoned")
         .pop_back()
+        .map(|c| (c, true))
 }
 
 #[cfg(test)]

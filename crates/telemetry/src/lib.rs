@@ -1,0 +1,181 @@
+//! Deterministic telemetry: counters, histograms, span timers, and a
+//! bounded event trace, exported as structured JSON.
+//!
+//! The subsystem exists to answer "why was this sweep slow / this
+//! prediction wrong" without perturbing the reproduction's core contract:
+//! **figure outputs are bit-identical at any `--jobs` setting**. Every
+//! metric therefore carries a [`Class`]:
+//!
+//! * [`Class::Deterministic`] — values derived purely from simulation
+//!   state (commands issued, PRIL outcomes, memo hits, rows evaluated).
+//!   Counter addition commutes, and histograms bucket values that are
+//!   themselves deterministic, so these sections of a report are
+//!   byte-identical across worker counts and are byte-diffed by the
+//!   `xtask` determinism gate.
+//! * [`Class::Timing`] — wall-clock span durations, pool scheduling
+//!   counters ([`memutil::par::pool_stats`]), and the event trace. These
+//!   legitimately vary run to run and live in a separate `timing` report
+//!   section that the gate ignores.
+//!
+//! # Registry model
+//!
+//! Metrics live in a [`Registry`]. A lazily created process [`global`]
+//! registry backs the default path; [`install`] swaps in a scoped registry
+//! (restored when the returned guard drops) so tests and the experiments
+//! CLI can collect into a private registry without touching global state
+//! left behind by other code. Instrumentation sites use either the free
+//! helpers ([`count`], [`observe`], [`span`], [`trace_event`]) or bind
+//! `Arc` metric handles once and update them directly on hot-ish paths.
+//!
+//! # Cost when disabled
+//!
+//! Telemetry is **off by default**. Every entry point checks an atomic
+//! flag first, instrumented crates hoist the check out of their kernels,
+//! and no allocation or locking happens on the disabled path — the
+//! `xtask obs overhead` gate holds the instrumented
+//! `evaluate_module_1bank` kernel to <2% overhead.
+//!
+//! # Naming
+//!
+//! Metric names follow `crate.component.metric`, e.g.
+//! `memsim.ctrl.trrd_stalls` or `memcon.pril.candidates`.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{Counter, Histogram, Span, SpanGuard};
+pub use registry::{current, global, install, Registry, ScopeGuard};
+pub use trace::{Event, EventTrace};
+
+/// Determinism class of a metric — decides which report section it lands
+/// in and whether the determinism gate byte-diffs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Derived purely from simulation state: bit-identical across
+    /// `--jobs` settings, byte-diffed by the determinism gate.
+    Deterministic,
+    /// Wall-clock or scheduling dependent: excluded from the gate.
+    Timing,
+}
+
+/// Report schema identifier emitted by [`Registry::report`].
+pub const SCHEMA: &str = "memcon-telemetry/v1";
+
+/// Whether the current registry is collecting. Instrumented code hoists
+/// this check outside its hot loops; everything below it may assume an
+/// enabled registry.
+#[must_use]
+pub fn enabled() -> bool {
+    registry::current().is_enabled()
+}
+
+/// Adds `n` to the named [`Class::Deterministic`] counter on the current
+/// registry. Registers the counter even when `n == 0`, so report shape
+/// does not depend on which code paths happened to fire. No-op when
+/// telemetry is disabled.
+pub fn count(name: &str, n: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.counter(name, Class::Deterministic).add(n);
+    }
+}
+
+/// Adds `n` to the named [`Class::Timing`] counter on the current
+/// registry. No-op when telemetry is disabled.
+pub fn count_timing(name: &str, n: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.counter(name, Class::Timing).add(n);
+    }
+}
+
+/// Records `value` in the named [`Class::Deterministic`] histogram on the
+/// current registry, creating it with `edges` (ascending inclusive upper
+/// bounds) on first use. No-op when telemetry is disabled.
+pub fn observe(name: &str, edges: &[u64], value: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.histogram(name, Class::Deterministic, edges).record(value);
+    }
+}
+
+/// Starts a wall-clock span on the current registry; the elapsed time is
+/// recorded (as [`Class::Timing`] data) when the returned guard drops.
+/// Returns an inert guard when telemetry is disabled.
+#[must_use]
+pub fn span(name: &str) -> SpanGuard {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.span(name).start()
+    } else {
+        SpanGuard::disabled()
+    }
+}
+
+/// Appends an event to the current registry's bounded trace ring
+/// ([`Class::Timing`] data). No-op when telemetry is disabled.
+pub fn trace_event(label: &str, value: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.trace().record(label, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn free_helpers_are_noops_when_disabled() {
+        let r = Arc::new(Registry::new());
+        let _scope = install(Arc::clone(&r));
+        assert!(!enabled());
+        count("t.free.counter", 5);
+        observe("t.free.hist", &[1, 2], 1);
+        trace_event("t.free.event", 1);
+        drop(span("t.free.span"));
+        let report = r.report();
+        let det = report.get("deterministic").expect("section");
+        assert_eq!(det.get("counters"), Some(&memutil::json::Json::obj()));
+    }
+
+    #[test]
+    fn free_helpers_record_on_the_installed_registry() {
+        let r = Arc::new(Registry::new());
+        r.set_enabled(true);
+        let _scope = install(Arc::clone(&r));
+        assert!(enabled());
+        count("t.free.counter", 2);
+        count("t.free.counter", 3);
+        count("t.free.zero", 0);
+        count_timing("t.free.timing", 7);
+        observe("t.free.hist", &[10, 20], 15);
+        trace_event("t.free.event", 9);
+        assert_eq!(r.counter("t.free.counter", Class::Deterministic).get(), 5);
+        // Zero-value counters still register (stable report shape).
+        assert_eq!(r.counter("t.free.zero", Class::Deterministic).get(), 0);
+        assert_eq!(r.counter("t.free.timing", Class::Timing).get(), 7);
+        assert_eq!(
+            r.histogram("t.free.hist", Class::Deterministic, &[10, 20])
+                .count(),
+            1
+        );
+        assert_eq!(r.trace().snapshot().len(), 1);
+    }
+
+    #[test]
+    fn spans_accumulate_wall_clock_time() {
+        let r = Arc::new(Registry::new());
+        r.set_enabled(true);
+        let _scope = install(Arc::clone(&r));
+        for _ in 0..3 {
+            let _g = span("t.free.span");
+        }
+        let s = r.span("t.free.span");
+        assert_eq!(s.count(), 3);
+    }
+}

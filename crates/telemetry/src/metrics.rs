@@ -1,0 +1,309 @@
+//! Atomic metric primitives: counters, fixed-bucket histograms, and span
+//! timers.
+//!
+//! Every metric shares its owning registry's enabled flag, so disabling a
+//! registry instantly quiesces handles that were bound while it was live.
+//! All updates are relaxed atomics: counters and histograms only ever
+//! *add*, and addition commutes, which is exactly why deterministic-class
+//! values are independent of worker interleaving.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing, saturating `u64` counter.
+///
+/// Saturates at `u64::MAX` instead of wrapping: a pegged counter is an
+/// obvious outlier in a report, a wrapped one is silent nonsense.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Counter {
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` (saturating). No-op when the owning registry is disabled.
+    pub fn add(&self, n: u64) {
+        if n == 0 || !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `edges[i-1] < v <= edges[i]`
+/// (ascending inclusive upper bounds); one extra overflow bucket catches
+/// everything above the last edge. Also tracks the sample count and the
+/// saturating sum, so a report can recover the mean.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    edges: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, edges: &[u64]) -> Histogram {
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Histogram {
+            enabled,
+            edges: edges.into(),
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. No-op when the owning registry is disabled.
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self.edges.partition_point(|&e| e < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(value))
+            });
+    }
+
+    /// The configured bucket upper bounds.
+    #[must_use]
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// A snapshot of all bucket counts (`edges.len() + 1` entries, the
+    /// last being the overflow bucket).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated wall-clock timer for one named region: invocation count and
+/// saturating total nanoseconds. Always [`crate::Class::Timing`] — span
+/// values never enter the deterministic report section.
+#[derive(Debug)]
+pub struct Span {
+    enabled: Arc<AtomicBool>,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Span {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Span {
+        Span {
+            enabled,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts timing; the elapsed wall-clock time is recorded when the
+    /// guard drops. Returns an inert guard when the registry is disabled.
+    #[must_use]
+    pub fn start(self: &Arc<Self>) -> SpanGuard {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return SpanGuard::disabled();
+        }
+        SpanGuard {
+            active: Some((Arc::clone(self), Instant::now())),
+        }
+    }
+
+    /// Records one completed invocation of `ns` nanoseconds directly
+    /// (used by the guard; exposed for tests and external timers).
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .total_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(ns))
+            });
+    }
+
+    /// Number of completed invocations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard returned by [`Span::start`]; records the elapsed time into
+/// its span on drop. The disabled variant does nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<Span>, Instant)>,
+}
+
+impl SpanGuard {
+    /// An inert guard: timing disabled, drop is free.
+    #[must_use]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((span, started)) = self.active.take() {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            span.record_ns(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn counter_adds_and_saturates() {
+        let c = Counter::new(on());
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        c.add(u64::MAX - 1);
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_ignores_updates_when_disabled() {
+        let flag = on();
+        let c = Counter::new(Arc::clone(&flag));
+        c.add(2);
+        flag.store(false, Ordering::Relaxed);
+        c.add(100);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let h = Histogram::new(on(), &[0, 10, 100]);
+        // Bucket layout: (..=0], (0..=10], (10..=100], (100..).
+        for v in [0, 0] {
+            h.record(v);
+        }
+        for v in [1, 10] {
+            h.record(v);
+        }
+        for v in [11, 100] {
+            h.record(v);
+        }
+        for v in [101, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+    }
+
+    #[test]
+    fn histogram_without_edges_is_a_single_overflow_bucket() {
+        let h = Histogram::new(on(), &[]);
+        h.record(0);
+        h.record(123);
+        assert_eq!(h.bucket_counts(), vec![2]);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_only_when_enabled() {
+        let s = Arc::new(Span::new(on()));
+        {
+            let _g = s.start();
+        }
+        assert_eq!(s.count(), 1);
+
+        let off = Arc::new(Span::new(Arc::new(AtomicBool::new(false))));
+        {
+            let _g = off.start();
+        }
+        assert_eq!(off.count(), 0);
+        assert_eq!(off.total_ns(), 0);
+    }
+
+    #[test]
+    fn span_record_ns_saturates() {
+        let s = Span::new(on());
+        s.record_ns(u64::MAX);
+        s.record_ns(5);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total_ns(), u64::MAX);
+    }
+}

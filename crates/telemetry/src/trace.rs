@@ -1,0 +1,150 @@
+//! A bounded ring-buffer event trace.
+//!
+//! The trace answers "what happened *around* the anomaly" — the last N
+//! noteworthy events (figure started, snapshot written, gate tripped…)
+//! with a global sequence number so dropped history is detectable. Event
+//! order depends on thread interleaving, so the trace is always
+//! [`crate::Class::Timing`] data and never enters a determinism diff.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (0-based, never reused; gaps at the front
+    /// of a snapshot mean older events were evicted).
+    pub seq: u64,
+    /// Free-form label, conventionally `crate.component.event`.
+    pub label: String,
+    /// Event payload.
+    pub value: u64,
+}
+
+/// Fixed-capacity ring of recent [`Event`]s; recording evicts the oldest
+/// entry once full.
+#[derive(Debug)]
+pub struct EventTrace {
+    enabled: Arc<AtomicBool>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventTrace {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, capacity: usize) -> EventTrace {
+        let capacity = capacity.max(1);
+        EventTrace {
+            enabled,
+            capacity,
+            next_seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when the ring is full.
+    /// No-op when the owning registry is disabled.
+    pub fn record(&self, label: &str, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Event {
+            seq,
+            label: label.to_string(),
+            value,
+        });
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn clear(&self) {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.next_seq.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(capacity: usize) -> EventTrace {
+        EventTrace::new(Arc::new(AtomicBool::new(true)), capacity)
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_events() {
+        let t = trace(3);
+        for i in 0..5u64 {
+            t.record("evt", i);
+        }
+        let events = t.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest entries evicted, order preserved"
+        );
+        assert_eq!(
+            events.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(t.recorded(), 5, "eviction does not lose the count");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let t = trace(0);
+        t.record("a", 1);
+        t.record("b", 2);
+        let events = t.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "b");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = EventTrace::new(Arc::new(AtomicBool::new(false)), 4);
+        t.record("evt", 1);
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn clear_resets_sequence_numbers() {
+        let t = trace(2);
+        t.record("evt", 1);
+        t.clear();
+        t.record("evt", 2);
+        assert_eq!(t.snapshot()[0].seq, 0);
+    }
+}

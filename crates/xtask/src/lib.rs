@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod obs;
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -95,6 +96,12 @@ pub fn ci_cmd(bench: bool) -> i32 {
         return code;
     }
 
+    println!("ci: obs --check (telemetry golden file)");
+    let obs_code = obs::obs_cmd(&["--check".to_string()]);
+    if obs_code != 0 {
+        return obs_code;
+    }
+
     println!("ci: cargo test -q");
     if let Some(code) = run_step(&root, &["test", "-q"]) {
         return code;
@@ -108,6 +115,13 @@ pub fn ci_cmd(bench: bool) -> i32 {
         ) {
             return code;
         }
+        println!("ci: obs overhead (release)");
+        if let Some(code) = run_step(
+            &root,
+            &["run", "--release", "-p", "xtask", "--", "obs", "overhead"],
+        ) {
+            return code;
+        }
     }
 
     println!("ci: all steps passed");
@@ -116,13 +130,18 @@ pub fn ci_cmd(bench: bool) -> i32 {
 
 /// Byte-compares the rendered `--quick all` output at one worker against
 /// four workers — the parallel engine's ordered-reduction contract says the
-/// two must be identical. `None` on success, `Some(exit_code)` on any
-/// divergence or run failure.
+/// two must be identical. Both runs collect telemetry, and the reports'
+/// `deterministic` sections are byte-compared too (the `timing` section is
+/// wall-clock and legitimately differs). `None` on success,
+/// `Some(exit_code)` on any divergence or run failure.
 fn determinism_gate(root: &Path) -> Option<i32> {
     let bin = root.join(format!("target/release/memcon-experiments{}", EXE_SUFFIX));
+    let report_path =
+        |jobs: &str| root.join(format!("target/TELEMETRY_determinism_jobs{jobs}.json"));
     let run = |jobs: &str| -> Result<Vec<u8>, String> {
+        let telemetry_arg = format!("--telemetry={}", report_path(jobs).display());
         let out = Command::new(&bin)
-            .args(["--quick", "--jobs", jobs, "all"])
+            .args(["--quick", "--jobs", jobs, &telemetry_arg, "all"])
             .current_dir(root)
             .output()
             .map_err(|e| format!("could not spawn {}: {e}", bin.display()))?;
@@ -138,7 +157,7 @@ fn determinism_gate(root: &Path) -> Option<i32> {
     match (run("1"), run("4")) {
         (Ok(seq), Ok(par)) if seq == par => {
             println!("ci: outputs byte-identical ({} bytes)", seq.len());
-            None
+            telemetry_sections_match(&report_path("1"), &report_path("4"))
         }
         (Ok(seq), Ok(par)) => {
             let diverges_at = seq
@@ -151,6 +170,43 @@ fn determinism_gate(root: &Path) -> Option<i32> {
                  outputs diverge at byte {diverges_at}",
                 seq.len(),
                 par.len()
+            );
+            Some(1)
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ci: determinism gate error: {e}");
+            Some(1)
+        }
+    }
+}
+
+/// Compares the `deterministic` sections of two telemetry report files
+/// (canonical re-emission, so formatting cannot mask a divergence).
+fn telemetry_sections_match(a: &Path, b: &Path) -> Option<i32> {
+    use memutil::json::Json;
+    let load = |p: &Path| -> Result<String, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        Ok(doc
+            .get("deterministic")
+            .cloned()
+            .unwrap_or_else(Json::obj)
+            .emit())
+    };
+    match (load(a), load(b)) {
+        (Ok(ja), Ok(jb)) if ja == jb => {
+            println!(
+                "ci: telemetry deterministic sections byte-identical ({} bytes)",
+                ja.len()
+            );
+            None
+        }
+        (Ok(_), Ok(_)) => {
+            eprintln!(
+                "ci: determinism gate FAILED: telemetry deterministic sections diverge \
+                 (inspect with `cargo run -p xtask -- obs diff {} {}`)",
+                a.display(),
+                b.display()
             );
             Some(1)
         }

@@ -1,6 +1,6 @@
 //! `memlint` — repo-specific source lints with a ratcheted allowlist.
 //!
-//! Four rules, all motivated by past or feared bug classes in a
+//! Five rules, all motivated by past or feared bug classes in a
 //! cycle-accurate DRAM simulator:
 //!
 //! * **`no-unwrap`** — `.unwrap()` / `.expect(...)` in non-test library
@@ -17,6 +17,11 @@
 //!   (identifier containing `_ns` or `_ms`). Timing arithmetic mixes
 //!   ns→cycle conversions; exact float comparison is almost always a bug
 //!   outside of test assertions on closed-form constants.
+//! * **`no-instant`** — `Instant::now` outside `crates/telemetry/`. Wall
+//!   clocks in simulation code are the classic way nondeterminism sneaks
+//!   into "deterministic" results; all timing measurements must flow
+//!   through the telemetry spans (reported in the non-deterministic
+//!   `timing` section) or the frozen `memutil::bench` harness.
 //!
 //! The scanner is a line-based heuristic, not a parser: string literals,
 //! char literals and comments are stripped before matching, `#[cfg(test)]`
@@ -71,7 +76,13 @@ impl fmt::Display for Violation {
 }
 
 /// All rule identifiers, in report order.
-pub const RULES: [&str; 4] = ["no-unwrap", "no-panic", "cast-truncation", "float-eq"];
+pub const RULES: [&str; 5] = [
+    "no-unwrap",
+    "no-panic",
+    "cast-truncation",
+    "float-eq",
+    "no-instant",
+];
 
 /// Classifies a workspace-relative path.
 #[must_use]
@@ -296,6 +307,10 @@ pub fn scan_source(path: &str, content: &str) -> Vec<Violation> {
     let unwrap_needle: String = [".unwrap", "()"].concat();
     let expect_needle: String = [".expect", "("].concat();
     let panic_needle: String = ["panic", "!"].concat();
+    let instant_needle: String = ["Instant::", "now"].concat();
+    // The telemetry crate owns the wall clock (span timers); everyone else
+    // must route timing through it.
+    let instant_exempt = path.replace('\\', "/").starts_with("crates/telemetry/");
 
     let mut out = Vec::new();
     // A marker suppresses its own line; a standalone comment line carrying
@@ -331,7 +346,11 @@ pub fn scan_source(path: &str, content: &str) -> Vec<Violation> {
             }
         }
 
-        // Data-integrity rules apply to libraries and binaries alike.
+        // Determinism and data-integrity rules apply to libraries and
+        // binaries alike.
+        if !instant_exempt && s.contains(&instant_needle) {
+            push("no-instant");
+        }
         let lower = s.to_lowercase();
         if ADDR_CYCLE_WORDS.iter().any(|w| lower.contains(w)) {
             let mut from = 0;
@@ -759,6 +778,28 @@ mod tests {
     fn float_eq_ignores_orderings_and_nontiming() {
         assert!(scan_source(LIB, "fn f(a_ns: f64) -> bool { a_ns >= 1.0 }\n").is_empty());
         assert!(scan_source(LIB, "fn f(n: u64) -> bool { n == 3 }\n").is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_outside_telemetry() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        assert_eq!(rules_hit(LIB, src), vec!["no-instant"]);
+        // Binaries are not exempt: a wall clock in the experiments CLI
+        // would leak into "deterministic" output just the same.
+        let v = scan_source("crates/demo/src/main.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-instant");
+    }
+
+    #[test]
+    fn instant_now_allowed_in_telemetry_and_tests() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        assert!(scan_source("crates/telemetry/src/metrics.rs", src).is_empty());
+        assert!(scan_source("crates/demo/tests/it.rs", src).is_empty());
+        // Mentions in strings or comments never count.
+        let doc =
+            "// prefer telemetry spans over Instant::now\nconst H: &str = \"Instant::now\";\n";
+        assert!(scan_source(LIB, doc).is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ fn main() {
             xtask::lint_cmd(update)
         }
         Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
+        Some("obs") => xtask::obs::obs_cmd(&args[1..]),
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("baseline") => xtask::bench_baseline_cmd(),
             Some("compare") => xtask::bench_compare_cmd(),
@@ -40,8 +41,16 @@ fn usage() {
          \x20 lint [--update-ratchet]   run memlint against the ratchet\n\
          \x20 ci [--bench]              fmt-check (if rustfmt present), memlint,\n\
          \x20                           cargo build --release, the --jobs 1-vs-4\n\
-         \x20                           output determinism gate, cargo test -q;\n\
-         \x20                           --bench additionally runs `bench compare`\n\
+         \x20                           output + telemetry determinism gate,\n\
+         \x20                           obs --check, cargo test -q; --bench\n\
+         \x20                           additionally runs `bench compare` and\n\
+         \x20                           `obs overhead`\n\
+         \x20 obs [print|--write|--check|diff A B|overhead]\n\
+         \x20                           telemetry-report tooling: pretty-print the\n\
+         \x20                           reference report, refresh/verify the\n\
+         \x20                           TELEMETRY_expected.json golden file, diff\n\
+         \x20                           two reports, or gate the enabled-telemetry\n\
+         \x20                           overhead (<2% on the eval kernel)\n\
          \x20 bench baseline            run the micro bench suite and write\n\
          \x20                           BENCH_baseline.json (use --release)\n\
          \x20 bench compare             run the micro bench suite and compare\n\

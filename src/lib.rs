@@ -44,3 +44,4 @@ pub use failure_model;
 pub use memcon;
 pub use memsim;
 pub use memtrace;
+pub use telemetry;
