@@ -282,6 +282,19 @@ impl DramModule {
         Ok(&mut self.rows[idx])
     }
 
+    /// Fault-injection hook: flips one content bit of the row at `addr`
+    /// (the bit index wraps modulo the row width), invalidating any charge
+    /// image exactly as a demand write would. Returns the bit's new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an address-range error if `addr` is outside the geometry.
+    pub fn inject_bit_flip(&mut self, addr: RowAddr, bit: u64) -> Result<bool, DramError> {
+        let bits = self.geometry.words_per_row() as u64 * 64;
+        let row = self.row_mut(addr)?;
+        Ok(row.flip_bit(bit % bits))
+    }
+
     /// Reads a row by linear [`RowId`].
     ///
     /// # Panics

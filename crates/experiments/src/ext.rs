@@ -7,15 +7,24 @@
 //!   Copy-and-Compare cost and its MinWriteInterval.
 //! * **Storage overhead** (Section 6.4) — PRIL SRAM and staging-region
 //!   arithmetic for real module sizes.
+//! * **Fault overhead** — MEMCON's refresh+test overhead as injected fault
+//!   rates rise: aborts, torn reads, and ECC errors trigger the
+//!   abort/retry backoff and the fail-safe high-refresh degradation, so
+//!   overhead grows and LO-REF coverage shrinks with the fault rate.
+
+use std::sync::Arc;
 
 use dram::geometry::{ChipDensity, DramGeometry};
+use faultinject::{FaultPlan, Site, SiteSpec};
 use memcon::config::MemconConfig;
 use memcon::cost::{CostModel, TestMode};
+use memcon::engine::{MemconEngine, MemconReport, RecoveryStats};
 use memcon::overhead::storage_overhead;
 use memsim::config::{RefreshPolicy, SystemConfig};
 use memsim::energy::EnergyReport;
 use memsim::system::System;
 use memtrace::cpu::spec_tpc_pool;
+use memtrace::workload::WorkloadProfile;
 
 use crate::output::{heading, pct, RunOptions, TextTable};
 
@@ -56,6 +65,54 @@ pub fn compute_energy(opts: &RunOptions) -> Vec<EnergyRow> {
         }
     }
     rows
+}
+
+/// Injected fault rates swept by the fault-overhead experiment.
+pub const FAULT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
+
+/// One point of the overhead-vs-fault-rate curve.
+#[derive(Debug, Clone)]
+pub struct FaultOverheadRow {
+    /// Per-site injection rate of this run's plan (0 = no plan).
+    pub rate: f64,
+    /// The engine's report at that rate.
+    pub report: MemconReport,
+    /// Recovery accounting at that rate.
+    pub recovery: RecoveryStats,
+}
+
+/// Sweeps the netflix trace through MEMCON at rising fault rates.
+///
+/// Each engine owns its plan explicitly ([`MemconEngine::set_fault_plan`]
+/// rather than the process-global installer), so the sweep stays
+/// bit-reproducible under figure-level fan-out. Rate 0 runs with no plan
+/// at all — the organic baseline row.
+#[must_use]
+pub fn compute_fault_overhead(opts: &RunOptions) -> Vec<FaultOverheadRow> {
+    let trace = crate::output::cached_trace(&WorkloadProfile::netflix(), opts);
+    FAULT_RATES
+        .iter()
+        .map(|&rate| {
+            let mut engine = MemconEngine::new(MemconConfig::paper_default(), trace.n_pages());
+            if rate > 0.0 {
+                // The sites that exercise the recovery machinery: aborts,
+                // torn read-backs, and ECC errors (uncorrectables kept an
+                // order of magnitude rarer, as in real modules).
+                let plan = FaultPlan::new(0x0EC7)
+                    .with_site(Site::TestPreempt, SiteSpec::rate(rate))
+                    .with_site(Site::TornRead, SiteSpec::rate(rate))
+                    .with_site(Site::EccCorrectable, SiteSpec::rate(rate))
+                    .with_site(Site::EccUncorrectable, SiteSpec::rate(rate / 10.0));
+                engine.set_fault_plan(Some(Arc::new(plan)));
+            }
+            let report = engine.run(&trace);
+            FaultOverheadRow {
+                rate,
+                report,
+                recovery: *engine.recovery_stats(),
+            }
+        })
+        .collect()
 }
 
 /// Renders all extension experiments.
@@ -128,6 +185,28 @@ pub fn render(opts: &RunOptions) -> String {
     }
     out.push_str("\nPRIL storage overhead (Section 6.4 arithmetic):\n");
     out.push_str(&t.render());
+
+    // Fault overhead.
+    let mut t = TextTable::new(vec![
+        "Fault rate",
+        "Norm. overhead",
+        "LO-REF coverage",
+        "Faults",
+        "Retries",
+        "Degraded rows",
+    ]);
+    for r in &compute_fault_overhead(opts) {
+        t.row(vec![
+            format!("{:.2}", r.rate),
+            format!("{:.4}", r.report.normalized_refresh_and_test_time()),
+            pct(r.report.lo_coverage),
+            r.recovery.faults_injected.iter().sum::<u64>().to_string(),
+            r.recovery.retries.to_string(),
+            r.recovery.degraded_rows.to_string(),
+        ]);
+    }
+    out.push_str("\nMEMCON overhead vs injected fault rate (netflix):\n");
+    out.push_str(&t.render());
     out
 }
 
@@ -158,10 +237,38 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_all_three_sections() {
+    fn render_contains_all_four_sections() {
         let s = render(&RunOptions::quick());
         assert!(s.contains("DRAM energy"));
         assert!(s.contains("RowClone"));
         assert!(s.contains("storage overhead"));
+        assert!(s.contains("fault rate"));
+    }
+
+    #[test]
+    fn faults_degrade_coverage_and_raise_overhead() {
+        let rows = compute_fault_overhead(&RunOptions::quick());
+        assert_eq!(rows.len(), FAULT_RATES.len());
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert_eq!(first.recovery.faults_injected.iter().sum::<u64>(), 0);
+        assert!(last.recovery.faults_injected.iter().sum::<u64>() > 0);
+        assert!(last.recovery.degraded_rows > 0, "no row was ever pinned");
+        // More faults mean more retry/pin work and less LO-REF residency.
+        assert!(
+            last.report.lo_coverage < first.report.lo_coverage,
+            "coverage {} !< {}",
+            last.report.lo_coverage,
+            first.report.lo_coverage
+        );
+        assert!(
+            last.report.normalized_refresh_and_test_time()
+                >= first.report.normalized_refresh_and_test_time(),
+            "overhead did not grow with the fault rate"
+        );
+        // Nothing must ever escape, at any rate.
+        for r in &rows {
+            assert_eq!(r.recovery.uncorrectable_escapes, 0);
+        }
     }
 }

@@ -15,17 +15,25 @@
 //! JSON report (default `TELEMETRY_report.json`) with per-figure counter
 //! attribution; the report's `deterministic` section is byte-identical at
 //! any `--jobs` value.
+//!
+//! `--faults PLAN` installs a `memcon-faultplan/v1` JSON file as the
+//! process-global fault plan for the whole run: every engine and
+//! controller begins its own deterministic fault session from it, so the
+//! rendered output stays byte-identical at any `--jobs` value for a fixed
+//! plan file.
 
 use experiments::{run_all, run_all_with_telemetry, RunOptions, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: memcon-experiments [--quick] [--jobs N] [--telemetry[=PATH]] <experiment>... | all\n\
+        "usage: memcon-experiments [--quick] [--jobs N] [--telemetry[=PATH]] [--faults PLAN] <experiment>... | all\n\
          experiments: {}\n\
          --jobs N     worker threads for the parallel sweeps (default: MEMCON_JOBS\n\
          \x20            or the available parallelism; output is identical at any N)\n\
          --telemetry  collect counters/histograms and write a JSON report\n\
-         \x20            (default path: TELEMETRY_report.json)",
+         \x20            (default path: TELEMETRY_report.json)\n\
+         --faults     install a memcon-faultplan/v1 JSON file as the run's\n\
+         \x20            deterministic fault plan (see `faultinject`)",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -36,11 +44,24 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut jobs: Option<usize> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
     let mut targets: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--quick" {
             continue;
+        } else if arg == "--faults" {
+            let Some(p) = it.next() else {
+                eprintln!("error: --faults expects a plan file path");
+                usage();
+            };
+            faults_path = Some(p.clone());
+        } else if let Some(p) = arg.strip_prefix("--faults=") {
+            if p.is_empty() {
+                eprintln!("error: --faults= expects a path");
+                usage();
+            }
+            faults_path = Some(p.to_string());
         } else if arg == "--jobs" {
             let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
                 eprintln!("error: --jobs expects a number");
@@ -69,6 +90,20 @@ fn main() {
         }
     }
     memutil::par::set_jobs(jobs);
+    // Keep the plan installed for the whole run: each engine/controller
+    // begins its own fault session from it (deterministic per consumer).
+    let _fault_guard = faults_path.map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read fault plan {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = faultinject::FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("fault plan installed from {path}");
+        faultinject::install(std::sync::Arc::new(plan))
+    });
     let mut opts = if quick {
         RunOptions::quick()
     } else {

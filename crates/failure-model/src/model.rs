@@ -569,6 +569,34 @@ impl CouplingFailureModel {
         // when disabled the per-bank closure is the exact pre-telemetry
         // code path plus one `Option` check.
         let tm = EvalTelemetry::bind();
+        // The fault plan is likewise hoisted: when disabled this is one
+        // relaxed atomic load and the sweep is the exact pre-fault code
+        // path. Injection is *keyed* per (rank, bank, row) — a pure hash of
+        // the plan seed — so the result stays bit-identical at any `jobs`.
+        let fault_plan = if faultinject::enabled() {
+            faultinject::active_plan()
+        } else {
+            None
+        };
+        let bits_per_row = module.geometry().words_per_row() as u64 * 64;
+        let inject = |rank: u8, bank: u8, row: u32, out: &mut Vec<CellFailure>| {
+            let Some(plan) = &fault_plan else { return };
+            let key = (u64::from(rank) << 44) | (u64::from(bank) << 36) | u64::from(row);
+            if plan.fires(faultinject::Site::DramBitFlip, key) {
+                // A transient flip manifests as one extra failing cell.
+                let internal_bit = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % bits_per_row;
+                let (system_row, system_bit) =
+                    module.internal_to_system(rank, bank, row, internal_bit);
+                out.push(CellFailure {
+                    rank,
+                    bank,
+                    internal_row: row,
+                    internal_bit,
+                    system_row,
+                    system_bit,
+                });
+            }
+        };
         memutil::par::ordered_flat_map_with(jobs, banks.len(), |i| {
             let (rank, bank) = banks[i];
             let mut out = Vec::new();
@@ -577,11 +605,13 @@ impl CouplingFailureModel {
                 for row in 0..rows_per_bank {
                     let cells = chip.row_counted(&self.params, module, rank, bank, row, &mut cold);
                     self.eval_row_cells(cells, module, rank, bank, row, interval_ms, &mut out);
+                    inject(rank, bank, row, &mut out);
                 }
                 tm.note_bank(u64::from(rows_per_bank), cold, out.len() as u64);
             } else {
                 for row in 0..rows_per_bank {
                     self.eval_row_cached(&chip, module, rank, bank, row, interval_ms, &mut out);
+                    inject(rank, bank, row, &mut out);
                 }
             }
             out

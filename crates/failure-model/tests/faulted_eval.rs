@@ -1,0 +1,47 @@
+//! Fault-injected module evaluation.
+//!
+//! Lives in its own integration-test binary (= its own process) and uses a
+//! single `#[test]` because it installs a process-global
+//! [`faultinject::FaultPlan`]; concurrent tests in the same process would
+//! see the injected faults leak into their assertions.
+
+use std::sync::Arc;
+
+use dram::geometry::DramGeometry;
+use dram::module::DramModule;
+use dram::timing::TimingParams;
+use failure_model::model::CouplingFailureModel;
+use faultinject::{FaultPlan, Site, SiteSpec};
+
+#[test]
+fn injected_bit_flips_add_failures_stay_jobs_invariant_and_uninstall_cleanly() {
+    let m = CouplingFailureModel::default();
+    let module = DramModule::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), 0xFA_11);
+    let organic = m.evaluate_module(&module, 16_000.0);
+
+    let plan = Arc::new(FaultPlan::new(0xBEEF).with_site(Site::DramBitFlip, SiteSpec::rate(0.25)));
+    let faulted = {
+        let _guard = faultinject::install(plan);
+        let faulted = m.evaluate_module_with_jobs(&module, 16_000.0, 1);
+        assert!(
+            faulted.len() > organic.len(),
+            "a 25% per-row flip rate must add failures: {} vs {}",
+            faulted.len(),
+            organic.len()
+        );
+        // Keyed decisions are a pure hash of (seed, site, row key): any
+        // worker count and any repetition produce the identical list.
+        for jobs in [2, 8] {
+            assert_eq!(
+                faulted,
+                m.evaluate_module_with_jobs(&module, 16_000.0, jobs),
+                "jobs={jobs} diverged"
+            );
+        }
+        assert_eq!(faulted, m.evaluate_module_with_jobs(&module, 16_000.0, 1));
+        faulted
+    };
+    // Dropping the guard restores the organic sweep bit-for-bit.
+    assert!(faulted.len() > organic.len());
+    assert_eq!(organic, m.evaluate_module(&module, 16_000.0));
+}

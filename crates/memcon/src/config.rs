@@ -2,6 +2,28 @@
 
 use crate::cost::{CostModel, TestMode};
 
+/// Recovery policy: how the engine reacts to aborted/ambiguous tests
+/// (fault injection, preempting writes, ECC trouble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Consecutive aborted/ambiguous attempts (without an intervening
+    /// clean verdict) after which the page is pinned to the high-refresh
+    /// bin until a clean test completes.
+    pub max_attempts: u32,
+    /// Cap of the exponential retry backoff, in time quanta: attempt `k`
+    /// waits `min(2^(k-1), cap)` quanta before re-testing.
+    pub backoff_cap_quanta: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_cap_quanta: 8,
+        }
+    }
+}
+
 /// Configuration of a MEMCON deployment (paper Sections 3–4, Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemconConfig {
@@ -26,6 +48,8 @@ pub struct MemconConfig {
     /// time 0 (Section 6.1 counts read-only rows as LO-REF). Disable for
     /// cold-boot studies.
     pub steady_state_start: bool,
+    /// Abort/retry and fail-safe degradation policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl MemconConfig {
@@ -41,6 +65,7 @@ impl MemconConfig {
             concurrent_tests: 1024,
             write_buffer_capacity: 4096,
             steady_state_start: true,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -104,6 +129,12 @@ impl MemconConfig {
         if self.write_buffer_capacity == 0 {
             return Err("write buffer must have capacity".into());
         }
+        if self.recovery.max_attempts == 0 {
+            return Err("recovery needs at least one attempt before pinning".into());
+        }
+        if self.recovery.backoff_cap_quanta == 0 {
+            return Err("recovery backoff cap must be at least one quantum".into());
+        }
         Ok(())
     }
 }
@@ -150,6 +181,12 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = MemconConfig::paper_default();
         c.write_buffer_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = MemconConfig::paper_default();
+        c.recovery.max_attempts = 0;
+        assert!(c.validate().is_err());
+        let mut c = MemconConfig::paper_default();
+        c.recovery.backoff_cap_quanta = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -26,7 +26,10 @@
 //!   time-in-state integration and refresh-operation accounting,
 //! * [`engine`] — the end-to-end [`engine::MemconEngine`]: feed it a write
 //!   trace, get back refresh reduction, LO-REF coverage, and test-overhead
-//!   accounting (paper Figs. 14, 17, 18),
+//!   accounting (paper Figs. 14, 17, 18). Under an active
+//!   [`faultinject::FaultPlan`] it also runs the recovery machinery —
+//!   abort/retry with capped exponential backoff, fail-safe high-refresh
+//!   degradation — and reports it as [`engine::RecoveryStats`],
 //! * [`raidr`] — the RAIDR baseline (Liu et al., ISCA 2012): Bloom-filter
 //!   multi-rate refresh from an exhaustive profiling pass (paper Fig. 16).
 //!
@@ -59,5 +62,5 @@ pub mod testengine;
 
 pub use config::MemconConfig;
 pub use cost::{CostModel, TestMode};
-pub use engine::{MemconEngine, MemconReport};
+pub use engine::{MemconEngine, MemconReport, RecoveryStats};
 pub use pril::Pril;

@@ -31,6 +31,9 @@ pub struct RefreshManager {
     lo_ms: f64,
     states: Vec<PageState>,
     since_ns: Vec<u64>,
+    /// Fail-safe degradation (recovery policy): pinned pages may not drop
+    /// to LO-REF until a clean test completes and releases the pin.
+    pinned: Vec<bool>,
     hi_time_ns: f64,
     testing_time_ns: f64,
     lo_time_ns: f64,
@@ -39,6 +42,7 @@ pub struct RefreshManager {
     /// telemetry: how often the mechanism moved pages, not just where
     /// they ended up.
     transitions: [u64; 3],
+    pins: u64,
 }
 
 impl RefreshManager {
@@ -55,12 +59,56 @@ impl RefreshManager {
             lo_ms,
             states: vec![PageState::HiRef; n_pages as usize],
             since_ns: vec![0; n_pages as usize],
+            pinned: vec![false; n_pages as usize],
             hi_time_ns: 0.0,
             testing_time_ns: 0.0,
             lo_time_ns: 0.0,
             finalized_at_ns: None,
             transitions: [0; 3],
+            pins: 0,
         }
+    }
+
+    /// Pins `page` to the high-refresh bin at `now_ns` (fail-safe
+    /// degradation: the page's test was aborted/ambiguous too often, or its
+    /// ECC reported an uncorrectable error). A pinned page may keep being
+    /// tested, but cannot transition to LO-REF until [`Self::release_pin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on backwards time or after finalization (see
+    /// [`Self::transition`]).
+    pub fn pin_high(&mut self, page: PageId, now_ns: u64) {
+        if !self.pinned[page as usize] {
+            self.pinned[page as usize] = true;
+            self.pins += 1;
+        }
+        if self.states[page as usize] != PageState::HiRef {
+            self.transition(page, PageState::HiRef, now_ns);
+        }
+    }
+
+    /// Releases the fail-safe pin of `page` (a clean test completed).
+    pub fn release_pin(&mut self, page: PageId) {
+        self.pinned[page as usize] = false;
+    }
+
+    /// Whether `page` is pinned to the high-refresh bin.
+    #[must_use]
+    pub fn is_pinned(&self, page: PageId) -> bool {
+        self.pinned[page as usize]
+    }
+
+    /// Pages currently pinned.
+    #[must_use]
+    pub fn pinned_count(&self) -> u64 {
+        self.pinned.iter().filter(|&&p| p).count() as u64
+    }
+
+    /// Total pin events since creation.
+    #[must_use]
+    pub fn pin_events(&self) -> u64 {
+        self.pins
     }
 
     /// Number of pages tracked.
@@ -91,12 +139,17 @@ impl RefreshManager {
     ///
     /// # Panics
     ///
-    /// Panics if time moves backwards for this page or the manager is
-    /// already finalized.
+    /// Panics if time moves backwards for this page, the manager is
+    /// already finalized, or a pinned page is moved to LO-REF (the
+    /// fail-safe degradation rule: release the pin first).
     pub fn transition(&mut self, page: PageId, state: PageState, now_ns: u64) {
         assert!(
             self.finalized_at_ns.is_none(),
             "manager is finalized; no more transitions"
+        );
+        assert!(
+            !(state == PageState::LoRef && self.pinned[page as usize]),
+            "page {page} is pinned to the high-refresh bin"
         );
         assert!(
             now_ns >= self.since_ns[page as usize],
@@ -169,6 +222,11 @@ impl RefreshManager {
             return Err(format!(
                 "time conservation broken: integrated {total} ns, watermarks sum to {expected} ns"
             ));
+        }
+        for page in 0..self.states.len() {
+            if self.pinned[page] && self.states[page] == PageState::LoRef {
+                return Err(format!("pinned page {page} sits at LO-REF"));
+            }
         }
         Ok(())
     }
@@ -320,6 +378,37 @@ mod tests {
         m.check_invariants().unwrap();
         m.finalize(100 * MS);
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pin_forces_and_holds_hi_ref() {
+        let mut m = RefreshManager::new(2, 16.0, 64.0);
+        m.transition(0, PageState::LoRef, 0);
+        m.pin_high(0, 10 * MS);
+        assert!(m.is_pinned(0));
+        assert_eq!(m.state(0), PageState::HiRef);
+        assert_eq!(m.pinned_count(), 1);
+        assert_eq!(m.pin_events(), 1);
+        // Double pin is idempotent.
+        m.pin_high(0, 20 * MS);
+        assert_eq!(m.pin_events(), 1);
+        // A pinned page may still be tested.
+        m.transition(0, PageState::Testing, 30 * MS);
+        m.check_invariants().unwrap();
+        // ... and after a clean test, releasing the pin re-opens LO-REF.
+        m.release_pin(0);
+        m.transition(0, PageState::LoRef, 40 * MS);
+        assert_eq!(m.pinned_count(), 0);
+        m.finalize(50 * MS);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to the high-refresh bin")]
+    fn pinned_page_cannot_enter_lo_ref() {
+        let mut m = RefreshManager::new(1, 16.0, 64.0);
+        m.pin_high(0, 0);
+        m.transition(0, PageState::LoRef, 10 * MS);
     }
 
     #[test]

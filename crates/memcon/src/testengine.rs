@@ -25,8 +25,10 @@ use dram::address::RowAddr;
 use dram::module::DramModule;
 use failure_model::content::ContentProfile;
 use failure_model::model::CouplingFailureModel;
+use faultinject::{FaultSession, Site};
 
 use crate::cost::TestMode;
+use crate::ecc::{DecodeResult, Hamming72};
 use crate::pril::PageId;
 
 /// Decides whether a page's current content fails at the LO-REF interval.
@@ -34,6 +36,19 @@ pub trait FailureOracle: std::fmt::Debug {
     /// Tests `page`'s content (the `generation` counter distinguishes
     /// successive contents of the same page across writes).
     fn page_fails(&mut self, page: PageId, generation: u64) -> bool;
+
+    /// Fault-aware variant: oracles that model the DRAM device itself
+    /// ([`ContentOracle`]) consult `faults` for device-level fault sites
+    /// (transient bit flips). The default ignores the session.
+    fn page_fails_faulted(
+        &mut self,
+        page: PageId,
+        generation: u64,
+        faults: &mut FaultSession,
+    ) -> bool {
+        let _ = faults;
+        self.page_fails(page, generation)
+    }
 
     /// Memo hit/miss counters, for oracles that memoize verdicts
     /// ([`ContentOracle`]); `None` for memo-free oracles. Lets the engine
@@ -164,8 +179,13 @@ impl ContentOracle {
     }
 }
 
-impl FailureOracle for ContentOracle {
-    fn page_fails(&mut self, page: PageId, generation: u64) -> bool {
+impl ContentOracle {
+    fn verdict(
+        &mut self,
+        page: PageId,
+        generation: u64,
+        faults: Option<&mut FaultSession>,
+    ) -> bool {
         let g = *self.module.geometry();
         let row_id = page % g.total_rows();
         let addr = RowAddr::from_row_id(row_id, &g);
@@ -176,6 +196,19 @@ impl FailureOracle for ContentOracle {
         self.module
             .write_row(addr, content)
             .expect("address is in range by construction");
+        if let Some(s) = faults {
+            // Device-level transient flip, keyed on the content instance so
+            // the decision replays regardless of test ordering. The flip
+            // lands before the fingerprint below, so the memo key describes
+            // the (perturbed) content actually evaluated and stays sound.
+            let key = row_id ^ generation.rotate_left(32);
+            if s.fires_keyed(Site::DramBitFlip, key) {
+                let bit = row_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ generation;
+                self.module
+                    .inject_bit_flip(addr, bit)
+                    .expect("address is in range by construction");
+            }
+        }
         let key = (row_id, self.fingerprint(addr));
         if let Some(&failed) = self.memo.get(&key) {
             self.memo_stats.hits = self.memo_stats.hits.saturating_add(1);
@@ -189,10 +222,50 @@ impl FailureOracle for ContentOracle {
         self.memo.insert(key, failed);
         failed
     }
+}
+
+impl FailureOracle for ContentOracle {
+    fn page_fails(&mut self, page: PageId, generation: u64) -> bool {
+        self.verdict(page, generation, None)
+    }
+
+    fn page_fails_faulted(
+        &mut self,
+        page: PageId,
+        generation: u64,
+        faults: &mut FaultSession,
+    ) -> bool {
+        self.verdict(page, generation, Some(faults))
+    }
 
     fn memo_counters(&self) -> Option<MemoStats> {
         Some(self.memo_stats)
     }
+}
+
+/// Verdict of a completed test window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The content survived the LO-REF interval: the page may drop to
+    /// LO-REF.
+    Pass,
+    /// The content failed: the page must stay at HI-REF.
+    Fail,
+    /// No usable verdict — a torn read-back, disagreeing read passes, or an
+    /// uncorrectable ECC error. The page must be treated as suspect.
+    Ambiguous,
+}
+
+/// ECC observation during the read-back of a completed test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EccEvent {
+    /// All words decoded clean.
+    #[default]
+    Clean,
+    /// A single-bit error was corrected in flight.
+    Corrected,
+    /// A double-bit (uncorrectable) error was detected.
+    Uncorrectable,
 }
 
 /// Outcome of one completed test.
@@ -200,12 +273,24 @@ impl FailureOracle for ContentOracle {
 pub struct TestOutcome {
     /// The tested page.
     pub page: PageId,
-    /// Whether the content failed (page must stay at HI-REF).
-    pub failed: bool,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// ECC observation during the read-back.
+    pub ecc: EccEvent,
+    /// Content generation the test covered.
+    pub generation: u64,
     /// Test start time.
     pub start_ns: u64,
     /// Test end time.
     pub end_ns: u64,
+}
+
+impl TestOutcome {
+    /// Whether the content failed (page must stay at HI-REF).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.verdict == Verdict::Fail
+    }
 }
 
 /// Staging-region bookkeeping for Copy-and-Compare.
@@ -277,6 +362,13 @@ pub struct TestEngineStats {
     pub aborted: u64,
     /// Candidates rejected because no test slot (or staging slot) was free.
     pub rejected: u64,
+    /// Completed tests with an ambiguous verdict (torn read-back,
+    /// disagreeing read passes, or uncorrectable ECC).
+    pub ambiguous: u64,
+    /// Single-bit ECC corrections observed during read-backs.
+    pub ecc_corrected: u64,
+    /// Uncorrectable ECC errors observed during read-backs.
+    pub ecc_uncorrectable: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -312,6 +404,7 @@ pub struct TestEngine {
     in_flight: BinaryHeap<InFlight>,
     in_flight_pages: HashMap<PageId, u64>,
     staging: StagingRegion,
+    faults: Option<FaultSession>,
     /// Accumulated statistics.
     pub stats: TestEngineStats,
 }
@@ -340,8 +433,34 @@ impl TestEngine {
             in_flight: BinaryHeap::new(),
             in_flight_pages: HashMap::new(),
             staging: StagingRegion::new(staging_capacity),
+            faults: None,
             stats: TestEngineStats::default(),
         }
+    }
+
+    /// Arms (or disarms) fault injection for subsequent polls. The engine
+    /// installs a fresh session per run so decision streams replay.
+    pub fn set_fault_session(&mut self, faults: Option<FaultSession>) {
+        self.faults = faults;
+    }
+
+    /// The active fault session, if any.
+    #[must_use]
+    pub fn fault_session(&self) -> Option<&FaultSession> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access to the active fault session (the engine event loop
+    /// draws its own decisions — test preemption — from the same stream).
+    pub fn fault_session_mut(&mut self) -> Option<&mut FaultSession> {
+        self.faults.as_mut()
+    }
+
+    /// Some in-flight page (the smallest id), used as the deterministic
+    /// victim of an injected preempting write.
+    #[must_use]
+    pub fn any_in_flight_page(&self) -> Option<PageId> {
+        self.in_flight_pages.keys().min().copied()
     }
 
     /// Tests currently in flight.
@@ -448,17 +567,96 @@ impl TestEngine {
             }
             self.in_flight_pages.remove(&t.page);
             self.staging.release(t.page);
-            let failed = self.oracle.page_fails(t.page, t.generation);
+            let (verdict, ecc) = self.read_back(t.page, t.generation);
             self.stats.completed += 1;
-            if failed {
-                self.stats.failed += 1;
+            match verdict {
+                Verdict::Fail => self.stats.failed += 1,
+                Verdict::Ambiguous => self.stats.ambiguous += 1,
+                Verdict::Pass => {}
             }
             out.push(TestOutcome {
                 page: t.page,
-                failed,
+                verdict,
+                ecc,
+                generation: t.generation,
                 start_ns: t.start_ns,
                 end_ns: t.end_ns,
             });
+        }
+    }
+
+    /// Performs the read-back of a completed test window: fault sites fire
+    /// first (a torn read-back or disagreeing read passes yield no verdict,
+    /// so the oracle — and its content memo — must not run), then the
+    /// oracle decides, then the ECC path of the read-back is exercised.
+    fn read_back(&mut self, page: PageId, generation: u64) -> (Verdict, EccEvent) {
+        let Some(faults) = self.faults.as_mut() else {
+            let verdict = if self.oracle.page_fails(page, generation) {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            };
+            return (verdict, EccEvent::Clean);
+        };
+        let mut verdict = if faults.fires(Site::TornRead) || faults.fires(Site::OracleDisagree) {
+            Verdict::Ambiguous
+        } else {
+            let mut failed = self.oracle.page_fails_faulted(page, generation, faults);
+            if faults.fires(Site::DramVrt) {
+                // A variable-retention-time cell changed state between the
+                // fill and the read-back: the observed verdict flips.
+                failed = !failed;
+            }
+            if failed {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            }
+        };
+        let ecc = if faults.fires(Site::EccUncorrectable) {
+            Self::exercise_ecc(page, generation, 2)
+        } else if faults.fires(Site::EccCorrectable) {
+            Self::exercise_ecc(page, generation, 1)
+        } else {
+            EccEvent::Clean
+        };
+        match ecc {
+            EccEvent::Corrected => self.stats.ecc_corrected += 1,
+            EccEvent::Uncorrectable => {
+                // The read-back data cannot be trusted, whatever the oracle
+                // said; count the ambiguity once (not already counted when
+                // the verdict was decided above).
+                self.stats.ecc_uncorrectable += 1;
+                if verdict != Verdict::Ambiguous {
+                    verdict = Verdict::Ambiguous;
+                }
+            }
+            EccEvent::Clean => {}
+        }
+        (verdict, ecc)
+    }
+
+    /// Runs a word through the real Hamming(72,64) SEC-DED path with
+    /// `flips` deterministic bit flips: one flip must decode `Corrected`,
+    /// two must decode `DoubleError`.
+    fn exercise_ecc(page: PageId, generation: u64, flips: u32) -> EccEvent {
+        let h = Hamming72;
+        let data = page ^ generation.rotate_left(32) ^ 0xA5A5_5A5A_C3C3_3C3C;
+        let mut cw = h.encode(data);
+        // Codeword positions are 0..=71; pick distinct ones.
+        let b1 = ((page ^ generation) % 72) as u32;
+        cw ^= 1u128 << b1;
+        if flips >= 2 {
+            let b2 = (b1 + 1 + ((page >> 7) % 71) as u32) % 72;
+            cw ^= 1u128 << b2;
+        }
+        match h.decode(cw) {
+            DecodeResult::Clean(_) => EccEvent::Clean,
+            DecodeResult::Corrected { data: d, .. } => {
+                debug_assert_eq!(d, data, "SEC-DED must correct back to the stored word");
+                EccEvent::Corrected
+            }
+            DecodeResult::DoubleError => EccEvent::Uncorrectable,
         }
     }
 
@@ -496,7 +694,8 @@ mod tests {
         let done = e.poll(64 * MS);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].page, 5);
-        assert!(!done[0].failed);
+        assert_eq!(done[0].verdict, Verdict::Pass);
+        assert_eq!(done[0].ecc, EccEvent::Clean);
         assert!(!e.is_testing(5));
     }
 
@@ -511,7 +710,7 @@ mod tests {
         );
         assert!(e.try_start(1, 0, 0));
         let done = e.poll(64 * MS);
-        assert!(done[0].failed);
+        assert_eq!(done[0].verdict, Verdict::Fail);
         assert_eq!(e.stats.failed, 1);
     }
 
@@ -630,7 +829,9 @@ mod tests {
         let mut b = setup();
         let mut buf = vec![TestOutcome {
             page: 99,
-            failed: true,
+            verdict: Verdict::Fail,
+            ecc: EccEvent::Clean,
+            generation: 0,
             start_ns: 0,
             end_ns: 0,
         }];
@@ -738,6 +939,131 @@ mod tests {
             oracle.memo_stats().hits > 0,
             "repeated neighborhoods should hit: {:?}",
             oracle.memo_stats()
+        );
+    }
+
+    #[test]
+    fn aborted_test_never_populates_the_memo() {
+        // Regression: an aborted test must not leave a partial verdict in
+        // the content-fingerprint memo — the next test of the same content
+        // must be a memo miss, not a hit on a phantom entry.
+        let mut e = TestEngine::new(
+            Box::new(content_oracle(31)),
+            TestMode::ReadAndCompare,
+            64.0,
+            4,
+            16,
+        );
+        assert!(e.try_start(3, 0, 0));
+        assert!(e.abort(3));
+        assert!(e.poll(100 * MS).is_empty());
+        assert_eq!(
+            e.memo_counters(),
+            Some(MemoStats::default()),
+            "aborted test must not touch the memo"
+        );
+        assert!(e.try_start(3, 0, 200 * MS));
+        let done = e.poll(300 * MS);
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            e.memo_counters(),
+            Some(MemoStats { hits: 0, misses: 1 }),
+            "first completed test must miss the memo"
+        );
+    }
+
+    fn faulted_engine(oracle: Box<dyn FailureOracle>, site: Site) -> TestEngine {
+        use faultinject::{FaultPlan, SiteSpec};
+        let mut e = TestEngine::new(oracle, TestMode::ReadAndCompare, 64.0, 8, 16);
+        let plan = FaultPlan::new(0xFA17).with_site(site, SiteSpec::rate(1.0));
+        e.set_fault_session(Some(FaultSession::with_plan(std::sync::Arc::new(plan))));
+        e
+    }
+
+    #[test]
+    fn torn_read_is_ambiguous_and_skips_oracle_and_memo() {
+        let mut e = faulted_engine(Box::new(content_oracle(33)), Site::TornRead);
+        assert!(e.try_start(1, 0, 0));
+        let done = e.poll(64 * MS);
+        assert_eq!(done[0].verdict, Verdict::Ambiguous);
+        assert_eq!(e.stats.ambiguous, 1);
+        assert_eq!(
+            e.memo_counters(),
+            Some(MemoStats::default()),
+            "ambiguous read-back must not run the oracle"
+        );
+    }
+
+    #[test]
+    fn oracle_disagreement_is_ambiguous() {
+        let mut e = faulted_engine(Box::new(RateOracle::new(0.0, 0)), Site::OracleDisagree);
+        assert!(e.try_start(9, 2, 0));
+        let done = e.poll(64 * MS);
+        assert_eq!(done[0].verdict, Verdict::Ambiguous);
+        assert_eq!(done[0].generation, 2);
+    }
+
+    #[test]
+    fn vrt_toggles_the_observed_verdict() {
+        let mut e = faulted_engine(Box::new(RateOracle::new(0.0, 0)), Site::DramVrt);
+        assert!(e.try_start(4, 0, 0));
+        let done = e.poll(64 * MS);
+        assert_eq!(
+            done[0].verdict,
+            Verdict::Fail,
+            "a VRT flip-flop turns a clean verdict into an observed failure"
+        );
+    }
+
+    #[test]
+    fn ecc_sites_exercise_the_real_secded_path() {
+        let mut e = faulted_engine(Box::new(RateOracle::new(0.0, 0)), Site::EccCorrectable);
+        assert!(e.try_start(1, 0, 0));
+        let done = e.poll(64 * MS);
+        assert_eq!(done[0].ecc, EccEvent::Corrected);
+        assert_eq!(
+            done[0].verdict,
+            Verdict::Pass,
+            "corrected errors keep the verdict"
+        );
+        assert_eq!(e.stats.ecc_corrected, 1);
+
+        let mut e = faulted_engine(Box::new(RateOracle::new(0.0, 0)), Site::EccUncorrectable);
+        assert!(e.try_start(2, 5, 0));
+        let done = e.poll(64 * MS);
+        assert_eq!(done[0].ecc, EccEvent::Uncorrectable);
+        assert_eq!(
+            done[0].verdict,
+            Verdict::Ambiguous,
+            "uncorrectable read-backs cannot yield a verdict"
+        );
+        assert_eq!(e.stats.ecc_uncorrectable, 1);
+        assert_eq!(e.stats.ambiguous, 1);
+    }
+
+    #[test]
+    fn dram_bit_flip_perturbs_the_content_oracle_input() {
+        use faultinject::{FaultPlan, SiteSpec};
+        use std::sync::Arc;
+        let mut o = content_oracle(77);
+        let _ = o.page_fails(5, 0);
+        let _ = o.page_fails(5, 0);
+        assert_eq!(
+            o.memo_stats(),
+            MemoStats { hits: 1, misses: 1 },
+            "unchanged content hits the memo"
+        );
+        // Same content with an injected transient flip: the evaluated
+        // input differs, so the fingerprint — and hence the memo key —
+        // must differ too (the memo stays sound under injection).
+        let plan = Arc::new(FaultPlan::new(1).with_site(Site::DramBitFlip, SiteSpec::rate(1.0)));
+        let mut s = FaultSession::with_plan(plan);
+        let _ = o.page_fails_faulted(5, 0, &mut s);
+        assert_eq!(s.injected(Site::DramBitFlip), 1);
+        assert_eq!(
+            o.memo_stats(),
+            MemoStats { hits: 1, misses: 2 },
+            "flipped content must miss the memo"
         );
     }
 }

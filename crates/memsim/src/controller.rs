@@ -21,17 +21,19 @@
 //! diagnostic.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use dram::bank::{Bank, BURST_CYCLES};
 use dram::command::DramCommand;
 use dram::timing::TimingParams;
+use faultinject::{FaultSession, Site};
 
 use crate::config::SystemConfig;
 use crate::protocol::CmdRecord;
 #[cfg(feature = "strict-invariants")]
 use crate::protocol::ProtocolChecker;
 use crate::refresh::RefreshScheduler;
-use crate::request::{Completion, MemRequest};
+use crate::request::{Completion, MemRequest, Requester};
 
 /// Aggregate controller statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,7 +60,56 @@ pub struct CtrlStats {
     pub trrd_stalls: u64,
     /// `ACT` attempts deferred by the `tFAW` four-activate window.
     pub tfaw_stalls: u64,
+    /// Commands eaten or bounced by the fault injector
+    /// ([`Site::SimCmdDrop`]).
+    pub faults_dropped: u64,
+    /// Commands duplicated by the fault injector ([`Site::SimCmdDup`]).
+    pub faults_duplicated: u64,
+    /// `ACT`s forced through a `tRRD`/`tFAW` block by the fault injector
+    /// ([`Site::SimTimingViolation`]) — each is a real protocol violation
+    /// the [`crate::protocol::ProtocolChecker`] audit must flag.
+    pub faults_timing: u64,
+    /// Extra refresh-blackout cycles added by the fault injector
+    /// ([`Site::SimRefreshOverrun`]).
+    pub faults_refresh_overrun_cycles: u64,
 }
+
+/// Why [`MemoryController::enqueue`] refused a request. Both variants hand
+/// the request back so no access is ever silently lost by the *caller*; the
+/// fault injector may still swallow test-engine commands (see
+/// [`MemoryController::enqueue`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The target bank queue is full; retry next cycle.
+    QueueFull(MemRequest),
+    /// The fault injector dropped the command. Demand requests are bounced
+    /// (a core must never lose a load), so the caller retries like a full
+    /// queue.
+    FaultDropped(MemRequest),
+}
+
+impl EnqueueError {
+    /// The rejected request, handed back for retry.
+    #[must_use]
+    pub fn into_request(self) -> MemRequest {
+        match self {
+            EnqueueError::QueueFull(r) | EnqueueError::FaultDropped(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::QueueFull(r) => write!(f, "bank {} queue is full", r.bank),
+            EnqueueError::FaultDropped(r) => {
+                write!(f, "fault injector dropped the command for bank {}", r.bank)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
 
 /// Row hits may bypass an older row-conflict request for at most this many
 /// cycles; past it, the bank is drained toward the starved request (10 µs at
@@ -87,6 +138,10 @@ pub struct MemoryController {
     rr_start: usize,
     /// Recent `ACT` cycles on the rank (at most 4 kept), for `tRRD`/`tFAW`.
     act_history: VecDeque<u64>,
+    /// Fault-injection session (None when no plan is installed); the
+    /// controller owns its decision streams, so parallel harnesses stay
+    /// deterministic per controller.
+    faults: Option<FaultSession>,
     /// Command-trace recorder; `None` until enabled.
     recorder: Option<Vec<CmdRecord>>,
     #[cfg(feature = "strict-invariants")]
@@ -121,6 +176,7 @@ impl MemoryController {
             refresh_in_progress_until: 0,
             rr_start: 0,
             act_history: VecDeque::new(),
+            faults: FaultSession::begin(),
             recorder: None,
             #[cfg(feature = "strict-invariants")]
             checker,
@@ -238,18 +294,50 @@ impl MemoryController {
         self.queues.iter().map(VecDeque::len).sum()
     }
 
-    /// Enqueues a request, returning it back if the bank queue is full.
+    /// Replaces the fault-injection session (tests and harnesses that
+    /// install a plan after construction).
+    pub fn set_fault_session(&mut self, session: Option<FaultSession>) {
+        self.faults = session;
+    }
+
+    /// Enqueues a request, handing it back with a typed reason if it cannot
+    /// be accepted.
+    ///
+    /// With an active [`FaultPlan`](faultinject::FaultPlan), the
+    /// [`Site::SimCmdDrop`] site swallows test-engine commands outright
+    /// (modeling a lost controller command — the test traffic layer never
+    /// awaits individual completions) and bounces demand commands back as
+    /// [`EnqueueError::FaultDropped`]; [`Site::SimCmdDup`] enqueues a
+    /// test-engine command twice when the queue has room.
     ///
     /// # Errors
     ///
     /// The rejected request is handed back so the issuer can retry.
-    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), EnqueueError> {
+        if let Some(faults) = &mut self.faults {
+            if faults.fires(Site::SimCmdDrop) {
+                self.stats.faults_dropped += 1;
+                if req.requester == Requester::TestEngine {
+                    return Ok(()); // command lost in flight
+                }
+                return Err(EnqueueError::FaultDropped(req));
+            }
+            if faults.fires(Site::SimCmdDup)
+                && req.requester == Requester::TestEngine
+                && self.queues[req.bank].len() + 2 <= self.capacity
+            {
+                self.stats.faults_duplicated += 1;
+                self.queues[req.bank].push_back(req);
+                self.queues[req.bank].push_back(req);
+                return Ok(());
+            }
+        }
         if self.can_accept(req.bank) {
             self.queues[req.bank].push_back(req);
             Ok(())
         } else {
             self.stats.rejected += 1;
-            Err(req)
+            Err(EnqueueError::QueueFull(req))
         }
     }
 
@@ -320,7 +408,20 @@ impl MemoryController {
                 }
             }
             if all_idle && latest_ready <= now {
-                let end = self.refresh.start(now, self.timing.trfc_cycles());
+                let mut end = self.refresh.start(now, self.timing.trfc_cycles());
+                if self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|f| f.fires(Site::SimRefreshOverrun))
+                {
+                    // Slow-silicon refresh: the blackout overruns the
+                    // datasheet tRFC by half. Commands merely wait longer, so
+                    // no protocol rule is violated — the cost shows up as
+                    // extra blackout cycles.
+                    let extra = self.timing.trfc_cycles() / 2;
+                    self.stats.faults_refresh_overrun_cycles += extra;
+                    end += extra;
+                }
                 for b in &mut self.banks {
                     b.block_until(end);
                 }
@@ -385,19 +486,48 @@ impl MemoryController {
                 continue;
             };
             match self.banks[bank].open_row() {
-                None => match self.rank_act_blocked(now) {
-                    Some(ActBlock::Trrd) => self.stats.trrd_stalls += 1,
-                    Some(ActBlock::Tfaw) => self.stats.tfaw_stalls += 1,
-                    None => {
-                        if self.banks[bank].check(DramCommand::Activate, now).is_ok() {
-                            let _ = self.issue_checked(bank, DramCommand::Activate, head.row, now);
-                            self.note_act(now);
-                            self.stats.acts += 1;
-                            self.rr_start = (bank + 1) % n;
-                            return;
+                None => {
+                    #[allow(unused_mut)]
+                    let mut blocked = self.rank_act_blocked(now);
+                    #[allow(unused_mut, unused_variables)]
+                    let mut forced = false;
+                    #[cfg(not(feature = "strict-invariants"))]
+                    if blocked.is_some()
+                        && self
+                            .faults
+                            .as_mut()
+                            .is_some_and(|f| f.fires(Site::SimTimingViolation))
+                    {
+                        // Force the ACT through the rank constraint: a real
+                        // DDR3 tRRD/tFAW violation that the offline
+                        // ProtocolChecker audit must flag. (The online
+                        // strict-invariants checker would abort the process
+                        // on the spot, so this site is compiled out there.)
+                        forced = true;
+                        blocked = None;
+                    }
+                    match blocked {
+                        Some(ActBlock::Trrd) => self.stats.trrd_stalls += 1,
+                        Some(ActBlock::Tfaw) => self.stats.tfaw_stalls += 1,
+                        None => {
+                            if self.banks[bank].check(DramCommand::Activate, now).is_ok() {
+                                // The fault only counts when the ACT really
+                                // issues (the bank automaton may still veto
+                                // it, e.g. mid-tRP): `faults_timing` is the
+                                // audit's expected-violation floor.
+                                if forced {
+                                    self.stats.faults_timing += 1;
+                                }
+                                let _ =
+                                    self.issue_checked(bank, DramCommand::Activate, head.row, now);
+                                self.note_act(now);
+                                self.stats.acts += 1;
+                                self.rr_start = (bank + 1) % n;
+                                return;
+                            }
                         }
                     }
-                },
+                }
                 Some(open) => {
                     let any_hit = self.queues[bank].iter().any(|r| r.row == open);
                     let drain = !any_hit || self.front_is_starved(bank, open, now);
@@ -582,6 +712,86 @@ mod tests {
             ctrl.tick(now);
         }
         assert_eq!(ctrl.refreshes_issued(), 0);
+    }
+
+    use faultinject::{FaultPlan, FaultSession, SiteSpec};
+    use std::sync::Arc;
+
+    fn faulted(cfg: &SystemConfig, site: Site) -> MemoryController {
+        let mut ctrl = MemoryController::new(cfg);
+        let plan = Arc::new(FaultPlan::new(0xFA11).with_site(site, SiteSpec::rate(1.0)));
+        ctrl.set_fault_session(Some(FaultSession::with_plan(plan)));
+        ctrl
+    }
+
+    #[test]
+    fn injected_drops_swallow_test_commands_and_bounce_demand() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = faulted(&cfg, Site::SimCmdDrop);
+        let mut test_req = req(1, 0, 1, 0, false);
+        test_req.requester = Requester::TestEngine;
+        assert!(ctrl.enqueue(test_req).is_ok(), "swallowed, not rejected");
+        assert_eq!(ctrl.queued(), 0, "the command was lost in flight");
+        match ctrl.enqueue(req(2, 0, 1, 0, false)) {
+            Err(EnqueueError::FaultDropped(r)) => assert_eq!(r.id, 2),
+            other => panic!("demand request must bounce, got {other:?}"),
+        }
+        assert_eq!(ctrl.stats.faults_dropped, 2);
+        assert_eq!(ctrl.stats.rejected, 0, "fault drops are not queue-fulls");
+    }
+
+    #[test]
+    fn injected_duplicates_double_test_commands_only() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = faulted(&cfg, Site::SimCmdDup);
+        let mut test_req = req(1, 0, 1, 0, false);
+        test_req.requester = Requester::TestEngine;
+        ctrl.enqueue(test_req).unwrap();
+        assert_eq!(ctrl.queued(), 2, "test command duplicated");
+        assert_eq!(ctrl.stats.faults_duplicated, 1);
+        ctrl.enqueue(req(2, 1, 1, 0, false)).unwrap();
+        assert_eq!(ctrl.queued(), 3, "demand commands never duplicate");
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[test]
+    fn injected_timing_violations_are_flagged_by_the_offline_audit() {
+        let cfg = config(RefreshPolicy::None);
+        let mut ctrl = faulted(&cfg, Site::SimTimingViolation);
+        ctrl.record_commands(true);
+        // Requests on many banks provoke back-to-back ACTs that tRRD would
+        // normally space out; the injector forces them through.
+        for (i, b) in (0..8).enumerate() {
+            ctrl.enqueue(req(i as u64, b, 10, 0, false)).unwrap();
+        }
+        let done = run_until_complete(&mut ctrl, 10_000);
+        assert_eq!(done.len(), 8);
+        assert!(ctrl.stats.faults_timing > 0, "no violation was injected");
+        let trace = ctrl.take_command_trace();
+        let violations =
+            crate::protocol::ProtocolChecker::audit(*ctrl.timing(), ctrl.n_banks(), None, &trace);
+        assert!(
+            !violations.is_empty(),
+            "the offline audit must flag the forced ACTs"
+        );
+    }
+
+    #[test]
+    fn injected_refresh_overruns_extend_the_blackout() {
+        let cfg = config(RefreshPolicy::baseline_16ms());
+        let mut plain = MemoryController::new(&cfg);
+        let mut slow = faulted(&cfg, Site::SimRefreshOverrun);
+        for now in 0..20_000 {
+            plain.tick(now);
+            slow.tick(now);
+        }
+        assert!(slow.stats.faults_refresh_overrun_cycles > 0);
+        assert!(
+            slow.stats.refresh_blackout_cycles > plain.stats.refresh_blackout_cycles,
+            "overrun must cost blackout cycles: {} vs {}",
+            slow.stats.refresh_blackout_cycles,
+            plain.stats.refresh_blackout_cycles
+        );
     }
 
     #[test]

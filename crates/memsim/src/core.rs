@@ -186,9 +186,17 @@ impl OooCore {
                 is_write: access.is_write,
                 arrive_cycle: now,
             };
-            controller
-                .enqueue(req)
-                .expect("can_accept checked just above");
+            if let Err(e) = controller.enqueue(req) {
+                // `can_accept` held, so only the fault injector can bounce
+                // the command; give back the id and retry next cycle — a
+                // core must never lose an access.
+                debug_assert!(
+                    matches!(e, crate::controller::EnqueueError::FaultDropped(_)),
+                    "queue-full despite can_accept: {e}"
+                );
+                *next_id -= 1;
+                return;
+            }
             if access.is_write {
                 self.writes_issued += 1;
                 self.rob.push_back(RobEntry::Write);

@@ -254,6 +254,26 @@ fn flush_ctrl_telemetry(after: &CtrlStats, before: &CtrlStats, cycles: u64, inje
             after.tfaw_stalls,
             before.tfaw_stalls,
         ),
+        (
+            "fault.memsim.cmd_drop",
+            after.faults_dropped,
+            before.faults_dropped,
+        ),
+        (
+            "fault.memsim.cmd_dup",
+            after.faults_duplicated,
+            before.faults_duplicated,
+        ),
+        (
+            "fault.memsim.timing_violation",
+            after.faults_timing,
+            before.faults_timing,
+        ),
+        (
+            "fault.memsim.refresh_overrun",
+            after.faults_refresh_overrun_cycles,
+            before.faults_refresh_overrun_cycles,
+        ),
     ] {
         telemetry::count(name, a.saturating_sub(b));
     }

@@ -113,13 +113,22 @@ impl TestTrafficInjector {
     }
 
     /// Injects due test requests at cycle `now`.
+    ///
+    /// Queue rejections come back as typed
+    /// [`EnqueueError`](crate::controller::EnqueueError)s: a full queue
+    /// (or a fault-injected bounce) holds the request for retry next cycle;
+    /// a fault-injected silent drop counts as injected — the command was
+    /// accepted and then lost, exactly what the [`Site::SimCmdDrop`]
+    /// site models.
+    ///
+    /// [`Site::SimCmdDrop`]: faultinject::Site::SimCmdDrop
     pub fn step(&mut self, now: u64, controller: &mut MemoryController, next_id: &mut RequestId) {
         // Retry a previously rejected request first.
         if let Some(req) = self.held.take() {
             match controller.enqueue(req) {
                 Ok(()) => self.injected += 1,
-                Err(r) => {
-                    self.held = Some(r);
+                Err(e) => {
+                    self.held = Some(e.into_request());
                     return;
                 }
             }
@@ -139,8 +148,8 @@ impl TestTrafficInjector {
             };
             match controller.enqueue(req) {
                 Ok(()) => self.injected += 1,
-                Err(r) => {
-                    self.held = Some(r);
+                Err(e) => {
+                    self.held = Some(e.into_request());
                     return;
                 }
             }

@@ -1,0 +1,403 @@
+//! `xtask chaos` — the seeded fault-injection soak gate.
+//!
+//! Each soak plan is one [`FaultPlan`] (every site armed at a moderate
+//! rate) driven through two independent legs:
+//!
+//! * **MEMCON leg** — the fig9-style workload set (all twelve profiles)
+//!   runs through one [`MemconEngine`] per workload, fanned out across the
+//!   [`memutil::par`] pool at `--jobs 1` and `--jobs 4` under fresh
+//!   telemetry registries. The gate asserts: no panic, zero
+//!   `uncorrectable_escapes`, the refresh-correctness invariant holds on
+//!   every engine, the plan actually fired, and both the per-engine
+//!   recovery results and the telemetry `deterministic` sections are
+//!   byte-identical across worker counts.
+//! * **memsim leg** — a controller under dense test traffic with the same
+//!   plan, its command bus recorded and replayed through the offline
+//!   [`ProtocolChecker::audit`]. A faults-off control run must audit
+//!   clean; every injected `tRRD`/`tFAW` violation must be flagged by the
+//!   audit (detection completeness).
+//!
+//! `chaos overhead` is the faults-disabled cost gate: it measures the
+//! `evaluate_module_1bank` kernel with no plan installed against a
+//! zero-rate plan installed (the injector's worst idle case — gate check
+//! plus keyed-hash draw, nothing firing), in alternating rounds with the
+//! same noise philosophy as `obs overhead`, and fails when every round
+//! shows both the median and the minimum more than 2 % apart.
+
+use std::sync::Arc;
+
+use faultinject::{FaultPlan, FaultSession, Site, SiteSpec};
+use memcon::config::MemconConfig;
+use memcon::engine::{MemconEngine, RecoveryStats};
+use memcon::refreshmgr::PageState;
+use memtrace::workload::WorkloadProfile;
+use memutil::json::Json;
+
+/// Base seed of soak plan `i` (plan seed = base + i).
+const PLAN_SEED_BASE: u64 = 0xC4A0_5000;
+
+/// Overhead the installed-but-idle injector may add to the evaluation
+/// kernel (same limit as the telemetry gate in `obs overhead`).
+const OVERHEAD_LIMIT: f64 = 0.02;
+
+/// Entry point for `xtask chaos <args>`; returns a process exit code.
+#[must_use]
+pub fn chaos_cmd(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("overhead") {
+        return overhead_cmd();
+    }
+    let mut plans = 3usize;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--plans" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("chaos: --plans expects a number");
+                return 2;
+            };
+            plans = n;
+        } else if let Some(v) = arg.strip_prefix("--plans=") {
+            let Ok(n) = v.parse() else {
+                eprintln!("chaos: --plans expects a number, got '{v}'");
+                return 2;
+            };
+            plans = n;
+        } else {
+            eprintln!("chaos: unknown argument {arg:?} (expected --plans N, --quick, overhead)");
+            return 2;
+        }
+    }
+    if plans == 0 {
+        eprintln!("chaos: --plans must be at least 1");
+        return 2;
+    }
+
+    let mut failed = false;
+    for i in 0..plans {
+        let seed = PLAN_SEED_BASE + i as u64;
+        // A panic anywhere in the soak is itself a gate failure ("no
+        // panic"), so it must be caught and reported, not abort xtask.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| soak_plan(seed, quick)));
+        match outcome {
+            Ok(Ok(summary)) => {
+                println!("chaos: plan {}/{plans} (seed {seed:#x}): {summary}", i + 1);
+            }
+            Ok(Err(e)) => {
+                eprintln!("chaos: plan {}/{plans} (seed {seed:#x}) FAILED: {e}", i + 1);
+                failed = true;
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                eprintln!(
+                    "chaos: plan {}/{plans} (seed {seed:#x}) PANICKED: {msg}",
+                    i + 1
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("chaos: FAILED");
+        1
+    } else {
+        println!("chaos: all {plans} plan(s) passed");
+        0
+    }
+}
+
+/// An all-sites plan at moderate rates: high enough that a quick soak
+/// still fires every layer, low enough that most tests complete.
+fn chaos_plan(seed: u64) -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan::new(seed)
+            .with_site(Site::SimCmdDrop, SiteSpec::rate(0.05))
+            .with_site(Site::SimCmdDup, SiteSpec::rate(0.05))
+            .with_site(Site::SimTimingViolation, SiteSpec::rate(0.05))
+            .with_site(Site::SimRefreshOverrun, SiteSpec::rate(0.20))
+            .with_site(Site::DramBitFlip, SiteSpec::rate(0.01))
+            .with_site(Site::DramVrt, SiteSpec::rate(0.01))
+            .with_site(Site::TestPreempt, SiteSpec::rate(0.10))
+            .with_site(Site::TornRead, SiteSpec::rate(0.10))
+            .with_site(Site::OracleDisagree, SiteSpec::rate(0.10))
+            .with_site(Site::EccCorrectable, SiteSpec::rate(0.20))
+            .with_site(Site::EccUncorrectable, SiteSpec::rate(0.05)),
+    )
+}
+
+/// What one engine run contributes to the cross-jobs comparison.
+type EngineOutcome = (Result<(), String>, RecoveryStats, Vec<PageState>);
+
+/// Runs both soak legs for one plan; `Ok` carries a one-line summary.
+fn soak_plan(seed: u64, quick: bool) -> Result<String, String> {
+    let plan = chaos_plan(seed);
+    let scale = if quick { 0.01 } else { 0.05 };
+    let traces: Vec<_> = WorkloadProfile::all()
+        .into_iter()
+        .map(|w| w.scaled(scale).generate(seed))
+        .collect();
+
+    // One engine per workload, each owning its plan (and therefore its
+    // decision streams), fanned across the pool. The registry is fresh per
+    // worker count so the deterministic sections compare exactly.
+    let run_fleet = |jobs: usize| -> (String, Vec<EngineOutcome>) {
+        let registry = Arc::new(telemetry::Registry::new());
+        registry.set_enabled(true);
+        let guard = telemetry::install(Arc::clone(&registry));
+        let results = memutil::par::ordered_map_with(jobs, traces.len(), |i| {
+            let mut engine = MemconEngine::new(MemconConfig::paper_default(), traces[i].n_pages());
+            engine.set_fault_plan(Some(Arc::clone(&plan)));
+            let _ = engine.run(&traces[i]);
+            (
+                engine.verify_refresh_correctness(),
+                *engine.recovery_stats(),
+                engine.final_states().to_vec(),
+            )
+        });
+        drop(guard);
+        let det = registry
+            .report()
+            .get("deterministic")
+            .cloned()
+            .unwrap_or_else(Json::obj)
+            .emit();
+        (det, results)
+    };
+    let (det_seq, seq) = run_fleet(1);
+    let (det_par, par) = run_fleet(4);
+
+    for (i, (invariant, _, _)) in seq.iter().enumerate() {
+        if let Err(e) = invariant {
+            return Err(format!(
+                "workload #{i}: refresh-correctness invariant violated: {e}"
+            ));
+        }
+    }
+    if seq != par {
+        return Err(
+            "recovery stats / final refresh bins diverge between --jobs 1 and --jobs 4".to_string(),
+        );
+    }
+    if det_seq != det_par {
+        return Err(
+            "telemetry deterministic sections diverge between --jobs 1 and --jobs 4".to_string(),
+        );
+    }
+    let injected: u64 = seq
+        .iter()
+        .map(|(_, r, _)| r.faults_injected.iter().sum::<u64>())
+        .sum();
+    if injected == 0 {
+        return Err("plan never fired in the MEMCON leg (soak proved nothing)".to_string());
+    }
+    let escapes: u64 = seq.iter().map(|(_, r, _)| r.uncorrectable_escapes).sum();
+    if escapes != 0 {
+        return Err(format!(
+            "{escapes} uncorrectable ECC error(s) escaped without pinning their page"
+        ));
+    }
+    let degraded: u64 = seq.iter().map(|(_, r, _)| r.degraded_rows).sum();
+
+    let memsim = memsim_leg(&plan, quick)?;
+    Ok(format!(
+        "{injected} engine faults, {degraded} rows degraded, 0 escapes, \
+         jobs 1 vs 4 byte-identical; {memsim}"
+    ))
+}
+
+/// Drives a faulted controller under dense test traffic and audits the
+/// recorded command bus offline; a faults-off control run must stay clean.
+fn memsim_leg(plan: &Arc<FaultPlan>, quick: bool) -> Result<String, String> {
+    use dram::geometry::ChipDensity;
+    use memsim::config::{RefreshPolicy, SystemConfig};
+    use memsim::controller::MemoryController;
+    use memsim::protocol::ProtocolChecker;
+    use memsim::testinject::{TestInjectConfig, TestTrafficInjector};
+
+    let cycles: u64 = if quick { 120_000 } else { 400_000 };
+    let cfg = SystemConfig::new(1, ChipDensity::Gb8, RefreshPolicy::baseline_16ms());
+    // Much denser than the paper's Table-3 rates on purpose: back-to-back
+    // activates are what give the tRRD/tFAW sites something to violate.
+    let traffic = TestInjectConfig {
+        concurrent_tests: 8192,
+        window_ms: 64.0,
+        read_blocks_per_test: 256,
+        write_blocks_per_test: 128,
+    };
+    let drive = |session: Option<FaultSession>| {
+        let mut ctrl = MemoryController::new(&cfg);
+        ctrl.set_fault_session(session);
+        ctrl.record_commands(true);
+        let mut injector = TestTrafficInjector::new(
+            traffic,
+            ctrl.n_banks(),
+            cfg.geometry.rows_per_bank,
+            cfg.timing.tck_ns,
+            11,
+        );
+        let mut next_id = 0;
+        for now in 0..cycles {
+            ctrl.tick(now);
+            let _ = ctrl.drain_completions();
+            injector.step(now, &mut ctrl, &mut next_id);
+        }
+        let trace = ctrl.take_command_trace();
+        let violations =
+            ProtocolChecker::audit(*ctrl.timing(), ctrl.n_banks(), ctrl.trefi_cycles(), &trace);
+        (ctrl.stats, violations)
+    };
+
+    let (_, control_violations) = drive(None);
+    if let Some(v) = control_violations.first() {
+        return Err(format!("faults-off control run failed the audit: {v}"));
+    }
+    let (stats, violations) = drive(Some(FaultSession::with_plan(Arc::clone(plan))));
+    let injected = stats.faults_dropped
+        + stats.faults_duplicated
+        + stats.faults_timing
+        + u64::from(stats.faults_refresh_overrun_cycles > 0);
+    if injected == 0 {
+        return Err("plan never fired in the memsim leg (soak proved nothing)".to_string());
+    }
+    // Detection completeness: every forced-through ACT broke a rank
+    // constraint at issue time, so the offline audit must flag each one.
+    if (violations.len() as u64) < stats.faults_timing {
+        return Err(format!(
+            "injected {} tRRD/tFAW violations but the offline audit flagged only {}",
+            stats.faults_timing,
+            violations.len()
+        ));
+    }
+    Ok(format!(
+        "memsim: {} dropped, {} duplicated, {} timing faults ({} flagged by audit), \
+         {} overrun cycles",
+        stats.faults_dropped,
+        stats.faults_duplicated,
+        stats.faults_timing,
+        violations.len(),
+        stats.faults_refresh_overrun_cycles
+    ))
+}
+
+/// Measures `evaluate_module_1bank` with no fault plan against a zero-rate
+/// plan installed, in alternating rounds; fails only when every round
+/// shows both the median and the minimum above [`OVERHEAD_LIMIT`] (the
+/// same best-round verdict as `obs overhead` — a real regression
+/// reproduces in every round, a scheduling stall does not).
+fn overhead_cmd() -> i32 {
+    use dram::cell::RowContent;
+    use dram::geometry::{ChipDensity, DramGeometry};
+    use dram::module::DramModule;
+    use dram::timing::TimingParams;
+    use memutil::rng::{Rng, SeedableRng, SmallRng};
+
+    if cfg!(debug_assertions) {
+        println!(
+            "chaos: NOTE: measuring a debug build; prefer `cargo run --release -p xtask -- chaos overhead`"
+        );
+    }
+    // The benchmark module from `bench_suite::micro::bench_failure_model`.
+    let geometry = DramGeometry {
+        ranks: 1,
+        chips_per_rank: 1,
+        banks: 1,
+        rows_per_bank: 512,
+        row_bytes: 8192,
+        block_bytes: 64,
+        density: ChipDensity::Gb8,
+    };
+    let mut module = DramModule::new(geometry, TimingParams::ddr3_1600(), 0xFA11);
+    let words = geometry.words_per_row();
+    let mut rng = SmallRng::seed_from_u64(9);
+    module.fill_with(|_| RowContent::from_words((0..words).map(|_| rng.gen()).collect()));
+    let model = failure_model::model::CouplingFailureModel::default();
+    // Warm the vulnerable-cell cache so both arms measure the steady state.
+    let _ = model.evaluate_module_with_jobs(&module, 328.0, 1);
+
+    // A plan that arms the evaluation site at rate 0: the gate check and
+    // the per-row keyed draw both run, nothing ever fires.
+    let idle_plan =
+        Arc::new(FaultPlan::new(0xC4A0).with_site(Site::DramBitFlip, SiteSpec::rate(0.0)));
+
+    let measure = |c: &mut memutil::bench::Criterion, name: String| {
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                std::hint::black_box(model.evaluate_module_with_jobs(&module, 328.0, 1).len())
+            })
+        });
+    };
+    const ROUNDS: usize = 3;
+    let mut criterion = memutil::bench::Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(600));
+    for round in 0..ROUNDS {
+        measure(&mut criterion, format!("faults_off_r{round}"));
+        let guard = faultinject::install(Arc::clone(&idle_plan));
+        measure(&mut criterion, format!("faults_idle_r{round}"));
+        drop(guard);
+    }
+    let results = criterion.final_summary();
+    let find = |name: String| results.iter().find(|r| r.name == name);
+    let mut any_round_ok = false;
+    for round in 0..ROUNDS {
+        let (Some(off), Some(idle)) = (
+            find(format!("faults_off_r{round}")),
+            find(format!("faults_idle_r{round}")),
+        ) else {
+            eprintln!("chaos: overhead benchmarks produced no samples");
+            return 1;
+        };
+        let median_delta = (idle.median_ns - off.median_ns) / off.median_ns;
+        let min_delta = (idle.min_ns - off.min_ns) / off.min_ns;
+        let ok = median_delta <= OVERHEAD_LIMIT || min_delta <= OVERHEAD_LIMIT;
+        any_round_ok |= ok;
+        println!(
+            "chaos: injector overhead on evaluate_module_1bank, round {}/{ROUNDS}: \
+             median {:+.2}%, min {:+.2}% (limit {:.0}%) {}",
+            round + 1,
+            median_delta * 100.0,
+            min_delta * 100.0,
+            OVERHEAD_LIMIT * 100.0,
+            if ok { "ok" } else { "over" }
+        );
+    }
+    if any_round_ok {
+        0
+    } else {
+        eprintln!(
+            "chaos: FAILED: an installed-but-idle fault plan costs more than {:.0}% \
+             on the evaluation kernel in every round",
+            OVERHEAD_LIMIT * 100.0
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_plan_arms_every_site() {
+        let plan = chaos_plan(1);
+        for site in Site::ALL {
+            assert!(plan.site(site).is_some(), "{} not armed", site.name());
+        }
+    }
+
+    #[test]
+    fn plan_seeds_differ_per_index() {
+        // Same site decisions under different seeds must diverge somewhere;
+        // a constant plan would make `--plans N` meaningless.
+        let a = chaos_plan(PLAN_SEED_BASE);
+        let b = chaos_plan(PLAN_SEED_BASE + 1);
+        let diverges = (0..10_000)
+            .any(|i| a.fires(Site::EccCorrectable, i) != b.fires(Site::EccCorrectable, i));
+        assert!(diverges);
+    }
+}

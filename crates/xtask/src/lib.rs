@@ -11,7 +11,8 @@
 //! `ci` chains the whole offline gate: rustfmt check (when rustfmt is
 //! installed), `memlint`, a release build, the parallel-engine determinism
 //! gate (`memcon-experiments --quick all` at `--jobs 1` vs `--jobs 4`,
-//! byte-compared), and the quiet test suite.
+//! byte-compared), the telemetry golden-file check, a quick fault-injection
+//! chaos soak ([`chaos`]), and the quiet test suite.
 //!
 //! `bench baseline` runs the `bench_suite::micro` suite in-process and
 //! snapshots the medians to `BENCH_baseline.json` at the workspace root.
@@ -21,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod lint;
 pub mod obs;
 
@@ -61,10 +63,12 @@ pub fn lint_cmd(update_ratchet: bool) -> i32 {
 /// Runs the offline CI pipeline: fmt-check (if rustfmt is installed),
 /// `memlint`, `cargo build --workspace --release` (the determinism gate
 /// below byte-compares the freshly built experiments binary), the
-/// determinism gate, `cargo test -q`, and — when `bench` is set — the
-/// `bench compare` regression gate (run through `cargo run --release` so
-/// the fresh medians are measured at the same profile as the checked-in
-/// baseline, regardless of how this xtask itself was built).
+/// determinism gate, `obs --check`, a quick 3-plan chaos soak
+/// ([`chaos::chaos_cmd`]), `cargo test -q`, and — when `bench` is set —
+/// the `bench compare` regression gate plus the `obs` and `chaos`
+/// overhead gates (run through `cargo run --release` so the fresh medians
+/// are measured at the same profile as the checked-in baseline,
+/// regardless of how this xtask itself was built).
 ///
 /// Returns the exit code of the first failing step, or `0`.
 #[must_use]
@@ -102,6 +106,12 @@ pub fn ci_cmd(bench: bool) -> i32 {
         return obs_code;
     }
 
+    println!("ci: chaos soak (3 quick fault plans)");
+    let chaos_code = chaos::chaos_cmd(&["--quick".to_string(), "--plans=3".to_string()]);
+    if chaos_code != 0 {
+        return chaos_code;
+    }
+
     println!("ci: cargo test -q");
     if let Some(code) = run_step(&root, &["test", "-q"]) {
         return code;
@@ -119,6 +129,13 @@ pub fn ci_cmd(bench: bool) -> i32 {
         if let Some(code) = run_step(
             &root,
             &["run", "--release", "-p", "xtask", "--", "obs", "overhead"],
+        ) {
+            return code;
+        }
+        println!("ci: chaos overhead (release)");
+        if let Some(code) = run_step(
+            &root,
+            &["run", "--release", "-p", "xtask", "--", "chaos", "overhead"],
         ) {
             return code;
         }

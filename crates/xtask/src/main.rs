@@ -9,6 +9,7 @@ fn main() {
         }
         Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
         Some("obs") => xtask::obs::obs_cmd(&args[1..]),
+        Some("chaos") => xtask::chaos::chaos_cmd(&args[1..]),
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("baseline") => xtask::bench_baseline_cmd(),
             Some("compare") => xtask::bench_compare_cmd(),
@@ -42,9 +43,18 @@ fn usage() {
          \x20 ci [--bench]              fmt-check (if rustfmt present), memlint,\n\
          \x20                           cargo build --release, the --jobs 1-vs-4\n\
          \x20                           output + telemetry determinism gate,\n\
-         \x20                           obs --check, cargo test -q; --bench\n\
-         \x20                           additionally runs `bench compare` and\n\
-         \x20                           `obs overhead`\n\
+         \x20                           obs --check, a quick 3-plan chaos soak,\n\
+         \x20                           cargo test -q; --bench additionally runs\n\
+         \x20                           `bench compare`, `obs overhead`, and\n\
+         \x20                           `chaos overhead`\n\
+         \x20 chaos [--plans N] [--quick] [overhead]\n\
+         \x20                           fault-injection soak gate: N seeded\n\
+         \x20                           all-site plans over the fig9 workload\n\
+         \x20                           set (no panic, no uncorrectable escape,\n\
+         \x20                           refresh-correctness invariant, jobs 1-vs-4\n\
+         \x20                           determinism) plus a faulted controller\n\
+         \x20                           audit; `overhead` gates the idle-injector\n\
+         \x20                           cost (<2% on the eval kernel)\n\
          \x20 obs [print|--write|--check|diff A B|overhead]\n\
          \x20                           telemetry-report tooling: pretty-print the\n\
          \x20                           reference report, refresh/verify the\n\
