@@ -167,7 +167,10 @@ pub fn render(opts: &RunOptions) -> String {
         for density in ChipDensity::ALL {
             let mut row = vec![cores.to_string(), density.to_string()];
             for m in Mechanism::ALL {
-                row.push(format!("{:.3}", r.mean(cores, density, m).unwrap()));
+                let cell = r
+                    .mean(cores, density, m)
+                    .map_or_else(|| "n/a".to_string(), |v| format!("{v:.3}"));
+                row.push(cell);
             }
             t.row(row);
         }

@@ -29,12 +29,12 @@ pub fn render(opts: &RunOptions) -> String {
     for w in workloads {
         let mut row = vec![w.clone()];
         for q in QUANTA_MS {
-            let run = r
+            let cell = r
                 .runs
                 .iter()
                 .find(|x| x.workload == w && x.quantum_ms == q)
-                .expect("all combinations computed");
-            row.push(pct(run.report.lo_coverage));
+                .map_or_else(|| "n/a".to_string(), |run| pct(run.report.lo_coverage));
+            row.push(cell);
         }
         t.row(row);
     }

@@ -20,12 +20,12 @@ pub struct Fig8 {
 pub fn compute(opts: &RunOptions) -> Fig8 {
     let fits = representative_workloads()
         .into_iter()
-        .map(|w| {
+        .filter_map(|w| {
             let trace = crate::output::cached_trace(&w, opts);
             let intervals = trace.closed_intervals();
-            let fit = pareto_fit(&intervals, 1.0, 10_000.0)
-                .expect("representative traces always have tail mass");
-            (w.name, fit)
+            // A degenerate trace with no tail mass drops out of the table
+            // rather than aborting the whole figure.
+            pareto_fit(&intervals, 1.0, 10_000.0).map(|fit| (w.name, fit))
         })
         .collect();
     Fig8 { fits }

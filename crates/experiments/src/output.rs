@@ -148,15 +148,20 @@ pub fn cached_trace(
     workload: &memtrace::workload::WorkloadProfile,
     opts: &RunOptions,
 ) -> std::sync::Arc<memtrace::trace::WriteTrace> {
-    use std::sync::{Arc, Mutex, OnceLock};
+    use std::sync::{Arc, Mutex, OnceLock, PoisonError};
     type Key = (String, u64, u64);
     type Cache = Mutex<Vec<(Key, Arc<memtrace::trace::WriteTrace>)>>;
+    // Memo cache of a pure function of (workload, scale, seed): every
+    // populator stores the identical trace, so the global cannot make runs
+    // diverge. Append-only under the lock, so a poisoned guard is safe to
+    // recover.
+    // memlint: allow(global-mut-state): deterministic memo of a pure function
     static CACHE: OnceLock<Cache> = OnceLock::new();
     let key: Key = (workload.name.clone(), opts.scale.to_bits(), opts.seed);
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
     if let Some((_, hit)) = cache
         .lock()
-        .expect("trace cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .find(|(k, _)| *k == key)
     {
@@ -165,7 +170,7 @@ pub fn cached_trace(
     let trace = Arc::new(workload.clone().scaled(opts.scale).generate(opts.seed));
     cache
         .lock()
-        .expect("trace cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .push((key, Arc::clone(&trace)));
     trace
 }

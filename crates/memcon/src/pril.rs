@@ -205,6 +205,10 @@ impl Pril {
                     self.capacity
                 ));
             }
+            // Order-insensitive sweep: every page must satisfy the same
+            // predicate, and the result is pass/fail (see KNOWN_FAILURES.md
+            // on the error message naming a hash-order-dependent witness).
+            // memlint: allow(map-iter-order): order-insensitive invariant sweep
             for &page in &tracker.buffer {
                 if page >= self.n_pages {
                     return Err(format!("{name} buffer holds out-of-range page {page}"));
@@ -240,7 +244,11 @@ impl Pril {
     /// this one), clears the previous tracker, and swaps.
     pub fn end_quantum(&mut self) -> Vec<PageId> {
         self.stats.quanta += 1;
-        let candidates: Vec<PageId> = self.previous.buffer.drain().collect();
+        // The buffer stays a HashSet (on_write is the front-door hot path);
+        // the hash-order drain is made deterministic by the sort below.
+        // memlint: allow(map-iter-order): drained candidates are sorted on the next line
+        let mut candidates: Vec<PageId> = self.previous.buffer.drain().collect();
+        candidates.sort_unstable();
         self.stats.candidates += candidates.len() as u64;
         self.previous.clear();
         std::mem::swap(&mut self.current, &mut self.previous);

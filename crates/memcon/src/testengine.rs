@@ -460,6 +460,9 @@ impl TestEngine {
     /// victim of an injected preempting write.
     #[must_use]
     pub fn any_in_flight_page(&self) -> Option<PageId> {
+        // `min` over the keys is the same value in any iteration order
+        // (see KNOWN_FAILURES.md, order-insensitive allow-marker sites).
+        // memlint: allow(map-iter-order): min() is order-insensitive
         self.in_flight_pages.keys().min().copied()
     }
 
@@ -498,7 +501,13 @@ impl TestEngine {
     /// when the engine starts a fresh run). Statistics are kept.
     pub fn cancel_all(&mut self) {
         self.in_flight.clear();
-        for (page, _) in std::mem::take(&mut self.in_flight_pages) {
+        // Release in sorted page order: the staging free list is a LIFO, so
+        // hash-order releases would leak into future slot assignments.
+        let mut cancelled: Vec<PageId> = std::mem::take(&mut self.in_flight_pages)
+            .into_keys()
+            .collect();
+        cancelled.sort_unstable();
+        for page in cancelled {
             self.staging.release(page);
         }
     }

@@ -1,0 +1,578 @@
+//! A hand-written Rust lexer, sufficient for lint-grade analysis.
+//!
+//! The token stream is *lossless about placement* (every token knows its
+//! byte offset and 1-based line) and *total*: any byte sequence lexes
+//! without panicking, unknown bytes degrade to single-character
+//! [`Kind::Punct`] tokens, and unterminated literals or comments extend to
+//! the end of input. The cases that defeat line-oriented scanners are
+//! handled structurally:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any hash depth) and their byte
+//!   variants `br#"…"#`,
+//! * nested block comments `/* /* */ */` (and doc variants `/** … */`),
+//! * `'a` lifetimes vs `'a'` char literals (including `'\''`, `'\u{…}'`),
+//! * line doc comments `///` / `//!`,
+//! * raw identifiers `r#match`,
+//! * multi-character operators (`::`, `==`, `!=`, `..=`, `->`, …) lexed
+//!   as single tokens by maximal munch.
+//!
+//! Rules never look inside [`Kind::Str`] or comment tokens, which kills
+//! the false-positive class the old substring scanner papered over with
+//! marker comments.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`). Text includes the leading quote.
+    Lifetime,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Numeric literal (`42`, `0xFF`, `1.5e-3`, `3u64`).
+    Num,
+    /// `//`-style comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` comment (possibly nested), including `/** … */`.
+    BlockComment,
+    /// Operator or delimiter (`::` and friends are single tokens).
+    Punct,
+}
+
+/// One token: classification, exact source text, byte offset, 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'s> {
+    /// Classification.
+    pub kind: Kind,
+    /// Exact source slice, quotes and sigils included.
+    pub text: &'s str,
+    /// Byte offset of the token start.
+    pub start: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this is a comment of either flavor.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    #[must_use]
+    pub fn is_doc(&self) -> bool {
+        match self.kind {
+            Kind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            Kind::BlockComment => {
+                (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// The unescaped value of a string literal, when it can be recovered
+    /// trivially (no escape sequences). Cross-artifact checks only care
+    /// about plain names, so literals containing backslashes yield `None`.
+    #[must_use]
+    pub fn str_value(&self) -> Option<&str> {
+        if self.kind != Kind::Str {
+            return None;
+        }
+        let t = self.text;
+        // Raw strings: r/b sigils, then hashes, then the quoted body.
+        let after_sigil = t.trim_start_matches(['r', 'b']);
+        if after_sigil.len() != t.len() {
+            let hashes = after_sigil.len() - after_sigil.trim_start_matches('#').len();
+            let body = &after_sigil[hashes..];
+            let open = body.strip_prefix('"')?;
+            let close = format!("\"{}", "#".repeat(hashes));
+            return open.strip_suffix(close.as_str());
+        }
+        let body = t.strip_prefix('"')?.strip_suffix('"')?;
+        if body.contains('\\') {
+            None
+        } else {
+            Some(body)
+        }
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete token stream. Total: never fails, never
+/// panics, and the concatenation of token texts plus skipped whitespace
+/// reproduces the input exactly.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'s>>,
+}
+
+impl<'s> Lexer<'s> {
+    fn rest(&self) -> &'s str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    /// Advances by `n` bytes, counting newlines.
+    fn advance(&mut self, n: usize) {
+        let skipped = &self.src[self.pos..self.pos + n];
+        self.line += skipped.bytes().filter(|&b| b == b'\n').count() as u32;
+        self.pos += n;
+    }
+
+    fn emit(&mut self, kind: Kind, start: usize, start_line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            start,
+            line: start_line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'s>> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.advance(c.len_utf8());
+                }
+                '/' if self.peek2() == Some('/') => {
+                    let len = self.rest().find('\n').unwrap_or(self.rest().len());
+                    self.advance(len);
+                    self.emit(Kind::LineComment, start, line);
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.block_comment();
+                    self.emit(Kind::BlockComment, start, line);
+                }
+                '"' => {
+                    self.cooked_string();
+                    self.emit(Kind::Str, start, line);
+                }
+                '\'' => {
+                    let kind = self.quote();
+                    self.emit(kind, start, line);
+                }
+                'r' | 'b' if self.raw_or_byte_literal(start, line) => {}
+                _ if is_ident_start(c) => {
+                    self.ident_run();
+                    self.emit(Kind::Ident, start, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.emit(Kind::Num, start, line);
+                }
+                _ => {
+                    let rest = self.rest();
+                    let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                    match op {
+                        Some(op) => self.advance(op.len()),
+                        None => self.advance(c.len_utf8()),
+                    }
+                    self.emit(Kind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes a (possibly nested) block comment, `/*` already peeked.
+    fn block_comment(&mut self) {
+        self.advance(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            let rest = self.rest();
+            if rest.is_empty() {
+                return; // unterminated: extends to EOF
+            }
+            if rest.starts_with("/*") {
+                depth += 1;
+                self.advance(2);
+            } else if rest.starts_with("*/") {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                let c = rest.chars().next().map_or(1, char::len_utf8);
+                self.advance(c);
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string, honoring backslash escapes; `"` peeked.
+    fn cooked_string(&mut self) {
+        self.advance(1);
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.advance(1);
+                    if let Some(e) = self.peek() {
+                        self.advance(e.len_utf8());
+                    }
+                }
+                '"' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(c.len_utf8()),
+            }
+        }
+    }
+
+    /// Disambiguates `'` into a char literal or a lifetime; `'` peeked.
+    fn quote(&mut self) -> Kind {
+        self.advance(1);
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            Some((_, '\\')) => {
+                self.advance(1);
+                if let Some(e) = self.peek() {
+                    self.advance(e.len_utf8());
+                }
+                // Scan to the closing quote (covers \u{…}); stop at
+                // newline/EOF for malformed input.
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        self.advance(1);
+                        break;
+                    }
+                    if c == '\n' {
+                        break;
+                    }
+                    self.advance(c.len_utf8());
+                }
+                Kind::Char
+            }
+            // Exactly one char then a closing quote: a char literal,
+            // even when that char is ident-like ('a', '5', '_').
+            Some((_, c)) if c != '\'' && chars.next().map(|(_, n)| n) == Some('\'') => {
+                self.advance(c.len_utf8() + 1);
+                Kind::Char
+            }
+            // Ident run not followed by a quote: a lifetime.
+            Some((_, c)) if is_ident_start(c) => {
+                self.ident_run();
+                Kind::Lifetime
+            }
+            // Stray quote (malformed source): degrade to punctuation.
+            _ => Kind::Punct,
+        }
+    }
+
+    /// Handles the `r`/`b` sigil family: raw strings `r"…"`/`r#"…"#`, byte
+    /// strings `b"…"`/`br#"…"#`, byte chars `b'…'`, and raw identifiers
+    /// `r#ident`. Returns `false` when the sigil is just the start of a
+    /// plain identifier (caller lexes it).
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let rest = self.rest();
+        // Order matters: longest sigil first.
+        for sigil in ["br", "rb", "r", "b"] {
+            let Some(after) = rest.strip_prefix(sigil) else {
+                continue;
+            };
+            let hashes = after.len() - after.trim_start_matches('#').len();
+            let body = &after[hashes..];
+            if body.starts_with('"') {
+                self.advance(sigil.len() + hashes);
+                if hashes == 0 && sigil == "b" {
+                    self.cooked_string(); // b"…" honors escapes
+                } else {
+                    self.raw_string_body(hashes);
+                }
+                self.emit(Kind::Str, start, line);
+                return true;
+            }
+            if sigil == "b" && hashes == 0 && body.starts_with('\'') {
+                self.advance(1);
+                let _ = self.quote(); // b'x' / b'\n'
+                self.emit(Kind::Char, start, line);
+                return true;
+            }
+            if sigil == "r" && hashes == 1 && body.chars().next().is_some_and(is_ident_start) {
+                self.advance(2); // r# raw identifier
+                self.ident_run();
+                self.emit(Kind::Ident, start, line);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes a raw string body starting at the opening `"`, terminated
+    /// by `"` followed by `hashes` hash characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.advance(1);
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        match self.rest().find(closer.as_str()) {
+            Some(i) => self.advance(i + closer.len()),
+            None => self.advance(self.rest().len()), // unterminated
+        }
+    }
+
+    fn ident_run(&mut self) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.advance(c.len_utf8());
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: integer/float with `_` separators,
+    /// radix prefixes, exponents, and type suffixes. A trailing `.` is only
+    /// consumed when followed by a digit, so `0..10` stays a range.
+    fn number(&mut self) {
+        let radix_prefixed = self.rest().starts_with("0x")
+            || self.rest().starts_with("0b")
+            || self.rest().starts_with("0o")
+            || self.rest().starts_with("0X");
+        self.ident_run(); // digits, hex digits, suffixes, `_`
+        if !radix_prefixed {
+            // Fraction: `.` followed by a digit.
+            if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                self.advance(1);
+                self.ident_run();
+            }
+            // Exponent sign: `1e-3` — the `e` was consumed by the ident
+            // run; a sign right after an `e`/`E` tail continues the number.
+            let ends_e = self.src[..self.pos].ends_with(['e', 'E']);
+            if ends_e
+                && matches!(self.peek(), Some('+' | '-'))
+                && self.peek2().is_some_and(|c| c.is_ascii_digit())
+            {
+                self.advance(1);
+                self.ident_run();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        assert_eq!(
+            kinds("fn f(x: u32) -> u32 { x }"),
+            vec![
+                (Kind::Ident, "fn"),
+                (Kind::Ident, "f"),
+                (Kind::Punct, "("),
+                (Kind::Ident, "x"),
+                (Kind::Punct, ":"),
+                (Kind::Ident, "u32"),
+                (Kind::Punct, ")"),
+                (Kind::Punct, "->"),
+                (Kind::Ident, "u32"),
+                (Kind::Punct, "{"),
+                (Kind::Ident, "x"),
+                (Kind::Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        assert_eq!(
+            kinds("a::b == c != d ..= e .. f"),
+            vec![
+                (Kind::Ident, "a"),
+                (Kind::Punct, "::"),
+                (Kind::Ident, "b"),
+                (Kind::Punct, "=="),
+                (Kind::Ident, "c"),
+                (Kind::Punct, "!="),
+                (Kind::Ident, "d"),
+                (Kind::Punct, "..="),
+                (Kind::Ident, "e"),
+                (Kind::Punct, ".."),
+                (Kind::Ident, "f"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hash_depths() {
+        assert_eq!(
+            kinds(r####"let s = r#"panic! "quoted" .unwrap()"#;"####),
+            vec![
+                (Kind::Ident, "let"),
+                (Kind::Ident, "s"),
+                (Kind::Punct, "="),
+                (Kind::Str, r####"r#"panic! "quoted" .unwrap()"#"####),
+                (Kind::Punct, ";"),
+            ]
+        );
+        // Hash-depth mismatch keeps scanning: r##"…"# …"## is one token.
+        let src = r####"r##"inner "# quote"## x"####;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (Kind::Str, r####"r##"inner "# quote"##"####));
+        assert_eq!(toks[1], (Kind::Ident, "x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(kinds(r#"b"ab\"c""#)[0].0, Kind::Str);
+        assert_eq!(kinds(r##"br#"raw"#"##)[0].0, Kind::Str);
+        assert_eq!(kinds(r"b'\n'")[0].0, Kind::Char);
+        assert_eq!(kinds("b'x'")[0].0, Kind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (Kind::Ident, "a"));
+        assert_eq!(toks[1].0, Kind::BlockComment);
+        assert_eq!(toks[2], (Kind::Ident, "b"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_extends_to_eof() {
+        let toks = kinds("a /* no close");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (Kind::BlockComment, "/* no close"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a str) -> char { 'a' }")
+                .into_iter()
+                .filter(|(k, _)| matches!(k, Kind::Lifetime | Kind::Char))
+                .collect::<Vec<_>>(),
+            vec![
+                (Kind::Lifetime, "'a"),
+                (Kind::Lifetime, "'a"),
+                (Kind::Char, "'a'"),
+            ]
+        );
+        assert_eq!(kinds(r"'\''")[0], (Kind::Char, r"'\''"));
+        assert_eq!(kinds(r"'\u{1F600}'")[0], (Kind::Char, r"'\u{1F600}'"));
+        assert_eq!(kinds("&'static str")[1], (Kind::Lifetime, "'static"));
+        assert_eq!(kinds("'_")[0], (Kind::Lifetime, "'_"));
+    }
+
+    #[test]
+    fn doc_comments_detected() {
+        let toks = lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/* plain */");
+        let docs: Vec<bool> = toks.iter().map(Token::is_doc).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1.5e-3 0xFF_u64 0b1010 42usize 1..10 3."),
+            vec![
+                (Kind::Num, "1.5e-3"),
+                (Kind::Num, "0xFF_u64"),
+                (Kind::Num, "0b1010"),
+                (Kind::Num, "42usize"),
+                (Kind::Num, "1"),
+                (Kind::Punct, ".."),
+                (Kind::Num, "10"),
+                (Kind::Num, "3"),
+                (Kind::Punct, "."),
+            ]
+        );
+        // Hex literal ending in `e` must not eat a following minus.
+        assert_eq!(
+            kinds("0x3e-1"),
+            vec![(Kind::Num, "0x3e"), (Kind::Punct, "-"), (Kind::Num, "1"),]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#match")[0], (Kind::Ident, "r#match"));
+        // …while r#"…"# is a string.
+        assert_eq!(kinds(r###"r#"s"#"###)[0].0, Kind::Str);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\nb /* c1\nc2 */ d";
+        let toks = lex(src);
+        let lines: Vec<(&str, u32)> = toks.iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(lines[0], ("a", 1));
+        assert_eq!(lines[1], ("\"two\nline string\"", 2));
+        assert_eq!(lines[2], ("b", 4));
+        assert_eq!(lines[4], ("d", 5));
+    }
+
+    #[test]
+    fn str_value_recovers_plain_literals() {
+        assert_eq!(
+            lex(r#""memcon.pril.writes""#)[0].str_value(),
+            Some("memcon.pril.writes")
+        );
+        assert_eq!(lex(r##"r#"raw.name"#"##)[0].str_value(), Some("raw.name"));
+        // Escapes are not metric names; recovery declines.
+        assert_eq!(lex(r#""a\nb""#)[0].str_value(), None);
+    }
+
+    #[test]
+    fn totality_token_texts_tile_the_input() {
+        let src = "fn f() { let s = \"x\"; /* c */ 'a' }";
+        let toks = lex(src);
+        let mut covered = 0;
+        for t in &toks {
+            assert!(t.start >= covered, "tokens overlap");
+            assert!(src[covered..t.start].chars().all(char::is_whitespace));
+            covered = t.start + t.text.len();
+        }
+        assert!(src[covered..].chars().all(char::is_whitespace));
+    }
+}

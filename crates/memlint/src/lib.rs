@@ -1,0 +1,347 @@
+//! memlint — token-level determinism analyzer for the MEMCON workspace.
+//!
+//! The crate is a library (driven by `xtask lint` / `xtask ci`) built in
+//! four layers:
+//!
+//! * [`lexer`] — a hand-written, total Rust lexer (raw strings, nested
+//!   block comments, char-vs-lifetime, doc comments);
+//! * [`source`] — per-file structure: `#[cfg(test)]` scoping,
+//!   `thread_local!` regions, a lightweight `fn`/`mod`/`impl` item model,
+//!   and allow-marker placement;
+//! * [`rules`] — nine token-pattern rules (the five legacy data-integrity
+//!   rules re-implemented on tokens, plus the determinism/concurrency
+//!   pass: `map-iter-order`, `thread-outside-par`, `global-mut-state`,
+//!   `wall-clock`, `env-read`);
+//! * [`artifact`] — cross-artifact consistency checks spanning code, the
+//!   telemetry golden file, and the fault-site registry.
+//!
+//! Pre-existing violations are frozen in a [`ratchet`] keyed by
+//! `(rule, file, normalized-line fingerprint)`; only new findings fail.
+//! Everything is deterministic: files are walked in sorted order, all
+//! intermediate maps are B-trees, and the JSON report
+//! (schema [`REPORT_SCHEMA`]) is byte-stable for a given tree.
+//!
+//! memlint lints itself: this crate's sources pass every rule with no
+//! frozen entries.
+
+pub mod artifact;
+pub mod lexer;
+pub mod ratchet;
+pub mod rules;
+pub mod source;
+
+pub use rules::Violation;
+pub use source::{classify, FileClass, FileScan};
+
+use memutil::json::Json;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the JSON report emitted by [`Outcome::to_json`].
+pub const REPORT_SCHEMA: &str = "memcon-memlint/v1";
+
+/// Every rule identifier — token rules then cross-artifact rules — in
+/// report order.
+#[must_use]
+pub fn all_rules() -> Vec<&'static str> {
+    rules::RULES
+        .iter()
+        .chain(artifact::ARTIFACT_RULES.iter())
+        .copied()
+        .collect()
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Files scanned.
+    pub files: usize,
+    /// Every violation found, sorted by (path, line, rule); frozen ones
+    /// included.
+    pub violations: Vec<Violation>,
+    /// Parallel to `violations`: covered by the ratchet.
+    pub frozen: Vec<bool>,
+    /// Ratchet keys with counts above their freeze (new fingerprints
+    /// included), as (key, current, frozen).
+    pub regressions: Vec<ratchet::Delta>,
+    /// Ratchet keys now below their freeze — debt paid down.
+    pub improvements: Vec<ratchet::Delta>,
+    /// Whether the on-disk ratchet byte-matches what `--update-ratchet`
+    /// would write for this tree (i.e. the update round-trips to an empty
+    /// diff).
+    pub ratchet_in_sync: bool,
+    /// Whether `--update-ratchet` rewrote the ratchet file.
+    pub updated: bool,
+}
+
+impl Outcome {
+    /// Whether the lint gate passes (no regressions).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Count of net-new (non-frozen) violations.
+    #[must_use]
+    pub fn new_count(&self) -> usize {
+        self.frozen.iter().filter(|f| !**f).count()
+    }
+
+    /// The full machine-readable report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut items = Json::arr();
+        for (v, frozen) in self.violations.iter().zip(&self.frozen) {
+            items = items.push(
+                Json::obj()
+                    .field("rule", v.rule)
+                    .field("path", v.path.as_str())
+                    .field("line", u64::from(v.line))
+                    .field("excerpt", v.excerpt.as_str())
+                    .field(
+                        "fingerprint",
+                        format!("{:016x}", ratchet::fingerprint(v.rule, &v.excerpt)),
+                    )
+                    .field("frozen", *frozen),
+            );
+        }
+        Json::obj()
+            .field("schema", REPORT_SCHEMA)
+            .field("files", self.files)
+            .field("rules", all_rules().into_iter().collect::<Vec<_>>())
+            .field("total", self.violations.len())
+            .field("frozen", self.violations.len() - self.new_count())
+            .field("new", self.new_count())
+            .field("violations", items)
+            .field("improvements", self.improvements.len())
+            .field("ratchet_in_sync", self.ratchet_in_sync)
+            .field("passed", self.passed())
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (v, frozen) in self.violations.iter().zip(&self.frozen) {
+            if !*frozen {
+                writeln!(f, "memlint: new: {v}")?;
+            }
+        }
+        for ((rule, path, _fp), current, allowed) in &self.improvements {
+            writeln!(
+                f,
+                "memlint: note: {rule} improved in {path}: {current} (ratchet froze {allowed}) — \
+                 run `cargo run -p xtask -- lint --update-ratchet` to tighten"
+            )?;
+        }
+        if self.updated {
+            writeln!(f, "memlint: ratchet updated")?;
+        } else if !self.ratchet_in_sync {
+            writeln!(
+                f,
+                "memlint: note: ratchet file is out of sync with this tree — \
+                 run `cargo run -p xtask -- lint --update-ratchet`"
+            )?;
+        }
+        writeln!(
+            f,
+            "memlint: {} files, {} violations ({} frozen, {} new), {}",
+            self.files,
+            self.violations.len(),
+            self.violations.len() - self.new_count(),
+            self.new_count(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Recursively collects `.rs` files below `dir` (skipping `target/` and
+/// `.git/`), in sorted order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git")
+            {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root/crates` plus the umbrella crate's
+/// `src/`, `tests/`, and `examples/`, runs the cross-artifact checks, and
+/// compares against the ratchet at `root/memlint.ratchet` (optionally
+/// rewriting it).
+///
+/// # Errors
+///
+/// I/O failures and a malformed (or v1-format) ratchet file are reported
+/// as strings.
+pub fn run(root: &Path, update_ratchet: bool) -> Result<Outcome, String> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    for top in ["src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut contents = Vec::with_capacity(files.len());
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        contents.push((rel, text));
+    }
+    let scans: Vec<FileScan<'_>> = contents
+        .iter()
+        .map(|(rel, text)| FileScan::new(rel, text))
+        .collect();
+
+    let golden = fs::read_to_string(root.join("TELEMETRY_expected.json")).ok();
+
+    let mut violations = Vec::new();
+    for scan in &scans {
+        violations.extend(rules::scan_file(scan));
+    }
+    violations.extend(artifact::check(&scans, golden.as_deref()));
+    violations.sort_by(|a, b| {
+        let order = |r: &str| all_rules().iter().position(|x| *x == r);
+        (&a.path, a.line, order(a.rule)).cmp(&(&b.path, b.line, order(b.rule)))
+    });
+
+    let ratchet_path = root.join(ratchet::RATCHET_FILE);
+    let disk_text = if ratchet_path.is_file() {
+        Some(
+            fs::read_to_string(&ratchet_path)
+                .map_err(|e| format!("cannot read {}: {e}", ratchet::RATCHET_FILE))?,
+        )
+    } else {
+        None
+    };
+    let frozen_map = match &disk_text {
+        Some(text) => ratchet::parse(text)?,
+        None => ratchet::Ratchet::new(),
+    };
+
+    let (current, hints) = ratchet::collapse(&violations);
+    let (regressions, improvements) = ratchet::compare(&current, &frozen_map);
+    let frozen = ratchet::mark_frozen(&violations, &frozen_map);
+    let formatted = ratchet::format(&current, &hints);
+    let ratchet_in_sync = match &disk_text {
+        Some(text) => *text == formatted,
+        None => current.is_empty(),
+    };
+
+    let mut updated = false;
+    if update_ratchet {
+        fs::write(&ratchet_path, &formatted)
+            .map_err(|e| format!("cannot write {}: {e}", ratchet::RATCHET_FILE))?;
+        updated = true;
+    }
+
+    Ok(Outcome {
+        files: files.len(),
+        frozen: if updated {
+            vec![true; violations.len()]
+        } else {
+            frozen
+        },
+        violations,
+        regressions: if updated { Vec::new() } else { regressions },
+        improvements: if updated { Vec::new() } else { improvements },
+        ratchet_in_sync: updated || ratchet_in_sync,
+        updated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(violations: Vec<Violation>, frozen: Vec<bool>) -> Outcome {
+        let regressions = if frozen.iter().all(|f| *f) {
+            Vec::new()
+        } else {
+            vec![(("r".to_string(), "p".to_string(), 1u64), 1usize, 0usize)]
+        };
+        Outcome {
+            files: 1,
+            violations,
+            frozen,
+            regressions,
+            improvements: Vec::new(),
+            ratchet_in_sync: true,
+            updated: false,
+        }
+    }
+
+    fn v(rule: &'static str, line: u32) -> Violation {
+        Violation {
+            rule,
+            path: "crates/a/src/lib.rs".to_string(),
+            line,
+            excerpt: "x.unwrap();".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let out = outcome(vec![v("no-unwrap", 3)], vec![false]);
+        let json = out.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(json.get("new").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("passed"), Some(&Json::Bool(false)));
+        // Report is valid JSON and round-trips.
+        let text = json.emit();
+        assert_eq!(Json::parse(&text).expect("report parses"), json);
+        // The violation entry carries its fingerprint.
+        let Some(Json::Arr(items)) = json.get("violations") else {
+            panic!("violations array");
+        };
+        let fp = items[0]
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fp");
+        assert_eq!(fp.len(), 16);
+    }
+
+    #[test]
+    fn display_lists_only_new_violations() {
+        let out = outcome(
+            vec![v("no-unwrap", 3), v("no-unwrap", 9)],
+            vec![true, false],
+        );
+        let text = out.to_string();
+        assert_eq!(text.matches("memlint: new:").count(), 1);
+        assert!(text.contains("2 violations (1 frozen, 1 new)"));
+        assert!(text.contains("FAIL"));
+        let clean = outcome(vec![v("no-unwrap", 3)], vec![true]);
+        assert!(clean.to_string().contains("PASS"));
+    }
+
+    #[test]
+    fn all_rules_cover_both_passes() {
+        let rules = all_rules();
+        assert_eq!(rules.len(), 12);
+        assert!(rules.contains(&"map-iter-order"));
+        assert!(rules.contains(&"schema-once"));
+    }
+}

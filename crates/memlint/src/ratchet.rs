@@ -1,0 +1,308 @@
+//! Ratchet v2: frozen violations keyed by `(rule, file, fingerprint)`.
+//!
+//! The v1 ratchet froze per-`(rule, file)` *counts*, which made every
+//! refactor a ratchet event: moving a frozen `.unwrap()` ten lines down
+//! kept the count but moving half a file into a new module tripped the
+//! gate, and fixing one violation while introducing another at a
+//! different site canceled out invisibly. v2 keys each frozen violation
+//! by a fingerprint of its *normalized source line* (whitespace collapsed,
+//! hashed with FNV-1a 64 together with the rule name), so:
+//!
+//! * moving a violation within its file costs nothing — the fingerprint
+//!   is line-number-free;
+//! * fixing one site and adding a different one is visible — the new
+//!   site's fingerprint is not in the ratchet and fails the gate;
+//! * identical lines (e.g. two copies of the same `.unwrap()` idiom in
+//!   one file) share a fingerprint and are frozen with a count.
+//!
+//! Format, one entry per line, tab-separated:
+//!
+//! ```text
+//! rule<TAB>path<TAB>fingerprint-hex16<TAB>count<TAB>excerpt-hint
+//! ```
+//!
+//! The excerpt hint is for humans diffing the file; parsing ignores it.
+//! A v1-format file (three columns) is rejected with a pointer at
+//! `--update-ratchet`.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// The ratchet file name at the workspace root.
+pub const RATCHET_FILE: &str = "memlint.ratchet";
+
+/// Frozen violation counts keyed by `(rule, path, fingerprint)`.
+pub type Ratchet = BTreeMap<(String, String, u64), usize>;
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Collapses runs of whitespace to single spaces and trims, so formatting
+/// churn never changes a fingerprint.
+#[must_use]
+pub fn normalize_line(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// The v2 fingerprint of a violation: FNV-1a 64 over
+/// `rule \0 normalized-excerpt`.
+#[must_use]
+pub fn fingerprint(rule: &str, excerpt: &str) -> u64 {
+    let norm = normalize_line(excerpt);
+    fnv1a(rule.bytes().chain(std::iter::once(0u8)).chain(norm.bytes()))
+}
+
+/// Collapses violations into ratchet form, remembering one excerpt hint
+/// per fingerprint (the first seen).
+#[must_use]
+pub fn collapse(violations: &[Violation]) -> (Ratchet, BTreeMap<u64, String>) {
+    let mut map = Ratchet::new();
+    let mut hints = BTreeMap::new();
+    for v in violations {
+        let fp = fingerprint(v.rule, &v.excerpt);
+        *map.entry((v.rule.to_string(), v.path.clone(), fp))
+            .or_insert(0) += 1;
+        hints.entry(fp).or_insert_with(|| {
+            let norm = normalize_line(&v.excerpt);
+            if norm.len() > 80 {
+                let cut = (0..=80).rev().find(|&i| norm.is_char_boundary(i));
+                format!("{}…", &norm[..cut.unwrap_or(0)])
+            } else {
+                norm
+            }
+        });
+    }
+    (map, hints)
+}
+
+/// Parses a v2 ratchet file.
+///
+/// # Errors
+///
+/// Returns the first malformed line; a line with the v1 three-column shape
+/// produces a migration hint instead of a generic parse error.
+pub fn parse(text: &str) -> Result<Ratchet, String> {
+    let mut map = Ratchet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() == 3 && parts[2].parse::<usize>().is_ok() {
+            return Err(format!(
+                "ratchet line {} is in the v1 (rule, file, count) format; regenerate \
+                 the v2 ratchet with `cargo run -p xtask -- lint --update-ratchet`",
+                idx + 1
+            ));
+        }
+        let entry = (|| {
+            let rule = parts.first()?;
+            let path = parts.get(1)?;
+            let fp = u64::from_str_radix(parts.get(2)?, 16).ok()?;
+            let count: usize = parts.get(3)?.parse().ok()?;
+            Some((((*rule).to_string(), (*path).to_string(), fp), count))
+        })();
+        match entry {
+            Some((key, count)) => {
+                map.insert(key, count);
+            }
+            None => return Err(format!("ratchet line {} is malformed: {line:?}", idx + 1)),
+        }
+    }
+    Ok(map)
+}
+
+/// Serializes a ratchet (zero-count entries dropped, keys sorted, total
+/// stated in the header so "strictly fewer frozen violations" is checkable
+/// at a glance).
+#[must_use]
+pub fn format(ratchet: &Ratchet, hints: &BTreeMap<u64, String>) -> String {
+    let total: usize = ratchet.values().sum();
+    let mut out = format!(
+        "# memlint ratchet v2: frozen violations keyed by (rule, file, line fingerprint).\n\
+         # Fingerprints hash the rule + whitespace-normalized source line (FNV-1a 64),\n\
+         # so refactors that move a frozen line don't consume ratchet budget.\n\
+         # Regenerate with `cargo run -p xtask -- lint --update-ratchet`.\n\
+         # Entries may only disappear; new fingerprints fail the lint.\n\
+         # total frozen violations: {total}\n"
+    );
+    for ((rule, path, fp), count) in ratchet {
+        if *count > 0 {
+            let hint = hints.get(fp).map_or("", String::as_str);
+            out.push_str(&std::format!(
+                "{rule}\t{path}\t{fp:016x}\t{count}\t{hint}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// A `(rule, path, fingerprint)` key with its (current, frozen) counts.
+pub type Delta = ((String, String, u64), usize, usize);
+
+/// Compares current violations against the frozen ratchet: regressions
+/// (new fingerprints, or counts above the freeze) and improvements
+/// (counts below the freeze, including fully fixed entries).
+#[must_use]
+pub fn compare(current: &Ratchet, frozen: &Ratchet) -> (Vec<Delta>, Vec<Delta>) {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for (key, &count) in current {
+        let allowed = frozen.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            regressions.push((key.clone(), count, allowed));
+        } else if count < allowed {
+            improvements.push((key.clone(), count, allowed));
+        }
+    }
+    for (key, &allowed) in frozen {
+        if allowed > 0 && !current.contains_key(key) {
+            improvements.push((key.clone(), 0, allowed));
+        }
+    }
+    (regressions, improvements)
+}
+
+/// Marks which violations are frozen: for each `(rule, path, fingerprint)`
+/// bucket, the first `min(current, frozen)` occurrences count as frozen.
+/// Returns a parallel `bool` vector.
+#[must_use]
+pub fn mark_frozen(violations: &[Violation], frozen: &Ratchet) -> Vec<bool> {
+    let mut budget: BTreeMap<(String, String, u64), usize> = BTreeMap::new();
+    violations
+        .iter()
+        .map(|v| {
+            let key = (
+                v.rule.to_string(),
+                v.path.clone(),
+                fingerprint(v.rule, &v.excerpt),
+            );
+            let allowed = frozen.get(&key).copied().unwrap_or(0);
+            let used = budget.entry(key).or_insert(0);
+            *used += 1;
+            *used <= allowed
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: u32, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_whitespace_and_line_numbers() {
+        let a = fingerprint("no-unwrap", "let x =  m.get(&k) .unwrap();");
+        let b = fingerprint("no-unwrap", "let x = m.get(&k) .unwrap();");
+        assert_eq!(a, b);
+        // …but not the rule or the content.
+        assert_ne!(a, fingerprint("no-panic", "let x = m.get(&k) .unwrap();"));
+        assert_ne!(a, fingerprint("no-unwrap", "let y = m.get(&k) .unwrap();"));
+    }
+
+    #[test]
+    fn roundtrip_and_compare() {
+        let violations = vec![
+            v("no-unwrap", "crates/a/src/lib.rs", 3, "x.unwrap();"),
+            v("no-unwrap", "crates/a/src/lib.rs", 9, "x.unwrap();"),
+            v("no-panic", "crates/b/src/lib.rs", 1, "panic!(\"boom\")"),
+        ];
+        let (current, hints) = collapse(&violations);
+        assert_eq!(current.values().sum::<usize>(), 3);
+        assert_eq!(current.len(), 2); // identical lines share a fingerprint
+
+        let text = format(&current, &hints);
+        assert!(text.contains("total frozen violations: 3"));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, current);
+
+        // Clean tree: no deltas.
+        let (reg, imp) = compare(&current, &parsed);
+        assert!(reg.is_empty() && imp.is_empty());
+
+        // A brand-new fingerprint is a regression against 0.
+        let mut worse = violations.clone();
+        worse.push(v("no-unwrap", "crates/a/src/lib.rs", 20, "fresh.unwrap();"));
+        let (worse_map, _) = collapse(&worse);
+        let (reg, _) = compare(&worse_map, &parsed);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].2, 0);
+
+        // Dropping one duplicate shows as an improvement, not a wash.
+        let (better_map, _) = collapse(&violations[1..]);
+        let (reg, imp) = compare(&better_map, &parsed);
+        assert!(reg.is_empty());
+        assert_eq!(imp.len(), 1);
+        assert_eq!(imp[0].1, 1); // current
+        assert_eq!(imp[0].2, 2); // frozen
+    }
+
+    #[test]
+    fn moving_a_violation_is_free() {
+        let before = vec![v("no-unwrap", "crates/a/src/lib.rs", 3, "  x.unwrap();")];
+        let after = vec![v("no-unwrap", "crates/a/src/lib.rs", 300, "x.unwrap();")];
+        let (frozen, _) = collapse(&before);
+        let (current, _) = collapse(&after);
+        let (reg, imp) = compare(&current, &frozen);
+        assert!(reg.is_empty() && imp.is_empty());
+    }
+
+    #[test]
+    fn v1_files_get_a_migration_hint() {
+        let err = parse("no-unwrap\tcrates/a/src/lib.rs\t3\n").unwrap_err();
+        assert!(err.contains("v1"), "{err}");
+        assert!(err.contains("--update-ratchet"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+        assert!(parse("no-unwrap crates/a.rs deadbeef 1 hint\n").is_err());
+        assert!(parse("no-unwrap\tcrates/a.rs\tnothex\t1\thint\n").is_err());
+        assert!(parse("no-unwrap\tcrates/a.rs\tdeadbeefdeadbeef\tmany\thint\n").is_err());
+        // Hint column is optional-ish: missing hint is still 5 columns via
+        // trailing tab, but a 4-column line parses too? No — count is the
+        // 4th column and the hint the 5th; 4 columns parse fine.
+        assert!(parse("no-unwrap\tcrates/a.rs\tdeadbeefdeadbeef\t1\n").is_ok());
+    }
+
+    #[test]
+    fn mark_frozen_budgets_per_fingerprint() {
+        let violations = vec![
+            v("no-unwrap", "crates/a/src/lib.rs", 3, "x.unwrap();"),
+            v("no-unwrap", "crates/a/src/lib.rs", 9, "x.unwrap();"),
+            v("no-unwrap", "crates/a/src/lib.rs", 12, "y.unwrap();"),
+        ];
+        // Freeze only one copy of the x line, nothing else.
+        let (mut frozen, _) = collapse(&violations[..1]);
+        frozen.iter_mut().for_each(|(_, c)| *c = 1);
+        let marks = mark_frozen(&violations, &frozen);
+        assert_eq!(marks, vec![true, false, false]);
+    }
+
+    #[test]
+    fn hints_truncate_long_lines() {
+        let long = "x".repeat(200);
+        let violations = vec![v("no-unwrap", "f.rs", 1, &long)];
+        let (_, hints) = collapse(&violations);
+        let hint = hints.values().next().unwrap();
+        assert!(hint.len() < 90);
+        assert!(hint.ends_with('…'));
+    }
+}

@@ -1,0 +1,226 @@
+//! Workspace-wide properties: the lexer must be total, deterministic, and
+//! per-token idempotent on every `.rs` file in the repository — including
+//! this one — plus a seeded fuzz loop over random slices, and an
+//! end-to-end smoke run of the full analyzer.
+
+use memlint::lexer::{self, Kind};
+use memutil::rng::{RngCore, SeedableRng, SmallRng};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/memlint has a workspace root")
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git");
+            if !skip {
+                collect_rs(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_sources() -> Vec<(PathBuf, String)> {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    for top in ["src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files);
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() > 30,
+        "workspace walk found only {}",
+        files.len()
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable source");
+            (p, text)
+        })
+        .collect()
+}
+
+/// Totality: the token texts tile the input exactly (gaps are whitespace
+/// only), so no byte of any workspace source confuses the lexer into
+/// skipping or double-counting.
+fn assert_total(src: &str, context: &str) {
+    let tokens = lexer::lex(src);
+    let mut covered = 0usize;
+    let mut line = 1u32;
+    for t in &tokens {
+        assert!(
+            t.start >= covered,
+            "{context}: overlapping token at {}",
+            t.start
+        );
+        let gap = &src[covered..t.start];
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "{context}: non-whitespace gap {gap:?} before byte {}",
+            t.start
+        );
+        line += gap.bytes().filter(|&b| b == b'\n').count() as u32;
+        assert_eq!(
+            t.line, line,
+            "{context}: wrong line for token at {}",
+            t.start
+        );
+        line += t.text.bytes().filter(|&b| b == b'\n').count() as u32;
+        covered = t.start + t.text.len();
+    }
+    assert!(
+        src[covered..].chars().all(char::is_whitespace),
+        "{context}: trailing non-whitespace after byte {covered}"
+    );
+}
+
+#[test]
+fn lexing_is_total_on_every_workspace_file() {
+    for (path, text) in workspace_sources() {
+        assert_total(&text, &path.display().to_string());
+    }
+}
+
+#[test]
+fn lexing_is_deterministic_on_every_workspace_file() {
+    for (path, text) in workspace_sources() {
+        let a = lexer::lex(&text);
+        let b = lexer::lex(&text);
+        assert_eq!(a, b, "{}: two lexes differ", path.display());
+    }
+}
+
+/// Idempotence, per token: re-lexing one token's own text yields exactly
+/// one token of the same kind and text. (Whole-stream re-joining is not
+/// meaningful — a line comment swallows anything appended to its line.)
+#[test]
+fn lexing_is_idempotent_per_token_on_every_workspace_file() {
+    for (path, text) in workspace_sources() {
+        for t in lexer::lex(&text) {
+            let again = lexer::lex(t.text);
+            assert_eq!(
+                again.len(),
+                1,
+                "{}: token {:?} re-lexes to {} tokens",
+                path.display(),
+                t.text,
+                again.len()
+            );
+            assert_eq!(
+                again[0].kind,
+                t.kind,
+                "{}: token {:?}",
+                path.display(),
+                t.text
+            );
+            assert_eq!(again[0].text, t.text, "{}", path.display());
+        }
+    }
+}
+
+/// Seeded fuzz: lexing arbitrary slices of real source (usually invalid
+/// Rust — split mid-string, mid-comment, mid-token) must still be total
+/// and panic-free. Character-boundary slicing keeps inputs valid UTF-8.
+#[test]
+fn lexing_survives_seeded_random_slices() {
+    let sources = workspace_sources();
+    let mut rng = SmallRng::seed_from_u64(0x4d45_4d43_4f4e); // "MEMCON"
+    for round in 0..400u32 {
+        let (path, text) = &sources[(rng.next_u64() as usize) % sources.len()];
+        if text.is_empty() {
+            continue;
+        }
+        let mut a = (rng.next_u64() as usize) % (text.len() + 1);
+        let mut b = (rng.next_u64() as usize) % (text.len() + 1);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        while !text.is_char_boundary(a) {
+            a -= 1;
+        }
+        while !text.is_char_boundary(b) {
+            b -= 1;
+        }
+        let slice = &text[a..b.max(a)];
+        assert_total(
+            slice,
+            &format!("round {round}, {}[{a}..{b}]", path.display()),
+        );
+    }
+}
+
+/// Comments and strings are exactly the token kinds rules skip; make sure
+/// the workspace contains a healthy mix of all kinds (guards against the
+/// lexer silently degrading everything to `Punct`).
+#[test]
+fn workspace_token_kind_census_is_plausible() {
+    let mut idents = 0usize;
+    let mut strings = 0usize;
+    let mut comments = 0usize;
+    let mut lifetimes = 0usize;
+    for (_, text) in workspace_sources() {
+        for t in lexer::lex(&text) {
+            match t.kind {
+                Kind::Ident => idents += 1,
+                Kind::Str => strings += 1,
+                Kind::LineComment | Kind::BlockComment => comments += 1,
+                Kind::Lifetime => lifetimes += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(idents > 10_000, "only {idents} identifiers");
+    assert!(strings > 500, "only {strings} strings");
+    assert!(comments > 1_000, "only {comments} comments");
+    assert!(lifetimes > 10, "only {lifetimes} lifetimes");
+}
+
+/// End-to-end: the analyzer runs over the real workspace without errors,
+/// its JSON report parses and round-trips, and the ratchet on disk is in
+/// sync with the tree (CI fails otherwise, so catch it in tier-1 too).
+#[test]
+fn analyzer_runs_clean_on_the_workspace() {
+    let outcome = memlint::run(&workspace_root(), false).expect("lint run succeeds");
+    assert!(outcome.files > 30);
+    let json = outcome.to_json();
+    let text = json.emit();
+    let back = memutil::json::Json::parse(&text).expect("report parses");
+    assert_eq!(back, json);
+    assert_eq!(
+        back.get("schema").and_then(memutil::json::Json::as_str),
+        Some(memlint::REPORT_SCHEMA)
+    );
+    assert!(outcome.passed(), "net-new lint violations:\n{outcome}");
+    assert!(
+        outcome.ratchet_in_sync,
+        "ratchet out of sync; run `cargo run -p xtask -- lint --update-ratchet`"
+    );
+}
+
+/// Diagnostic helper, not part of the suite: prints every current finding.
+/// Run with `cargo test -p memlint --test workspace -- --ignored --nocapture`.
+#[test]
+#[ignore = "diagnostic: prints every current finding"]
+fn print_workspace_findings() {
+    let outcome = memlint::run(&workspace_root(), false).expect("lint run succeeds");
+    for (v, frozen) in outcome.violations.iter().zip(&outcome.frozen) {
+        println!("{}{}", if *frozen { "frozen " } else { "NEW    " }, v);
+    }
+    println!("{outcome}");
+}

@@ -126,7 +126,11 @@ impl WriteTrace {
     }
 
     fn intervals_impl(&self, include_tail: bool) -> Vec<Interval> {
-        let mut last_write: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: the tail loop below emits one interval per
+        // page, and hash order would make the output ordering differ per
+        // process. This is a cold path (once per trace).
+        let mut last_write: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
         let mut out = Vec::new();
         for e in &self.events {
             if let Some(prev) = last_write.insert(e.page, e.time_ns) {

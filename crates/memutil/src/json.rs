@@ -46,9 +46,8 @@ impl Json {
 
     /// Adds (or replaces) `key` on an object, builder-style.
     ///
-    /// # Panics
-    ///
-    /// Panics if `self` is not an object.
+    /// On a non-object this is a no-op (and a `debug_assert!` failure in
+    /// debug builds — it is always a caller bug).
     #[must_use]
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
         self.set(key, value);
@@ -57,12 +56,12 @@ impl Json {
 
     /// Adds (or replaces) `key` on an object in place.
     ///
-    /// # Panics
-    ///
-    /// Panics if `self` is not an object.
+    /// On a non-object this is a no-op (and a `debug_assert!` failure in
+    /// debug builds — it is always a caller bug).
     pub fn set(&mut self, key: &str, value: impl Into<Json>) {
         let Json::Obj(fields) = self else {
-            panic!("Json::set on a non-object");
+            debug_assert!(false, "Json::set on a non-object");
+            return;
         };
         let value = value.into();
         if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
@@ -74,13 +73,13 @@ impl Json {
 
     /// Appends to an array, builder-style.
     ///
-    /// # Panics
-    ///
-    /// Panics if `self` is not an array.
+    /// On a non-array this returns `self` unchanged (and is a
+    /// `debug_assert!` failure in debug builds — it is always a caller bug).
     #[must_use]
     pub fn push(mut self, value: impl Into<Json>) -> Self {
         let Json::Arr(items) = &mut self else {
-            panic!("Json::push on a non-array");
+            debug_assert!(false, "Json::push on a non-array");
+            return self;
         };
         items.push(value.into());
         self

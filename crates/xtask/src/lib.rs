@@ -1,12 +1,18 @@
-//! Workspace automation: `memlint` and the offline `ci` pipeline.
+//! Workspace automation: the `memlint` driver and the offline `ci`
+//! pipeline.
 //!
-//! `memlint` is a dependency-free source scanner enforcing repo-specific
-//! hygiene rules that `rustc` cannot express (see [`lint`] for the rule
-//! set). Pre-existing violations are frozen in a checked-in **ratchet**
-//! file (`memlint.ratchet` at the workspace root): the lint fails only
-//! when a `(rule, file)` pair *exceeds* its frozen count, so the debt can
-//! only shrink. `cargo run -p xtask -- lint --update-ratchet` re-freezes
-//! the file after paying some down.
+//! The lint engine itself lives in the `memlint` crate (token-level
+//! determinism analyzer + cross-artifact consistency checks); [`lint_cmd`]
+//! is a thin driver that runs it over the workspace, prints the report,
+//! and optionally emits the `memcon-memlint/v1` JSON document
+//! (`lint --json[=PATH]`). Pre-existing violations are frozen in a
+//! checked-in **ratchet** file (`memlint.ratchet` at the workspace root)
+//! keyed by `(rule, file, normalized-line fingerprint)`: the lint fails
+//! only on findings not covered by a frozen entry, so the debt can only
+//! shrink. `cargo run -p xtask -- lint --update-ratchet` re-freezes the
+//! file after paying some down; both `lint` and `ci` also fail when the
+//! checked-in ratchet is out of sync with the tree (stale entries are
+//! debt that was paid but not tightened).
 //!
 //! `ci` chains the whole offline gate: rustfmt check (when rustfmt is
 //! installed), `memlint`, a release build, the parallel-engine determinism
@@ -23,7 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
-pub mod lint;
 pub mod obs;
 
 use std::path::{Path, PathBuf};
@@ -42,22 +47,43 @@ pub fn workspace_root() -> PathBuf {
 
 /// Runs `memlint` over the workspace and prints a report.
 ///
-/// Returns a process exit code: `0` when every `(rule, file)` count is at
-/// or below its ratchet entry, `1` on regressions or (without `update`) a
-/// ratchet file that no longer parses.
+/// `json` additionally emits the `memcon-memlint/v1` report document:
+/// `Some("-")` to stdout (suppressing the human report), `Some(path)` to a
+/// file.
+///
+/// Returns a process exit code: `0` when every finding is covered by the
+/// ratchet **and** the ratchet byte-matches what `--update-ratchet` would
+/// write; `1` on net-new findings, a stale/malformed ratchet, or I/O
+/// errors.
 #[must_use]
-pub fn lint_cmd(update_ratchet: bool) -> i32 {
+pub fn lint_cmd(update_ratchet: bool, json: Option<&str>) -> i32 {
     let root = workspace_root();
-    match lint::run(&root, update_ratchet) {
-        Ok(report) => {
-            print!("{report}");
-            i32::from(!report.passed())
-        }
+    let outcome = match memlint::run(&root, update_ratchet) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("memlint: {e}");
-            1
+            return 1;
         }
+    };
+    let mut doc = outcome.to_json().emit();
+    doc.push('\n');
+    match json {
+        Some("-") => print!("{doc}"),
+        Some(path) => {
+            let path = root.join(path);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("memlint: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            print!("{outcome}");
+            println!("memlint: JSON report written to {}", path.display());
+        }
+        None => print!("{outcome}"),
     }
+    i32::from(!(outcome.passed() && outcome.ratchet_in_sync))
 }
 
 /// Runs the offline CI pipeline: fmt-check (if rustfmt is installed),
@@ -84,8 +110,8 @@ pub fn ci_cmd(bench: bool) -> i32 {
         println!("ci: rustfmt not installed; skipping format check");
     }
 
-    println!("ci: memlint");
-    let lint_code = lint_cmd(false);
+    println!("ci: memlint (JSON report to target/memlint-report.json)");
+    let lint_code = lint_cmd(false, Some("target/memlint-report.json"));
     if lint_code != 0 {
         return lint_code;
     }
@@ -413,6 +439,10 @@ fn relative_delta(base: f64, current: f64) -> f64 {
     }
 }
 
+/// Schema tag of `BENCH_baseline.json` (memlint's `schema-once` rule
+/// requires exactly one definition per schema string).
+const BENCH_BASELINE_SCHEMA: &str = "memcon-bench-baseline/v1";
+
 /// The subset of `BENCH_baseline.json` that `bench compare` consumes.
 struct BenchBaseline {
     profile: String,
@@ -430,7 +460,7 @@ fn parse_baseline(text: &str) -> Result<BenchBaseline, String> {
     use memutil::json::Json;
     let doc = Json::parse(text)?;
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "memcon-bench-baseline/v1" {
+    if schema != BENCH_BASELINE_SCHEMA {
         return Err(format!("unsupported baseline schema {schema:?}"));
     }
     let profile = doc
@@ -503,7 +533,7 @@ fn baseline_json(profile: &str, results: &[memutil::bench::BenchResult]) -> Stri
         benchmarks = benchmarks.push(o);
     }
     let mut out = Json::obj()
-        .field("schema", "memcon-bench-baseline/v1")
+        .field("schema", BENCH_BASELINE_SCHEMA)
         .field("command", "cargo run --release -p xtask -- bench baseline")
         .field("profile", profile)
         .field("benchmarks", benchmarks)

@@ -5,7 +5,14 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("lint") => {
             let update = args.iter().any(|a| a == "--update-ratchet");
-            xtask::lint_cmd(update)
+            let json = args.iter().find_map(|a| {
+                if a == "--json" {
+                    Some("-")
+                } else {
+                    a.strip_prefix("--json=")
+                }
+            });
+            xtask::lint_cmd(update, json)
         }
         Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
         Some("obs") => xtask::obs::obs_cmd(&args[1..]),
@@ -39,7 +46,11 @@ fn usage() {
         "usage: cargo run -p xtask -- <command>\n\
          \n\
          commands:\n\
-         \x20 lint [--update-ratchet]   run memlint against the ratchet\n\
+         \x20 lint [--update-ratchet] [--json[=PATH]]\n\
+         \x20                           run memlint against the ratchet; --json\n\
+         \x20                           emits the memcon-memlint/v1 report to\n\
+         \x20                           stdout (or PATH, relative to the\n\
+         \x20                           workspace root)\n\
          \x20 ci [--bench]              fmt-check (if rustfmt present), memlint,\n\
          \x20                           cargo build --release, the --jobs 1-vs-4\n\
          \x20                           output + telemetry determinism gate,\n\
