@@ -31,6 +31,7 @@ use memtrace::workload::WorkloadProfile;
 /// bench harness and `xtask bench baseline`).
 pub fn register(c: &mut Criterion) {
     bench_pril(c);
+    bench_refreshmgr(c);
     bench_tester(c);
     bench_failure_model(c);
     bench_cost_model(c);
@@ -101,6 +102,56 @@ fn bench_pril(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // The streaming front door: the same writes through the batch entry
+    // point, as a drained ingestion buffer would submit them.
+    g.bench_function("on_write_batch_10k", |b| {
+        b.iter_batched(
+            || Pril::new(65_536, 4096),
+            |mut pril| {
+                pril.on_write_batch(&writes);
+                std::hint::black_box(pril.end_quantum())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_refreshmgr(c: &mut Criterion) {
+    use memcon::refreshmgr::{PageState, RefreshManager};
+    let mut g = c.benchmark_group("refreshmgr");
+    // Sparse due-plane tick: a large population (64 Ki pages) where only a
+    // tiny LO-REF cohort comes due inside the polled window — the shape the
+    // calendar queue exists for (a linear scan would pay 64 Ki probes per
+    // tick regardless of due count).
+    const N_PAGES: u64 = 65_536;
+    const MS: u64 = 1_000_000;
+    g.bench_function("tick_sparse", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = RefreshManager::new(N_PAGES, 16.0, 64.0);
+                // Most pages idle at LO-REF (due at 65 ms); a 512-page hot
+                // cohort re-enters HI-REF at 1 ms and is due at 17 ms.
+                for page in 0..N_PAGES {
+                    mgr.transition(page, PageState::LoRef, MS);
+                }
+                for page in 0..512u64 {
+                    mgr.transition(page, PageState::HiRef, MS);
+                }
+                mgr
+            },
+            |mut mgr| {
+                let mut due = Vec::new();
+                // Eight 2-ms ticks across 16-32 ms: only the hot cohort's
+                // 17 ms instants (and their 33 ms reschedules) come due.
+                for tick in 8..16u64 {
+                    mgr.pop_due_refreshes(tick * 2 * MS, &mut due);
+                }
+                std::hint::black_box(due.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 
@@ -145,10 +196,16 @@ fn bench_pareto(c: &mut Criterion) {
 
 fn bench_trace_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_generation");
-    g.sample_size(10);
+    g.sample_size(20);
     g.bench_function("netflix_scaled", |b| {
         let w = WorkloadProfile::netflix().scaled(0.05);
         b.iter(|| std::hint::black_box(w.generate(11).len()))
+    });
+    // The same trace through the fanned-out path at --jobs 4 (byte-identical
+    // output; on a single-core host this measures the fan-out overhead).
+    g.bench_function("netflix_scaled_jobs4", |b| {
+        let w = WorkloadProfile::netflix().scaled(0.05);
+        b.iter(|| std::hint::black_box(w.generate_with_jobs(11, 4).len()))
     });
     g.finish();
 }

@@ -19,8 +19,32 @@
 //! When the current buffer overflows, the new page is simply not tracked
 //! (it stays at HI-REF — a lost opportunity, never a correctness issue),
 //! matching the paper's footnote 10.
-
-use std::collections::HashSet;
+//!
+//! # Struct-of-arrays layout (raw-speed wave 2)
+//!
+//! Per-page metadata is three parallel bit-vectors plus one counter and one
+//! log per quantum tracker:
+//!
+//! * `map` — written at least once this quantum (as in the paper's RTL),
+//! * `buf` — buffered as a candidate-in-waiting; the write-*buffer* of the
+//!   paper is this bitmap, not a hash set,
+//! * `len` — popcount of `buf`, giving O(1) capacity/occupancy checks,
+//! * `order` — bounded insertion-order log (one entry per page per quantum,
+//!   appended on step ¶ only) used for capacity/overflow accounting and the
+//!   sparse quantum-end drain.
+//!
+//! Step ¸ clears the previous-buffer bit *eagerly* on each write, so the
+//! candidate set at quantum end is exactly the surviving `previous.buf`
+//! bits — the `previous & !current` candidacy algebra is maintained as the
+//! standing invariant `previous.buf & current.map == 0` rather than
+//! recomputed, and `end_quantum` reduces to an ascending bit-scan (dense) or
+//! a filtered order-log replay (sparse). Every per-write operation is a
+//! couple of word indexings and mask ops with no hashing and no
+//! data-dependent memory allocation.
+//!
+//! The pre-wave hash-set implementation is retained as [`reference`] (under
+//! `cfg(test)` or the `slow-reference` feature) and pinned bit-identical by
+//! seeded equivalence property tests.
 
 /// Page identifier (8 KB granularity).
 pub type PageId = u64;
@@ -58,34 +82,39 @@ pub struct PrilStats {
     pub quanta: u64,
 }
 
-/// One write-map + write-buffer pair for a single quantum.
+/// One write-map + write-buffer pair for a single quantum, stored as
+/// struct-of-arrays bit-vectors.
 #[derive(Debug, Clone, Default)]
 struct QuantumTracker {
     /// Bit per page: written at least once this quantum.
     map: Vec<u64>,
-    /// Pages written exactly once this quantum (bounded).
-    buffer: HashSet<PageId>,
+    /// Bit per page: buffered as a candidate-in-waiting (bounded by `len`).
+    buf: Vec<u64>,
+    /// Popcount of `buf`, maintained incrementally.
+    len: usize,
+    /// Insertion-order log: pages appended on first-write insertion. Each
+    /// page appears at most once per quantum (the map bit forbids
+    /// re-insertion), so the log is bounded by the insertions the capacity
+    /// check admitted; evicted pages stay in the log and are filtered by the
+    /// `buf` bitmap on drain.
+    order: Vec<PageId>,
 }
 
 impl QuantumTracker {
-    fn new(n_pages: u64) -> Self {
+    fn new(n_words: usize) -> Self {
         QuantumTracker {
-            map: vec![0; (n_pages as usize).div_ceil(64)],
-            buffer: HashSet::new(),
+            map: vec![0; n_words],
+            buf: vec![0; n_words],
+            len: 0,
+            order: Vec::new(),
         }
-    }
-
-    fn map_get(&self, page: PageId) -> bool {
-        (self.map[(page / 64) as usize] >> (page % 64)) & 1 == 1
-    }
-
-    fn map_set(&mut self, page: PageId) {
-        self.map[(page / 64) as usize] |= 1 << (page % 64);
     }
 
     fn clear(&mut self) {
         self.map.iter_mut().for_each(|w| *w = 0);
-        self.buffer.clear();
+        self.buf.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+        self.order.clear();
     }
 }
 
@@ -96,6 +125,7 @@ pub struct Pril {
     previous: QuantumTracker,
     capacity: usize,
     n_pages: u64,
+    n_words: usize,
     policy: TrackingPolicy,
     /// Accumulated statistics.
     pub stats: PrilStats,
@@ -121,11 +151,13 @@ impl Pril {
     #[must_use]
     pub fn with_policy(n_pages: u64, capacity: usize, policy: TrackingPolicy) -> Self {
         assert!(capacity > 0, "write buffer needs capacity");
+        let n_words = (n_pages as usize).div_ceil(64);
         Pril {
-            current: QuantumTracker::new(n_pages),
-            previous: QuantumTracker::new(n_pages),
+            current: QuantumTracker::new(n_words),
+            previous: QuantumTracker::new(n_words),
             capacity,
             n_pages,
+            n_words,
             policy,
             stats: PrilStats::default(),
         }
@@ -140,14 +172,58 @@ impl Pril {
     /// Current write-buffer occupancy.
     #[must_use]
     pub fn buffer_len(&self) -> usize {
-        self.current.buffer.len()
+        self.current.len
     }
 
     /// Whether `page` is currently a candidate-in-waiting (written exactly
     /// once in the previous quantum, unwritten since).
     #[must_use]
     pub fn is_pending_candidate(&self, page: PageId) -> bool {
-        self.previous.buffer.contains(&page)
+        (self.previous.buf[(page >> 6) as usize] >> (page & 63)) & 1 == 1
+    }
+
+    /// One write, stats.writes excluded (hoisted by the batch entry point).
+    #[inline]
+    fn write_one(&mut self, page: PageId) {
+        assert!(page < self.n_pages, "page {page} out of range");
+        let w = (page >> 6) as usize;
+        let bit = 1u64 << (page & 63);
+        // Step ¸: a write in this quantum disqualifies the page from the
+        // previous quantum's candidacy. Eager bit-clear keeps the candidate
+        // algebra (previous.buf & current.map == 0) standing and the
+        // eviction stat exact at any mid-quantum observation point.
+        let prev_buf = self.previous.buf[w];
+        if prev_buf & bit != 0 {
+            self.previous.buf[w] = prev_buf & !bit;
+            self.previous.len -= 1;
+            self.stats.evicted_previous += 1;
+        }
+        let cur_map = self.current.map[w];
+        if cur_map & bit != 0 {
+            // Step ·: repeat write — interval shorter than a quantum.
+            // Under the paper's single-write policy the page is dropped;
+            // the any-write ablation keeps it (its *current interval* still
+            // restarts via the map, but candidacy survives).
+            if self.policy == TrackingPolicy::SingleWrite {
+                let cur_buf = self.current.buf[w];
+                if cur_buf & bit != 0 {
+                    self.current.buf[w] = cur_buf & !bit;
+                    self.current.len -= 1;
+                    self.stats.evicted_repeat += 1;
+                }
+            }
+        } else {
+            // Step ¶: first write this quantum.
+            self.current.map[w] = cur_map | bit;
+            if self.current.len < self.capacity {
+                self.current.buf[w] |= bit;
+                self.current.len += 1;
+                self.current.order.push(page);
+                self.stats.inserted += 1;
+            } else {
+                self.stats.overflowed += 1;
+            }
+        }
     }
 
     /// Processes a write access to `page` (Fig. 13, left side).
@@ -156,35 +232,34 @@ impl Pril {
     ///
     /// Panics if `page` is out of range.
     pub fn on_write(&mut self, page: PageId) {
-        assert!(page < self.n_pages, "page {page} out of range");
         self.stats.writes += 1;
-        // Step ¸: a write in this quantum disqualifies the page from the
-        // previous quantum's candidacy.
-        if self.previous.buffer.remove(&page) {
-            self.stats.evicted_previous += 1;
-        }
-        if self.current.map_get(page) {
-            // Step ·: repeat write — interval shorter than a quantum.
-            // Under the paper's single-write policy the page is dropped;
-            // the any-write ablation keeps it (its *current interval* still
-            // restarts via the map, but candidacy survives).
-            if self.policy == TrackingPolicy::SingleWrite && self.current.buffer.remove(&page) {
-                self.stats.evicted_repeat += 1;
-            }
-        } else {
-            // Step ¶: first write this quantum.
-            self.current.map_set(page);
-            if self.current.buffer.len() < self.capacity {
-                self.current.buffer.insert(page);
-                self.stats.inserted += 1;
-            } else {
-                self.stats.overflowed += 1;
-            }
+        self.write_one(page);
+    }
+
+    /// Processes a batch of write accesses, equivalent to calling
+    /// [`Pril::on_write`] for each page in order. This is the streaming
+    /// front-door entry point: the write counter is bumped once and the
+    /// per-write path is a handful of word ops, so a drained ingestion
+    /// buffer costs a few ns per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is out of range.
+    pub fn on_write_batch(&mut self, pages: &[PageId]) {
+        self.stats.writes += pages.len() as u64;
+        for &page in pages {
+            self.write_one(page);
         }
     }
 
     /// Validates the tracker's internal consistency. Called by strict-mode
     /// harnesses at quantum boundaries.
+    ///
+    /// All checks are word-wise bit algebra or O(1) counter comparisons —
+    /// the page-conservation check in particular reads only the SoA
+    /// occupancy counters, so strict-mode soaks no longer pay a per-page
+    /// sweep per quantum. On a violation the reported witness page is
+    /// deterministic (the lowest offending page id).
     ///
     /// # Errors
     ///
@@ -192,39 +267,66 @@ impl Pril {
     ///
     /// * both write-buffers respect the configured capacity,
     /// * every buffered page is in range and has its write-map bit set
-    ///   (buffer ⊆ map),
+    ///   (buffer ⊆ map, word-wise `buf & !map == 0`),
+    /// * the occupancy counter matches the buffer popcount,
+    /// * candidacy algebra: `previous.buf & current.map == 0` (eager step ¸
+    ///   never leaves a current-quantum-written page pending),
     /// * page conservation: every inserted page is accounted for — drained
     ///   as a candidate, evicted (repeat or previous-quantum write), or
     ///   still resident in one of the two buffers.
     pub fn check_invariants(&self) -> Result<(), String> {
+        let tail_mask = match self.n_pages & 63 {
+            0 => u64::MAX,
+            bits => (1u64 << bits) - 1,
+        };
         for (name, tracker) in [("current", &self.current), ("previous", &self.previous)] {
-            if tracker.buffer.len() > self.capacity {
+            if tracker.len > self.capacity {
                 return Err(format!(
                     "{name} buffer holds {} pages, capacity {}",
-                    tracker.buffer.len(),
-                    self.capacity
+                    tracker.len, self.capacity
                 ));
             }
-            // Order-insensitive sweep: every page must satisfy the same
-            // predicate, and the result is pass/fail (see KNOWN_FAILURES.md
-            // on the error message naming a hash-order-dependent witness).
-            // memlint: allow(map-iter-order): order-insensitive invariant sweep
-            for &page in &tracker.buffer {
-                if page >= self.n_pages {
-                    return Err(format!("{name} buffer holds out-of-range page {page}"));
-                }
-                if !tracker.map_get(page) {
+            let mut popcount = 0usize;
+            for (w, (&buf, &map)) in tracker.buf.iter().zip(&tracker.map).enumerate() {
+                popcount += buf.count_ones() as usize;
+                let orphan = buf & !map;
+                if orphan != 0 {
+                    let page = (w as u64) << 6 | u64::from(orphan.trailing_zeros());
                     return Err(format!(
                         "{name} buffer holds page {page} but its write-map bit is clear"
                     ));
                 }
             }
+            if let Some((&last_buf, &last_map)) = tracker.buf.last().zip(tracker.map.last()) {
+                let stray = (last_buf | last_map) & !tail_mask;
+                if stray != 0 {
+                    let page = ((self.n_words as u64 - 1) << 6) | u64::from(stray.trailing_zeros());
+                    return Err(format!("{name} buffer holds out-of-range page {page}"));
+                }
+            }
+            if popcount != tracker.len {
+                return Err(format!(
+                    "{name} buffer occupancy counter {} disagrees with popcount {popcount}",
+                    tracker.len
+                ));
+            }
+        }
+        for (w, (&prev_buf, &cur_map)) in
+            self.previous.buf.iter().zip(&self.current.map).enumerate()
+        {
+            let stale = prev_buf & cur_map;
+            if stale != 0 {
+                let page = (w as u64) << 6 | u64::from(stale.trailing_zeros());
+                return Err(format!(
+                    "page {page} is pending candidacy but was written this quantum"
+                ));
+            }
         }
         let accounted = self.stats.candidates
             + self.stats.evicted_repeat
             + self.stats.evicted_previous
-            + self.current.buffer.len() as u64
-            + self.previous.buffer.len() as u64;
+            + self.current.len as u64
+            + self.previous.len as u64;
         if self.stats.inserted != accounted {
             return Err(format!(
                 "page conservation broken: {} inserted but {accounted} accounted for \
@@ -233,7 +335,7 @@ impl Pril {
                 self.stats.candidates,
                 self.stats.evicted_repeat,
                 self.stats.evicted_previous,
-                self.current.buffer.len() + self.previous.buffer.len(),
+                self.current.len + self.previous.len,
             ));
         }
         Ok(())
@@ -241,18 +343,160 @@ impl Pril {
 
     /// Ends the quantum (Fig. 13, right side): returns the test candidates
     /// (pages written exactly once in the previous quantum and untouched in
-    /// this one), clears the previous tracker, and swaps.
+    /// this one) in ascending page order, clears the previous tracker, and
+    /// swaps.
     pub fn end_quantum(&mut self) -> Vec<PageId> {
         self.stats.quanta += 1;
-        // The buffer stays a HashSet (on_write is the front-door hot path);
-        // the hash-order drain is made deterministic by the sort below.
-        // memlint: allow(map-iter-order): drained candidates are sorted on the next line
-        let mut candidates: Vec<PageId> = self.previous.buffer.drain().collect();
-        candidates.sort_unstable();
+        let prev = &self.previous;
+        let mut candidates: Vec<PageId> = Vec::with_capacity(prev.len);
+        if prev.len > 0 {
+            // Sparse quanta replay the bounded order log (filtering evicted
+            // pages by their cleared bit); dense quanta scan the bitmap
+            // directly. Both yield the surviving bits — the choice depends
+            // only on tracker state, so the result is deterministic either
+            // way.
+            if prev.order.len() < self.n_words / 8 {
+                for &page in &prev.order {
+                    if (prev.buf[(page >> 6) as usize] >> (page & 63)) & 1 == 1 {
+                        candidates.push(page);
+                    }
+                }
+                candidates.sort_unstable();
+            } else {
+                for (w, &word) in prev.buf.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        candidates.push((w as u64) << 6 | u64::from(word.trailing_zeros()));
+                        word &= word - 1;
+                    }
+                }
+            }
+        }
         self.stats.candidates += candidates.len() as u64;
         self.previous.clear();
         std::mem::swap(&mut self.current, &mut self.previous);
         candidates
+    }
+}
+
+/// The pre-wave hash-set implementation, retained as the slow reference for
+/// equivalence property tests (PR-3 style). Semantics are pinned: the SoA
+/// path must match this structure write-for-write on every observable —
+/// candidates, stats, occupancy, pending-candidacy — under both tracking
+/// policies, including the overflow edge.
+#[cfg(any(test, feature = "slow-reference"))]
+pub mod reference {
+    use super::{PageId, PrilStats, TrackingPolicy};
+    use std::collections::HashSet;
+
+    #[derive(Debug, Clone, Default)]
+    struct QuantumTracker {
+        map: Vec<u64>,
+        buffer: HashSet<PageId>,
+    }
+
+    impl QuantumTracker {
+        fn new(n_pages: u64) -> Self {
+            QuantumTracker {
+                map: vec![0; (n_pages as usize).div_ceil(64)],
+                buffer: HashSet::new(),
+            }
+        }
+
+        fn map_get(&self, page: PageId) -> bool {
+            (self.map[(page / 64) as usize] >> (page % 64)) & 1 == 1
+        }
+
+        fn map_set(&mut self, page: PageId) {
+            self.map[(page / 64) as usize] |= 1 << (page % 64);
+        }
+
+        fn clear(&mut self) {
+            self.map.iter_mut().for_each(|w| *w = 0);
+            self.buffer.clear();
+        }
+    }
+
+    /// Hash-set PRIL (the pre-wave implementation).
+    #[derive(Debug)]
+    pub struct PrilRef {
+        current: QuantumTracker,
+        previous: QuantumTracker,
+        capacity: usize,
+        n_pages: u64,
+        policy: TrackingPolicy,
+        /// Accumulated statistics.
+        pub stats: PrilStats,
+    }
+
+    impl PrilRef {
+        /// Creates a reference predictor with an explicit tracking policy.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero.
+        #[must_use]
+        pub fn with_policy(n_pages: u64, capacity: usize, policy: TrackingPolicy) -> Self {
+            assert!(capacity > 0, "write buffer needs capacity");
+            PrilRef {
+                current: QuantumTracker::new(n_pages),
+                previous: QuantumTracker::new(n_pages),
+                capacity,
+                n_pages,
+                policy,
+                stats: PrilStats::default(),
+            }
+        }
+
+        /// Current write-buffer occupancy.
+        #[must_use]
+        pub fn buffer_len(&self) -> usize {
+            self.current.buffer.len()
+        }
+
+        /// Whether `page` is a candidate-in-waiting.
+        #[must_use]
+        pub fn is_pending_candidate(&self, page: PageId) -> bool {
+            self.previous.buffer.contains(&page)
+        }
+
+        /// Processes a write access to `page`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `page` is out of range.
+        pub fn on_write(&mut self, page: PageId) {
+            assert!(page < self.n_pages, "page {page} out of range");
+            self.stats.writes += 1;
+            if self.previous.buffer.remove(&page) {
+                self.stats.evicted_previous += 1;
+            }
+            if self.current.map_get(page) {
+                if self.policy == TrackingPolicy::SingleWrite && self.current.buffer.remove(&page) {
+                    self.stats.evicted_repeat += 1;
+                }
+            } else {
+                self.current.map_set(page);
+                if self.current.buffer.len() < self.capacity {
+                    self.current.buffer.insert(page);
+                    self.stats.inserted += 1;
+                } else {
+                    self.stats.overflowed += 1;
+                }
+            }
+        }
+
+        /// Ends the quantum and returns the sorted candidates.
+        pub fn end_quantum(&mut self) -> Vec<PageId> {
+            self.stats.quanta += 1;
+            // memlint: allow(map-iter-order): drained candidates are sorted on the next line
+            let mut candidates: Vec<PageId> = self.previous.buffer.drain().collect();
+            candidates.sort_unstable();
+            self.stats.candidates += candidates.len() as u64;
+            self.previous.clear();
+            std::mem::swap(&mut self.current, &mut self.previous);
+            candidates
+        }
     }
 }
 
@@ -391,6 +635,37 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_rejects_out_of_range_page() {
+        pril().on_write_batch(&[1, 2, 5000]);
+    }
+
+    #[test]
+    fn batch_matches_per_write_loop() {
+        let mut a = pril();
+        let mut b = pril();
+        let pages = [1u64, 2, 3, 2, 1, 4, 1023, 4];
+        a.on_write_batch(&pages);
+        for &page in &pages {
+            b.on_write(page);
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.buffer_len(), b.buffer_len());
+        assert_eq!(a.end_quantum(), b.end_quantum());
+        assert_eq!(a.end_quantum(), b.end_quantum());
+    }
+
+    #[test]
+    fn non_multiple_of_64_page_count_stays_in_bounds() {
+        let mut p = Pril::new(100, 8);
+        p.on_write(99);
+        p.check_invariants().unwrap();
+        let _ = p.end_quantum();
+        assert_eq!(p.end_quantum(), vec![99]);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
     fn any_write_policy_keeps_repeat_written_pages() {
         let mut single = Pril::new(64, 16);
         let mut any = Pril::with_policy(64, 16, TrackingPolicy::AnyWrite);
@@ -452,6 +727,58 @@ mod tests {
                     .collect();
                 expect.sort_unstable();
                 assert_eq!(got, expect, "quantum {q}");
+            }
+        }
+    }
+
+    /// Seeded equivalence property: the bitmap SoA path is pinned
+    /// observable-for-observable to the retained hash-set reference across
+    /// both tracking policies, random op interleavings, and capacities small
+    /// enough to exercise the overflow edge — checking candidates (drain
+    /// ordering included), stats, occupancy, and pending-candidacy after
+    /// every step.
+    #[test]
+    fn prop_matches_slow_reference() {
+        use memutil::rng::{Rng, SeedableRng, SmallRng};
+        for policy in [TrackingPolicy::SingleWrite, TrackingPolicy::AnyWrite] {
+            for seed in [0xF00D_0001u64, 0xF00D_0002, 0xF00D_0003, 0xF00D_0004] {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let n_pages = 257; // non-multiple of 64: tail-word edge
+                let capacity = rng.gen_range(1usize..12); // small: overflow edge
+                let mut fast = Pril::with_policy(n_pages, capacity, policy);
+                let mut slow = reference::PrilRef::with_policy(n_pages, capacity, policy);
+                for _ in 0..600 {
+                    match rng.gen_range(0u32..10) {
+                        0 => {
+                            let fast_c = fast.end_quantum();
+                            let slow_c = slow.end_quantum();
+                            assert_eq!(fast_c, slow_c, "candidate drain diverged");
+                        }
+                        1 => {
+                            let batch: Vec<PageId> = (0..rng.gen_range(0usize..20))
+                                .map(|_| rng.gen_range(0u64..n_pages))
+                                .collect();
+                            fast.on_write_batch(&batch);
+                            for &page in &batch {
+                                slow.on_write(page);
+                            }
+                        }
+                        _ => {
+                            let page = rng.gen_range(0u64..n_pages);
+                            fast.on_write(page);
+                            slow.on_write(page);
+                        }
+                    }
+                    assert_eq!(fast.stats, slow.stats, "stats diverged");
+                    assert_eq!(fast.buffer_len(), slow.buffer_len());
+                    let probe = rng.gen_range(0u64..n_pages);
+                    assert_eq!(
+                        fast.is_pending_candidate(probe),
+                        slow.is_pending_candidate(probe),
+                        "pending-candidacy diverged on page {probe}"
+                    );
+                    fast.check_invariants().unwrap();
+                }
             }
         }
     }

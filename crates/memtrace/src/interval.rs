@@ -58,12 +58,22 @@ impl BoundedPareto {
         num / den
     }
 
-    /// Inverse-CDF sample.
+    /// Inverse-CDF sample. One-shot convenience over [`BoundedPareto::sampler`];
+    /// draws exactly one uniform.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let ratio = (self.xm_ms / self.cap_ms).powf(self.alpha);
-        let u: f64 = rng.gen();
-        // Inverse of the truncated CCDF.
-        self.xm_ms / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha)
+        self.sampler().sample(rng)
+    }
+
+    /// A sampler with the distribution constants (truncation ratio, inverse
+    /// tail index) hoisted out of the per-sample path. Bit-identical to the
+    /// pre-hoisting inline computation.
+    #[must_use]
+    pub fn sampler(&self) -> ParetoSampler {
+        ParetoSampler {
+            xm_ms: self.xm_ms,
+            one_minus_ratio: 1.0 - (self.xm_ms / self.cap_ms).powf(self.alpha),
+            inv_alpha: 1.0 / self.alpha,
+        }
     }
 
     /// Expected fraction of *time* spent in intervals of at least
@@ -97,6 +107,33 @@ impl BoundedPareto {
         } else {
             a * xm.powf(a) * (h.powf(1.0 - a) - xm.powf(1.0 - a)) / ((1.0 - a) * norm)
         }
+    }
+}
+
+/// [`BoundedPareto`] with per-sample constants precomputed — the hot-path
+/// form used by trace synthesis, which draws millions of tail intervals
+/// from an unchanging distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoSampler {
+    xm_ms: f64,
+    one_minus_ratio: f64,
+    inv_alpha: f64,
+}
+
+impl ParetoSampler {
+    /// Maps one uniform draw `u ∈ [0, 1)` through the inverse truncated
+    /// CCDF.
+    #[inline]
+    #[must_use]
+    pub fn sample_u(&self, u: f64) -> f64 {
+        self.xm_ms / (1.0 - u * self.one_minus_ratio).powf(self.inv_alpha)
+    }
+
+    /// Inverse-CDF sample; draws exactly one uniform.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.sample_u(u)
     }
 }
 
@@ -142,14 +179,24 @@ impl WriteIntervalModel {
         Ok(())
     }
 
-    /// Samples one interval, in milliseconds.
+    /// Samples one interval, in milliseconds. One-shot convenience over
+    /// [`WriteIntervalModel::sampler`]; draws exactly two uniforms (branch,
+    /// value) on either path.
     pub fn sample_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        if rng.gen::<f64>() < self.p_short {
-            let (lo, hi) = self.short_range_ms;
-            // Log-uniform across the burst range.
-            (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp()
-        } else {
-            self.tail.sample(rng)
+        self.sampler().sample_ms(rng)
+    }
+
+    /// A sampler with the mixture constants (log-range endpoints, Pareto
+    /// truncation ratio) hoisted out of the per-sample path. Bit-identical
+    /// to the pre-hoisting inline computation.
+    #[must_use]
+    pub fn sampler(&self) -> IntervalSampler {
+        let (lo, hi) = self.short_range_ms;
+        IntervalSampler {
+            p_short: self.p_short,
+            ln_lo: lo.ln(),
+            ln_span: hi.ln() - lo.ln(),
+            tail: self.tail.sampler(),
         }
     }
 
@@ -196,6 +243,61 @@ impl WriteIntervalModel {
 impl Default for WriteIntervalModel {
     fn default() -> Self {
         WriteIntervalModel::typical()
+    }
+}
+
+/// [`WriteIntervalModel`] with per-sample constants precomputed, plus a
+/// word-parallel batch fill. Every sample consumes exactly two uniforms —
+/// one branch draw, one value draw — whichever branch it takes, so the RNG
+/// stream position after `n` samples is draw `2n` regardless of outcomes.
+/// That fixed draw layout is what lets [`IntervalSampler::fill_ms`] split a
+/// block's RNG draws from its transcendental math (the lanes become
+/// independent straight-line FP code) while staying bit-identical to `n`
+/// scalar [`IntervalSampler::sample_ms`] calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSampler {
+    p_short: f64,
+    ln_lo: f64,
+    ln_span: f64,
+    tail: ParetoSampler,
+}
+
+impl IntervalSampler {
+    /// Maps a (branch, value) uniform pair to one interval in milliseconds.
+    #[inline]
+    #[must_use]
+    pub fn sample_uu(&self, u_branch: f64, u_value: f64) -> f64 {
+        if u_branch < self.p_short {
+            // Log-uniform across the burst range.
+            (self.ln_lo + u_value * self.ln_span).exp()
+        } else {
+            self.tail.sample_u(u_value)
+        }
+    }
+
+    /// Samples one interval, in milliseconds (two uniform draws).
+    #[inline]
+    pub fn sample_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u_branch: f64 = rng.gen();
+        let u_value: f64 = rng.gen();
+        self.sample_uu(u_branch, u_value)
+    }
+
+    /// Fills `out` with samples, block-wise: the RNG draws for a block are
+    /// materialized first, then the lanes are evaluated as branch-free
+    /// straight-line math over the buffered uniforms. Bit-identical to
+    /// calling [`IntervalSampler::sample_ms`] once per slot.
+    pub fn fill_ms<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        const BLOCK: usize = 8;
+        let mut u = [0.0f64; 2 * BLOCK];
+        for chunk in out.chunks_mut(BLOCK) {
+            for slot in u.iter_mut().take(2 * chunk.len()) {
+                *slot = rng.gen();
+            }
+            for (i, lane) in chunk.iter_mut().enumerate() {
+                *lane = self.sample_uu(u[2 * i], u[2 * i + 1]);
+            }
+        }
     }
 }
 
@@ -321,6 +423,63 @@ mod tests {
             let y = rng.gen_range(1.0f64..100_000.0);
             let (lo, hi) = if x < y { (x, y) } else { (y, x) };
             assert!(p.ccdf(lo) >= p.ccdf(hi), "a={a} lo={lo} hi={hi}");
+        }
+    }
+
+    /// Seeded equivalence property: the hoisted samplers are bit-identical
+    /// to the pre-hoisting inline formulas, and the block fill is
+    /// bit-identical to the scalar loop, at every buffer length (partial
+    /// trailing blocks included).
+    #[test]
+    fn prop_samplers_bit_identical() {
+        let mut seeds = SmallRng::seed_from_u64(0x5A3);
+        for _ in 0..32 {
+            let seed: u64 = seeds.gen();
+            let a = seeds.gen_range(0.2f64..1.5);
+            let m = WriteIntervalModel {
+                p_short: seeds.gen_range(0.5f64..0.99),
+                short_range_ms: (0.01, 1.0),
+                tail: BoundedPareto::new(1.0, a, 120_000.0),
+            };
+            // Inline formulas as written before the hoist.
+            let inline_sample = |rng: &mut SmallRng| -> f64 {
+                if rng.gen::<f64>() < m.p_short {
+                    let (lo, hi) = m.short_range_ms;
+                    (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp()
+                } else {
+                    let ratio = (m.tail.xm_ms / m.tail.cap_ms).powf(m.tail.alpha);
+                    let u: f64 = rng.gen();
+                    m.tail.xm_ms / (1.0 - u * (1.0 - ratio)).powf(1.0 / m.tail.alpha)
+                }
+            };
+            let sampler = m.sampler();
+            for len in [0usize, 1, 3, 8, 13, 64] {
+                let mut a_rng = SmallRng::seed_from_u64(seed);
+                let mut b_rng = SmallRng::seed_from_u64(seed);
+                let mut c_rng = SmallRng::seed_from_u64(seed);
+                let inline: Vec<f64> = (0..len).map(|_| inline_sample(&mut a_rng)).collect();
+                let scalar: Vec<f64> = (0..len).map(|_| sampler.sample_ms(&mut b_rng)).collect();
+                let mut block = vec![0.0f64; len];
+                sampler.fill_ms(&mut c_rng, &mut block);
+                assert!(
+                    inline
+                        .iter()
+                        .zip(&scalar)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "hoisted sampler diverged (seed={seed} len={len})"
+                );
+                assert!(
+                    inline
+                        .iter()
+                        .zip(&block)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "block fill diverged (seed={seed} len={len})"
+                );
+                // All three leave the RNG at the same stream position.
+                let next: u64 = a_rng.gen();
+                assert_eq!(next, b_rng.gen::<u64>());
+                assert_eq!(next, c_rng.gen::<u64>());
+            }
         }
     }
 

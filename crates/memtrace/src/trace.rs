@@ -56,7 +56,21 @@ impl WriteTrace {
     /// Panics if any event lies outside the trace duration or page range.
     #[must_use]
     pub fn new(mut events: Vec<WriteEvent>, duration_ns: u64, n_pages: u64) -> Self {
-        events.sort_unstable();
+        // One fused pass: pre-merged producers (the parallel generator)
+        // hand events in already sorted, so sortedness is detected while
+        // pages are range-checked, and the sort runs only when needed.
+        let mut sorted = true;
+        let mut pages_ok = true;
+        let mut prev = (0u64, 0u64);
+        for e in &events {
+            sorted &= prev <= (e.time_ns, e.page);
+            pages_ok &= e.page < n_pages;
+            prev = (e.time_ns, e.page);
+        }
+        assert!(pages_ok, "event page out of range");
+        if !sorted {
+            events.sort_unstable();
+        }
         if let Some(last) = events.last() {
             assert!(
                 last.time_ns <= duration_ns,
@@ -65,10 +79,6 @@ impl WriteTrace {
                 duration_ns
             );
         }
-        assert!(
-            events.iter().all(|e| e.page < n_pages),
-            "event page out of range"
-        );
         WriteTrace {
             events,
             duration_ns,

@@ -147,6 +147,14 @@ impl WorkloadProfile {
         generator::generate(self, seed)
     }
 
+    /// Generates the same trace with per-page synthesis fanned across
+    /// `jobs` workers (`0` = resolve automatically); byte-identical to
+    /// [`WorkloadProfile::generate`] for every `jobs` value.
+    #[must_use]
+    pub fn generate_with_jobs(&self, seed: u64, jobs: usize) -> WriteTrace {
+        generator::generate_with_jobs(self, seed, jobs)
+    }
+
     /// Expected fraction of page-time spent in write intervals of at least
     /// `threshold_ms` — the analytic counterpart of paper Fig. 9, blending
     /// the hot-page mixture with the cold-page tail by page population.

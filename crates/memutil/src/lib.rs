@@ -16,12 +16,16 @@
 //!   for the `crates/bench` suite,
 //! * [`par`] — a scoped work-stealing thread pool with deterministic
 //!   ordered reduction (the rayon-free parallel substrate for the failure
-//!   model, chip tester, and experiments suite).
+//!   model, chip tester, and experiments suite),
+//! * [`calq`] — a deterministic calendar-queue scheduler (plus its
+//!   linear-scan slow reference) backing the refresh due-page planes in
+//!   `memcon` and `memsim`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod calq;
 pub mod json;
 pub mod par;
 pub mod rng;

@@ -306,8 +306,10 @@ const BENCH_REGRESSION_LIMIT: f64 = 0.15;
 /// with the median delta. Returns `1` when any benchmark present in both
 /// the baseline and the fresh run regressed by more than 15 %, when the
 /// baseline is missing/unreadable, or when the suite produced no samples;
-/// `0` otherwise. Benchmarks only on one side are reported but never fail
-/// the gate (a new benchmark has nothing to regress against).
+/// `0` otherwise. Benchmarks only on one side never fail the gate (a new
+/// benchmark has nothing to regress against), but they are collected into
+/// `added` / `removed` lists and named in the final verdict so a suite
+/// rename or a silently dropped benchmark is visible in the summary line.
 ///
 /// A benchmark counts as regressed only when **both** its median and its
 /// minimum are >15 % above the baseline's. On a shared machine transient
@@ -365,6 +367,8 @@ pub fn bench_compare_cmd() -> i32 {
         .max()
         .unwrap_or(0);
     let mut regressions = Vec::new();
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
     println!(
         "bench: comparing {} fresh benchmarks against {} baseline entries ({})",
         results.len(),
@@ -378,6 +382,7 @@ pub fn bench_compare_cmd() -> i32 {
                 r.name,
                 format_ns(r.median_ns)
             );
+            added.push(r.name.clone());
             continue;
         };
         let delta = relative_delta(entry.median_ns, r.median_ns);
@@ -410,21 +415,39 @@ pub fn bench_compare_cmd() -> i32 {
         let name = &entry.name;
         if !results.iter().any(|r| &r.name == name) {
             println!("  {name:width$}  WARNING: in baseline but missing from this run");
+            removed.push(name.clone());
         }
+    }
+
+    // Name one-sided benchmarks in the verdict so a rename (one added, one
+    // removed) or a dropped benchmark can't hide in the per-line noise; the
+    // fix is to re-run `bench baseline` once the change is intentional.
+    if !added.is_empty() {
+        println!("bench: added (no baseline entry): {}", added.join(", "));
+    }
+    if !removed.is_empty() {
+        println!(
+            "bench: removed (in baseline, not in this run): {}",
+            removed.join(", ")
+        );
     }
 
     if regressions.is_empty() {
         println!(
-            "bench: no benchmark regressed beyond {:.0}%",
-            BENCH_REGRESSION_LIMIT * 100.0
+            "bench: no benchmark regressed beyond {:.0}% ({} added, {} removed)",
+            BENCH_REGRESSION_LIMIT * 100.0,
+            added.len(),
+            removed.len()
         );
         0
     } else {
         eprintln!(
-            "bench: FAILED: {} benchmark(s) regressed beyond {:.0}%: {}",
+            "bench: FAILED: {} benchmark(s) regressed beyond {:.0}%: {} ({} added, {} removed)",
             regressions.len(),
             BENCH_REGRESSION_LIMIT * 100.0,
-            regressions.join(", ")
+            regressions.join(", "),
+            added.len(),
+            removed.len()
         );
         1
     }
