@@ -40,6 +40,44 @@ pub fn register(c: &mut Criterion) {
     bench_bank_fsm(c);
     bench_ecc(c);
     bench_telemetry(c);
+    bench_fleet(c);
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    use fleet::{Fleet, FleetConfig, FleetPlan};
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    // Trace synthesis is the expensive part of expansion and is not what
+    // this family measures, so the plan is built once and shared; each
+    // iteration instantiates fresh engines (setup, untimed) and is timed
+    // advancing all 64 shards one scheduler epoch.
+    let plan = FleetPlan::expand(&FleetConfig::small(64, 0xBE7C4), 0);
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("step_64dimms", |b| {
+        b.iter_batched(
+            || Fleet::new(&plan),
+            |mut fleet| {
+                fleet.run_epoch(1);
+                std::hint::black_box(fleet.epoch())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // The same epoch fanned out at --jobs 4: byte-identical results; on a
+    // multi-core host this is the scaling headline the `xtask fleet bench`
+    // gate enforces, on a single core it measures the fan-out overhead.
+    g.bench_function("step_64dimms_jobs4", |b| {
+        b.iter_batched(
+            || Fleet::new(&plan),
+            |mut fleet| {
+                fleet.run_epoch(4);
+                std::hint::black_box(fleet.epoch())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
 }
 
 fn bench_failure_model(c: &mut Criterion) {

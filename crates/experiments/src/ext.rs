@@ -11,6 +11,9 @@
 //!   rates rise: aborts, torn reads, and ECC errors trigger the
 //!   abort/retry backoff and the fail-safe high-refresh degradation, so
 //!   overhead grows and LO-REF coverage shrinks with the fault rate.
+//! * **Fleet scaling** — the paper's economic argument is per-module; the
+//!   operator-level case multiplies across a rack. We sweep fleet sizes
+//!   and roll up the aggregate refresh-operation savings.
 
 use std::sync::Arc;
 
@@ -115,6 +118,33 @@ pub fn compute_fault_overhead(opts: &RunOptions) -> Vec<FaultOverheadRow> {
         .collect()
 }
 
+/// Fleet sizes swept by the fleet-scaling experiment.
+pub const FLEET_SIZES: [u64; 3] = [4, 16, 64];
+
+/// One point of the savings-vs-fleet-size curve.
+#[derive(Debug, Clone)]
+pub struct FleetScalingRow {
+    /// Shards in the fleet.
+    pub nodes: u64,
+    /// The fleet roll-up at that size.
+    pub report: fleet::FleetReport,
+}
+
+/// Sweeps [`FLEET_SIZES`] through the sharded fleet scheduler. Every row
+/// is a pure function of `(opts.seed, nodes)` — `opts.jobs` only
+/// schedules — so the rendered table is bit-identical at any `--jobs`.
+#[must_use]
+pub fn compute_fleet_scaling(opts: &RunOptions) -> Vec<FleetScalingRow> {
+    FLEET_SIZES
+        .iter()
+        .map(|&nodes| {
+            let config = fleet::FleetConfig::small(nodes, opts.seed);
+            let report = fleet::engine::run_fleet(&config, opts.jobs);
+            FleetScalingRow { nodes, report }
+        })
+        .collect()
+}
+
 /// Renders all extension experiments.
 #[must_use]
 pub fn render(opts: &RunOptions) -> String {
@@ -207,6 +237,30 @@ pub fn render(opts: &RunOptions) -> String {
     }
     out.push_str("\nMEMCON overhead vs injected fault rate (netflix):\n");
     out.push_str(&t.render());
+
+    // Fleet scaling.
+    let mut t = TextTable::new(vec![
+        "Fleet size",
+        "Refresh ops",
+        "Baseline ops",
+        "Ops saved",
+        "Reduction",
+        "LO-REF coverage",
+        "Failing tests",
+    ]);
+    for r in &compute_fleet_scaling(opts) {
+        t.row(vec![
+            r.nodes.to_string(),
+            format!("{:.0}", r.report.refresh_ops),
+            format!("{:.0}", r.report.baseline_ops),
+            format!("{:.0}", r.report.baseline_ops - r.report.refresh_ops),
+            pct(r.report.refresh_reduction),
+            pct(r.report.lo_coverage),
+            r.report.failing_tests.to_string(),
+        ]);
+    }
+    out.push_str("\nAggregate refresh savings vs fleet size (Table-1 mix per node):\n");
+    out.push_str(&t.render());
     out
 }
 
@@ -237,12 +291,13 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_all_four_sections() {
+    fn render_contains_all_five_sections() {
         let s = render(&RunOptions::quick());
         assert!(s.contains("DRAM energy"));
         assert!(s.contains("RowClone"));
         assert!(s.contains("storage overhead"));
         assert!(s.contains("fault rate"));
+        assert!(s.contains("fleet size"));
     }
 
     #[test]
@@ -269,6 +324,25 @@ mod tests {
         // Nothing must ever escape, at any rate.
         for r in &rows {
             assert_eq!(r.recovery.uncorrectable_escapes, 0);
+        }
+    }
+
+    #[test]
+    fn fleet_savings_grow_with_fleet_size() {
+        let rows = compute_fleet_scaling(&RunOptions::quick());
+        assert_eq!(rows.len(), FLEET_SIZES.len());
+        let saved = |r: &FleetScalingRow| r.report.baseline_ops - r.report.refresh_ops;
+        for pair in rows.windows(2) {
+            assert!(
+                saved(&pair[1]) > saved(&pair[0]),
+                "aggregate savings must grow with fleet size ({} vs {} nodes)",
+                pair[1].nodes,
+                pair[0].nodes
+            );
+        }
+        for r in &rows {
+            assert!(r.report.refresh_reduction > 0.3, "{} nodes", r.nodes);
+            assert_eq!(r.report.uncorrectable_escapes, 0);
         }
     }
 }

@@ -226,6 +226,20 @@ impl FaultPlan {
         self.sites[site as usize].as_ref()
     }
 
+    /// Derives the shard-`shard` variant of this plan: identical site
+    /// specs, but the decision-stream seed reseeded through the avalanche
+    /// mix. A fleet hands each shard engine its own derived plan so every
+    /// shard draws an independent fault stream that replays bit-for-bit
+    /// regardless of which worker thread steps the shard — per-shard keyed
+    /// sessions instead of one shared, order-sensitive stream.
+    #[must_use]
+    pub fn for_shard(&self, shard: u64) -> FaultPlan {
+        FaultPlan {
+            seed: mix64(self.seed ^ mix64(shard ^ 0x5EED_F1EE_7A5D_0001)),
+            sites: self.sites,
+        }
+    }
+
     /// Whether decision `index` at `site` fires. Pure in
     /// `(self.seed, site, index)`.
     #[must_use]
@@ -465,6 +479,24 @@ mod tests {
             assert_eq!(Site::from_name(site.name()), Some(site));
         }
         assert_eq!(Site::from_name("nope"), None);
+    }
+
+    #[test]
+    fn shard_derivation_is_deterministic_and_independent() {
+        let base = FaultPlan::uniform(0xC0FFEE, 0.5);
+        let a = base.for_shard(3);
+        // Same shard, same derived plan — replayable per-shard streams.
+        assert_eq!(a, base.for_shard(3));
+        // Site specs carry over unchanged; only the seed is reseeded.
+        for site in Site::ALL {
+            assert_eq!(a.site(site), base.site(site));
+        }
+        // Distinct shards (and the base plan) draw distinct streams.
+        let seeds: std::collections::HashSet<u64> = (0..64)
+            .map(|s| base.for_shard(s).seed)
+            .chain([base.seed])
+            .collect();
+        assert_eq!(seeds.len(), 65);
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! The epoch-batched fleet scheduler.
+//!
+//! A [`Fleet`] owns one [`MemconEngine`] per shard, each mid-way through a
+//! stepped run (`begin_run` / `advance_until` / `finish_run`). Every
+//! [`Fleet::run_epoch`] call advances **all** shards to the next epoch
+//! boundary — `epoch × epoch_quanta × quantum` on the shared fleet clock —
+//! fanning the per-shard work across the [`memutil::par`] pool, then
+//! applies cross-shard bookkeeping in deterministic shard order.
+//!
+//! Shards live behind per-shard mutexes so the pool's `Fn` closures can
+//! step them; `ordered_map_with` hands each index to exactly one worker
+//! per epoch, so the locks are uncontended — they exist to satisfy the
+//! shared-reference contract, not to serialize.
+
+use std::sync::Mutex;
+
+use memcon::engine::{MemconEngine, MemconReport, RecoveryStats};
+use memcon::refreshmgr::PageState;
+use memcon::testengine::{ContentOracle, FailureOracle, RateOracle};
+use memutil::par;
+
+use crate::report::{FleetReport, LatencySummary, ShardSummary};
+use crate::{FleetOracle, FleetPlan, ShardSpec};
+
+/// Microsecond-scale bucket edges of the per-shard step-latency histogram
+/// (`fleet.step.latency_us`, timing class).
+pub const STEP_LATENCY_EDGES_US: [u64; 9] = [50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000];
+
+/// One simulated DIMM mid-run.
+#[derive(Debug)]
+struct Shard {
+    spec: ShardSpec,
+    engine: MemconEngine,
+    /// Set once the shard's trace horizon is reached and its run finished.
+    report: Option<MemconReport>,
+    /// Epoch at which the shard finished (cross-shard roll-up state).
+    done_epoch: Option<u64>,
+    /// Wall-clock nanoseconds of each epoch step (timing class only).
+    step_latency_ns: Vec<u64>,
+}
+
+/// A running fleet: per-shard engines plus the epoch clock.
+#[derive(Debug)]
+pub struct Fleet {
+    shards: Vec<Mutex<Shard>>,
+    /// Epochs completed so far.
+    epoch: u64,
+    /// Fleet-clock nanoseconds per epoch.
+    epoch_ns: u64,
+    /// Longest shard trace horizon, ns.
+    horizon_ns: u64,
+    seed: u64,
+    epoch_quanta: u64,
+}
+
+impl Fleet {
+    /// Instantiates engines for every shard of `plan` and begins their
+    /// runs. Cheap relative to [`FleetPlan::expand`]: traces are shared by
+    /// `Arc`, and shards of one chip-seed group share the chip's immutable
+    /// state (scrambler tables, vulnerable-cell cache) through clones of a
+    /// per-group template rather than rebuilding it per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is empty (checked at expansion).
+    #[must_use]
+    pub fn new(plan: &FleetPlan) -> Fleet {
+        let config = &plan.config;
+        let quantum_ns = (config.engine.quantum_ms * 1e6) as u64;
+        let templates = ContentTemplates::build(plan);
+        let shards: Vec<Mutex<Shard>> = plan
+            .shards
+            .iter()
+            .map(|spec| {
+                let oracle: Box<dyn FailureOracle> = match config.oracle {
+                    FleetOracle::Rate { fail_rate } => {
+                        Box::new(RateOracle::new(fail_rate, spec.chip_seed))
+                    }
+                    FleetOracle::Content { .. } => {
+                        Box::new(templates.oracle(spec, config.engine.lo_ms))
+                    }
+                };
+                let mut engine =
+                    MemconEngine::with_oracle(config.engine, spec.trace.n_pages(), oracle);
+                engine.set_fault_plan(spec.fault_plan.clone());
+                engine.begin_run(&spec.trace);
+                Mutex::new(Shard {
+                    spec: spec.clone(),
+                    engine,
+                    report: None,
+                    done_epoch: None,
+                    step_latency_ns: Vec::new(),
+                })
+            })
+            .collect();
+        let horizon_ns = plan
+            .shards
+            .iter()
+            .map(|s| s.trace.duration_ns())
+            .max()
+            .unwrap_or(0);
+        Fleet {
+            shards,
+            epoch: 0,
+            epoch_ns: quantum_ns.saturating_mul(config.epoch_quanta).max(1),
+            horizon_ns,
+            seed: config.seed,
+            epoch_quanta: config.epoch_quanta,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the fleet has no shards (never true for expanded plans).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Epochs completed so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether every shard has finished its run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.epoch > 0 && self.epoch.saturating_mul(self.epoch_ns) >= self.horizon_ns
+    }
+
+    /// Advances every shard one epoch across `jobs` workers (`0` =
+    /// resolve automatically), then applies cross-shard bookkeeping in
+    /// shard order. Returns `true` while work remains.
+    ///
+    /// Shard advancement commutes (disjoint state; telemetry adds are
+    /// atomic), so results are byte-identical at any `jobs` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard engine panics (poisoned shard lock).
+    pub fn run_epoch(&mut self, jobs: usize) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        self.epoch += 1;
+        let limit = self.epoch.saturating_mul(self.epoch_ns);
+        let finished: Vec<bool> = par::ordered_map_with(jobs, self.shards.len(), |i| {
+            let mut shard = self.shards[i].lock().expect("shard engine panicked");
+            let shard = &mut *shard;
+            if shard.report.is_some() {
+                return true;
+            }
+            let ((), elapsed_ns) = telemetry::time_ns(|| {
+                shard.engine.advance_until(&shard.spec.trace, limit);
+                if limit >= shard.spec.trace.duration_ns() {
+                    shard.report = Some(shard.engine.finish_run());
+                }
+            });
+            shard.step_latency_ns.push(elapsed_ns);
+            telemetry::observe_timing(
+                "fleet.step.latency_us",
+                &STEP_LATENCY_EDGES_US,
+                elapsed_ns / 1_000,
+            );
+            shard.report.is_some()
+        });
+        // Cross-shard work, deterministically in shard order: stamp the
+        // completion epoch of every shard that finished this batch.
+        for (i, done) in finished.iter().enumerate() {
+            if *done {
+                let mut shard = self.shards[i].lock().expect("shard engine panicked");
+                if shard.done_epoch.is_none() {
+                    shard.done_epoch = Some(self.epoch);
+                }
+            }
+        }
+        !self.is_done()
+    }
+
+    /// Runs epochs until every shard completes, then rolls up and returns
+    /// the fleet report (also flushing the fleet-level roll-ups through
+    /// the telemetry registry).
+    pub fn run_to_completion(&mut self, jobs: usize) -> FleetReport {
+        while self.run_epoch(jobs) {}
+        self.report()
+    }
+
+    /// Rolls the per-shard results up into a [`FleetReport`] and flushes
+    /// the fleet-level aggregates through [`telemetry`]. Call after the
+    /// fleet is done; shards still mid-run contribute no summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard engine panicked (poisoned shard lock).
+    #[must_use]
+    pub fn report(&self) -> FleetReport {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut latencies: Vec<u64> = Vec::new();
+        for slot in &self.shards {
+            let shard = slot.lock().expect("shard engine panicked");
+            latencies.extend_from_slice(&shard.step_latency_ns);
+            let Some(report) = shard.report else { continue };
+            let internals = shard.engine.internals();
+            let recovery: &RecoveryStats = shard.engine.recovery_stats();
+            let final_hi = shard
+                .engine
+                .final_states()
+                .iter()
+                .filter(|s| **s != PageState::LoRef)
+                .count() as u64;
+            shards.push(ShardSummary {
+                node: shard.spec.node,
+                profile: shard.spec.profile.clone(),
+                n_pages: shard.spec.trace.n_pages(),
+                done_epoch: shard.done_epoch.unwrap_or(self.epoch),
+                refresh_reduction: report.refresh_reduction,
+                lo_coverage: report.lo_coverage,
+                refresh_ops: report.refresh_ops,
+                baseline_ops: report.baseline_ops,
+                tests_correct: report.tests_correct,
+                tests_mispredicted: report.tests_mispredicted,
+                failing_tests: internals.tests.failed,
+                final_hi_pages: final_hi,
+                faults_injected: recovery.faults_injected.iter().sum(),
+                uncorrectable_escapes: recovery.uncorrectable_escapes,
+            });
+        }
+        latencies.sort_unstable();
+        let percentile = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx.min(latencies.len() - 1)]
+        };
+        let report = FleetReport::new(
+            self.shards.len() as u64,
+            self.seed,
+            self.epoch,
+            self.epoch_quanta,
+            shards,
+            LatencySummary {
+                samples: latencies.len() as u64,
+                p50_ns: percentile(0.50),
+                p99_ns: percentile(0.99),
+                max_ns: latencies.last().copied().unwrap_or(0),
+            },
+        );
+        report.flush_telemetry();
+        report
+    }
+
+    /// Checks the refresh-correctness invariant on every finished shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating shard and its engine's description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard engine panicked (poisoned shard lock).
+    pub fn verify_refresh_correctness(&self) -> Result<(), String> {
+        for (i, slot) in self.shards.iter().enumerate() {
+            let shard = slot.lock().expect("shard engine panicked");
+            if shard.report.is_some() {
+                shard
+                    .engine
+                    .verify_refresh_correctness()
+                    .map_err(|e| format!("shard {i}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-chip-seed-group content templates: one simulated module per
+/// distinct `(chip seed, density)` identity, built once and **cloned**
+/// into each member shard's oracle. `DramModule` clones share their
+/// scrambler tables and `CouplingFailureModel` clones share the
+/// vulnerable-cell cache, so a group's chip state is `Arc`-shared across
+/// its shard engines — cold fills happen once per chip config, not once
+/// per shard (asserted by the cheap-clone audit test).
+#[derive(Debug, Default)]
+struct ContentTemplates {
+    modules: Vec<((u64, dram::geometry::ChipDensity), dram::module::DramModule)>,
+    model: Option<failure_model::model::CouplingFailureModel>,
+}
+
+impl ContentTemplates {
+    fn build(plan: &FleetPlan) -> ContentTemplates {
+        use dram::geometry::DramGeometry;
+        use dram::timing::TimingParams;
+        use failure_model::model::CouplingFailureModel;
+        use failure_model::params::FailureModelParams;
+
+        let FleetOracle::Content { rows_per_bank } = plan.config.oracle else {
+            return ContentTemplates::default();
+        };
+        let mut templates = ContentTemplates {
+            modules: Vec::new(),
+            // One model for the whole fleet: the vulnerable-cell cache is
+            // keyed by chip identity internally, so sharing it across
+            // groups is sound and maximizes reuse.
+            model: Some(CouplingFailureModel::new(
+                FailureModelParams::calibrated_at(plan.config.engine.lo_ms),
+            )),
+        };
+        for spec in &plan.shards {
+            let key = (spec.chip_seed, spec.density);
+            if templates.modules.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let mut geometry = DramGeometry::tiny();
+            geometry.rows_per_bank = rows_per_bank;
+            geometry.density = spec.density;
+            let module =
+                dram::module::DramModule::new(geometry, TimingParams::ddr3_1600(), spec.chip_seed);
+            templates.modules.push((key, module));
+        }
+        templates
+    }
+
+    fn oracle(&self, spec: &ShardSpec, lo_ms: f64) -> ContentOracle {
+        use failure_model::content::ContentProfile;
+        let key = (spec.chip_seed, spec.density);
+        let module = self
+            .modules
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, m)| m.clone())
+            .expect("template exists for every shard's chip identity");
+        let model = self.model.clone().expect("content mode builds the model");
+        // Content seed = chip seed: shards of one group regenerate the
+        // same content stream for the same (page, generation).
+        ContentOracle::new(
+            module,
+            model,
+            ContentProfile::random_data(),
+            lo_ms,
+            spec.chip_seed,
+        )
+    }
+}
+
+/// Convenience: expand + instantiate + run to completion at `jobs`.
+#[must_use]
+pub fn run_fleet(config: &crate::FleetConfig, jobs: usize) -> FleetReport {
+    let plan = FleetPlan::expand(config, jobs);
+    let mut fleet = Fleet::new(&plan);
+    fleet.run_to_completion(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FleetConfig;
+
+    #[test]
+    fn epoch_stepping_matches_whole_runs() {
+        // The fleet's epoch-sliced engines must report exactly what one
+        // whole-trace run of the same engine reports.
+        let config = FleetConfig::small(6, 42);
+        let plan = FleetPlan::expand(&config, 1);
+        let mut fleet = Fleet::new(&plan);
+        let fleet_report = fleet.run_to_completion(1);
+        for (spec, summary) in plan.shards.iter().zip(&fleet_report.shards) {
+            let mut engine = MemconEngine::with_oracle(
+                config.engine,
+                spec.trace.n_pages(),
+                Box::new(RateOracle::new(
+                    memcon::engine::DEFAULT_FAIL_RATE,
+                    spec.chip_seed,
+                )),
+            );
+            let solo = engine.run(&spec.trace);
+            assert_eq!(summary.refresh_reduction, solo.refresh_reduction);
+            assert_eq!(summary.lo_coverage, solo.lo_coverage);
+            assert_eq!(summary.tests_correct, solo.tests_correct);
+            assert_eq!(summary.tests_mispredicted, solo.tests_mispredicted);
+        }
+        assert!(fleet.is_done());
+        assert!(!fleet.run_epoch(1), "done fleet refuses further epochs");
+        fleet.verify_refresh_correctness().unwrap();
+    }
+
+    #[test]
+    fn content_shards_share_chip_state_within_a_group() {
+        // Two shards per chip-seed group: the vulnerable-cell cache must
+        // cold-fill once per chip config, not once per shard. Counted via
+        // the failure model's own cache telemetry.
+        let mut config = FleetConfig::small(4, 7);
+        config.distinct_chip_seeds = 2;
+        config.density_mix = vec![dram::geometry::ChipDensity::Gb8];
+        config.oracle = FleetOracle::Content { rows_per_bank: 32 };
+        let registry = std::sync::Arc::new(telemetry::Registry::new());
+        registry.set_enabled(true);
+        let guard = telemetry::install(std::sync::Arc::clone(&registry));
+        let _ = run_fleet(&config, 1);
+        drop(guard);
+        let builds = registry
+            .counter(
+                "failure_model.cache.chip_builds",
+                telemetry::Class::Deterministic,
+            )
+            .get();
+        assert_eq!(
+            builds, 2,
+            "4 shards over 2 chip identities must build exactly 2 cache entries"
+        );
+    }
+
+    #[test]
+    fn step_latencies_are_recorded_per_epoch() {
+        let config = FleetConfig::small(3, 5);
+        let plan = FleetPlan::expand(&config, 1);
+        let mut fleet = Fleet::new(&plan);
+        let report = fleet.run_to_completion(1);
+        assert!(
+            report.step_latency.samples >= 3,
+            "one sample per shard-epoch"
+        );
+        assert!(report.step_latency.max_ns >= report.step_latency.p50_ns);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fleet jobs-invariance property tests.
+//!
+//! The fleet contract: for a fixed [`FleetConfig`], the fleet report's
+//! deterministic section AND the telemetry registry's deterministic
+//! section are byte-identical at any `--jobs` value — with or without a
+//! fault plan armed. These tests pin that over fleet sizes {4, 64},
+//! multiple seeds, jobs {1, 2, 8}, both oracle modes, and three chaos
+//! fault plans.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use faultinject::{FaultPlan, Site, SiteSpec};
+use fleet::engine::run_fleet;
+use fleet::{FleetConfig, FleetOracle};
+
+/// `telemetry::install` swaps a process-global registry; tests in this
+/// binary run on parallel threads, so runs that compare registry contents
+/// serialize on this lock.
+fn registry_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Runs the fleet once at `jobs` under a fresh enabled registry, returning
+/// the byte-stable pair the contract is defined over: (fleet report
+/// deterministic section, telemetry deterministic section).
+fn run_once(config: &FleetConfig, jobs: usize) -> (String, String) {
+    let _serial = registry_lock().lock().unwrap();
+    let registry = Arc::new(telemetry::Registry::new());
+    registry.set_enabled(true);
+    let guard = telemetry::install(Arc::clone(&registry));
+    let report = run_fleet(config, jobs);
+    drop(guard);
+    let telemetry_det = registry
+        .report()
+        .get("deterministic")
+        .expect("report has a deterministic section")
+        .emit();
+    (report.deterministic_emit(), telemetry_det)
+}
+
+fn assert_jobs_invariant(config: &FleetConfig, label: &str) {
+    let (report_1, telemetry_1) = run_once(config, 1);
+    for jobs in [2, 8] {
+        let (report_j, telemetry_j) = run_once(config, jobs);
+        assert_eq!(
+            report_1, report_j,
+            "{label}: fleet report diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            telemetry_1, telemetry_j,
+            "{label}: telemetry deterministic section diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn small_fleets_are_jobs_invariant_across_seeds() {
+    for seed in [0xA5, 0x1CEB00DA] {
+        let config = FleetConfig::small(4, seed);
+        assert_jobs_invariant(&config, &format!("4 nodes, seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn large_fleet_is_jobs_invariant() {
+    // 64 shards over a shortened window: still dozens of epochs of real
+    // engine work per shard, but fast enough to run at three jobs levels.
+    let mut config = FleetConfig::small(64, 0xF1EE7);
+    config.window_s = 2.0;
+    assert_jobs_invariant(&config, "64 nodes");
+}
+
+#[test]
+fn content_oracle_fleet_is_jobs_invariant() {
+    let mut config = FleetConfig::small(4, 0xC0417E47);
+    config.oracle = FleetOracle::Content { rows_per_bank: 32 };
+    assert_jobs_invariant(&config, "4 content-oracle nodes");
+}
+
+#[test]
+fn chaos_fleets_are_jobs_invariant() {
+    // Three distinct fault plans, every site armed: per-shard fault
+    // streams derive from (plan seed, node), never from thread schedule.
+    const PLAN_SEED_BASE: u64 = 0xF1EE_7C4A_0500_0000;
+    for plan_idx in 0..3u64 {
+        let mut plan = FaultPlan::new(PLAN_SEED_BASE + plan_idx);
+        for site in Site::ALL {
+            plan = plan.with_site(site, SiteSpec::rate(0.05));
+        }
+        let mut config = FleetConfig::small(4, 0xBAD5EED + plan_idx);
+        config.fault_plan = Some(Arc::new(plan));
+        assert_jobs_invariant(&config, &format!("chaos plan {plan_idx}"));
+    }
+}
+
+#[test]
+fn faults_actually_fire_under_chaos_config() {
+    // Guard against the chaos variant silently degenerating into the
+    // fault-free case (e.g. a plan that never fires).
+    let mut plan = FaultPlan::new(0xD15EA5E);
+    for site in Site::ALL {
+        plan = plan.with_site(site, SiteSpec::rate(0.2));
+    }
+    let mut config = FleetConfig::small(4, 0xBAD5EED);
+    config.fault_plan = Some(Arc::new(plan));
+    let _serial = registry_lock().lock().unwrap();
+    let report = run_fleet(&config, 2);
+    assert!(
+        report.faults_injected > 0,
+        "chaos config must inject faults somewhere in the fleet"
+    );
+    assert_eq!(report.uncorrectable_escapes, 0, "chaos invariant");
+}

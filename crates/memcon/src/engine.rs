@@ -135,6 +135,24 @@ pub struct EngineInternals {
     pub recovery: RecoveryStats,
 }
 
+/// Persistent state of a stepped run between [`MemconEngine::begin_run`]
+/// and [`MemconEngine::finish_run`]. Holding the refresh manager and the
+/// event cursor here (instead of on `run`'s stack) is what lets a fleet
+/// scheduler advance an engine one time-slice at a time.
+#[derive(Debug)]
+struct RunState {
+    mgr: RefreshManager,
+    /// Cursor into `trace.events()`: events before it are consumed.
+    event_idx: usize,
+    /// Next quantum boundary, ns.
+    next_quantum: u64,
+    quantum_ns: u64,
+    mwi_ns: u64,
+    duration: u64,
+    /// Oracle memo counters at run start (telemetry reports the delta).
+    memo_before: crate::testengine::MemoStats,
+}
+
 /// The MEMCON engine.
 #[derive(Debug)]
 pub struct MemconEngine {
@@ -174,6 +192,8 @@ pub struct MemconEngine {
     recovery: RecoveryStats,
     /// Final per-page pin flags of the last run.
     last_pinned: Vec<bool>,
+    /// In-progress stepped run, if any.
+    run: Option<RunState>,
 }
 
 impl MemconEngine {
@@ -229,6 +249,7 @@ impl MemconEngine {
             quantum_index: 0,
             recovery: RecoveryStats::default(),
             last_pinned: Vec::new(),
+            run: None,
             config,
         }
     }
@@ -281,12 +302,30 @@ impl MemconEngine {
         Ok(())
     }
 
-    /// Runs the engine over a complete trace and reports.
+    /// Runs the engine over a complete trace and reports. Equivalent to
+    /// [`MemconEngine::begin_run`], one [`MemconEngine::advance_until`] to
+    /// the trace horizon, and [`MemconEngine::finish_run`] — stepped and
+    /// whole-trace runs share one code path, so they are bit-identical.
     ///
     /// # Panics
     ///
     /// Panics if the trace pages exceed the engine's page count.
     pub fn run(&mut self, trace: &WriteTrace) -> MemconReport {
+        self.begin_run(trace);
+        self.advance_until(trace, trace.duration_ns());
+        self.finish_run()
+    }
+
+    /// Starts a stepped run: resets all per-run state, arms the fault
+    /// session, and performs the steady-state pre-pass. Follow with
+    /// [`MemconEngine::advance_until`] calls (monotone limits) and one
+    /// [`MemconEngine::finish_run`]. Any previously in-progress stepped run
+    /// is discarded, exactly as a fresh [`MemconEngine::run`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace pages exceed the engine's page count.
+    pub fn begin_run(&mut self, trace: &WriteTrace) {
         assert!(
             trace.n_pages() <= self.n_pages,
             "trace has more pages than the engine tracks"
@@ -334,39 +373,83 @@ impl MemconEngine {
             }
         }
         let quantum_ns = (self.config.quantum_ms * 1e6) as u64;
-        let mwi_ns = (self.config.min_write_interval_ms() * 1e6) as u64;
-        let duration = trace.duration_ns();
+        self.run = Some(RunState {
+            mgr,
+            event_idx: 0,
+            next_quantum: quantum_ns,
+            quantum_ns,
+            mwi_ns: (self.config.min_write_interval_ms() * 1e6) as u64,
+            duration: trace.duration_ns(),
+            memo_before,
+        });
+    }
 
-        let mut events = trace.events().iter().peekable();
-        let mut next_quantum = quantum_ns;
-
+    /// Advances the stepped run through every happening (test completion,
+    /// quantum boundary, write event) at or before `limit_ns`, in exact
+    /// timeline order. Splitting a run at arbitrary limits cannot reorder
+    /// happenings: the loop always picks the globally earliest next one, so
+    /// a limit only decides *when* the loop pauses, never *what* it does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is in progress (call [`MemconEngine::begin_run`]).
+    pub fn advance_until(&mut self, trace: &WriteTrace, limit_ns: u64) {
+        let mut run = self
+            .run
+            .take()
+            .expect("advance_until without begin_run in progress");
+        let limit = limit_ns.min(run.duration);
+        let events = trace.events();
         loop {
-            let t_event = events.peek().map(|e| e.time_ns);
+            let t_event = events.get(run.event_idx).map(|e| e.time_ns);
             let t_test = self.tests.next_completion_ns();
-            let t_quantum = (next_quantum <= duration).then_some(next_quantum);
+            let t_quantum = (run.next_quantum <= run.duration).then_some(run.next_quantum);
             // Earliest happening; completions tie-break first so a test that
             // ends exactly when a write arrives completes before the write
             // invalidates it (the write targets the *new* content).
             let next = [t_test, t_quantum, t_event].into_iter().flatten().min();
             let Some(now) = next else { break };
-            if now > duration {
+            if now > limit {
                 break;
             }
 
             if t_test == Some(now) {
-                self.handle_completions(now, &mut mgr, duration);
+                self.handle_completions(now, &mut run.mgr, run.duration);
                 continue;
             }
             if t_quantum == Some(now) {
-                self.handle_quantum(now, &mut mgr, mwi_ns);
-                next_quantum += quantum_ns;
+                self.handle_quantum(now, &mut run.mgr, run.mwi_ns);
+                run.next_quantum += run.quantum_ns;
                 continue;
             }
-            let Some(&e) = events.next() else { break };
-            self.handle_write(e.page, e.time_ns, &mut mgr, mwi_ns);
+            let e = events[run.event_idx];
+            run.event_idx += 1;
+            self.handle_write(e.page, e.time_ns, &mut run.mgr, run.mwi_ns);
         }
+        self.run = Some(run);
+    }
+
+    /// Completes a stepped run: drains horizon completions, finalizes the
+    /// refresh timeline, flushes telemetry, and reports. Happenings after
+    /// the last `advance_until` limit are **not** processed — step to the
+    /// trace horizon first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is in progress (call [`MemconEngine::begin_run`]).
+    pub fn finish_run(&mut self) -> MemconReport {
+        let mut run = self
+            .run
+            .take()
+            .expect("finish_run without begin_run in progress");
+        let RunState {
+            duration,
+            memo_before,
+            ..
+        } = run;
+        let mgr = &mut run.mgr;
         // Drain tests completing exactly at the horizon.
-        self.handle_completions(duration, &mut mgr, duration);
+        self.handle_completions(duration, mgr, duration);
         mgr.finalize(duration);
         #[cfg(feature = "strict-invariants")]
         {
@@ -889,6 +972,40 @@ mod tests {
         let first = e.run(&trace);
         let second = e.run(&trace);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn stepped_run_matches_whole_run() {
+        // Slicing a run at awkward, non-quantum-aligned limits must be
+        // bit-identical to one whole-trace run — the property the fleet
+        // scheduler's epoch batching rests on. Faults armed so the fault
+        // decision streams are exercised across slice boundaries too.
+        let trace = WorkloadProfile::netflix().scaled(0.02).generate(7);
+        let plan = Arc::new(FaultPlan::uniform(0xDEAD_BEEF, 0.05));
+        let mut whole = MemconEngine::new(cfg(), trace.n_pages());
+        whole.set_fault_plan(Some(Arc::clone(&plan)));
+        let r_whole = whole.run(&trace);
+        let mut stepped = MemconEngine::new(cfg(), trace.n_pages());
+        stepped.set_fault_plan(Some(plan));
+        stepped.begin_run(&trace);
+        let mut limit = 0u64;
+        while limit < trace.duration_ns() {
+            limit += 777 * MS; // never aligned with the 1024 ms quantum
+            stepped.advance_until(&trace, limit);
+        }
+        let r_stepped = stepped.finish_run();
+        assert_eq!(r_whole, r_stepped);
+        assert_eq!(whole.final_states(), stepped.final_states());
+        assert_eq!(whole.recovery_stats(), stepped.recovery_stats());
+        stepped.verify_refresh_correctness().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "advance_until without begin_run")]
+    fn advance_without_begin_panics() {
+        let trace = WriteTrace::new(vec![ev(0, 0)], 100 * MS, 1);
+        let mut e = clean_engine(1);
+        e.advance_until(&trace, 50 * MS);
     }
 
     #[test]

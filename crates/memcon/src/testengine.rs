@@ -32,7 +32,7 @@ use crate::ecc::{DecodeResult, Hamming72};
 use crate::pril::PageId;
 
 /// Decides whether a page's current content fails at the LO-REF interval.
-pub trait FailureOracle: std::fmt::Debug {
+pub trait FailureOracle: std::fmt::Debug + Send {
     /// Tests `page`'s content (the `generation` counter distinguishes
     /// successive contents of the same page across writes).
     fn page_fails(&mut self, page: PageId, generation: u64) -> bool;

@@ -31,11 +31,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// * `memcon.oracle.memo_hits` / `memo_misses` — flushed only when the
 ///   test engine's oracle memo is enabled (`memo_counters()` is `Some`),
 ///   which the reference configuration leaves off.
-pub const KNOWN_CONDITIONAL_METRICS: [&str; 4] = [
+/// * `fleet.step.latency_us` — a `Class::Timing` histogram (wall-clock
+///   step latencies); timing metrics never appear in the golden file's
+///   deterministic section by design.
+pub const KNOWN_CONDITIONAL_METRICS: [&str; 5] = [
     "dram.charge.image_builds",
     "memcon.recovery.backoff_quanta",
     "memcon.oracle.memo_hits",
     "memcon.oracle.memo_misses",
+    "fleet.step.latency_us",
 ];
 
 /// The file owning the fault-site registry (`Site::name`).

@@ -191,9 +191,29 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> WriteTrace {
     generate_with_jobs(profile, seed, 1)
 }
 
+/// Below this page count the pool is bypassed and synthesis runs inline.
+/// A scaled-down trace (tens of pages, ~100 µs of work) loses more to
+/// worker spawn/handoff than the fan-out returns — the
+/// `trace_generation/netflix_scaled_jobs4` bench measured the pooled path
+/// ~17 % *slower* than sequential at 32 pages. Output is unaffected:
+/// `ordered_map_with` is byte-identical at every `jobs` value, so forcing
+/// `jobs = 1` only picks the cheaper schedule.
+pub const PARALLEL_PAGE_THRESHOLD: u64 = 128;
+
+/// The job count synthesis actually uses: small traces are forced onto the
+/// inline sequential path regardless of the requested fan-out.
+fn effective_jobs(sim_pages: u64, jobs: usize) -> usize {
+    if sim_pages < PARALLEL_PAGE_THRESHOLD {
+        1
+    } else {
+        jobs
+    }
+}
+
 /// Generates the trace with per-page synthesis fanned across `jobs`
 /// workers (`0` = resolve automatically, as in [`memutil::par`]). The
-/// result is byte-identical for every `jobs` value.
+/// result is byte-identical for every `jobs` value. Traces smaller than
+/// [`PARALLEL_PAGE_THRESHOLD`] pages skip the pool entirely.
 ///
 /// # Panics
 ///
@@ -212,6 +232,7 @@ pub fn generate_with_jobs(profile: &WorkloadProfile, seed: u64, jobs: usize) -> 
     } else {
         0
     };
+    let jobs = effective_jobs(profile.sim_pages, jobs);
     let samplers = ProfileSamplers::new(profile, duration_ns);
     let runs = par::ordered_map_with(jobs, profile.sim_pages as usize, |page| {
         page_events(&samplers, hot_pages, duration_ns, seed, page as u64)
@@ -358,7 +379,12 @@ mod tests {
         let mut cold_heavy = small_netflix();
         cold_heavy.hot_fraction = 0.0;
         cold_heavy.sim_seconds = 30.0;
-        for profile in [small_netflix(), cold_heavy] {
+        // Above the bypass threshold, so the pooled path stays exercised
+        // (the two small profiles take the forced-sequential path).
+        let mut pooled = WorkloadProfile::netflix().scaled(0.25);
+        pooled.sim_seconds = 10.0;
+        assert!(pooled.sim_pages >= PARALLEL_PAGE_THRESHOLD);
+        for profile in [small_netflix(), cold_heavy, pooled] {
             for seed in [1u64, 11, 0xDEAD_BEEF] {
                 let expect = reference::generate(&profile, seed);
                 for jobs in [1usize, 2, 8] {
@@ -370,5 +396,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn small_traces_bypass_the_pool() {
+        // Below the threshold the requested fan-out is overridden to the
+        // inline sequential path: the per-trace work is too small to
+        // amortize the worker handoff (the `netflix_scaled_jobs4` bench
+        // regression). At and above the threshold the request stands.
+        let p = small_netflix();
+        assert!(p.sim_pages < PARALLEL_PAGE_THRESHOLD);
+        assert_eq!(effective_jobs(p.sim_pages, 4), 1);
+        assert_eq!(effective_jobs(PARALLEL_PAGE_THRESHOLD - 1, 8), 1);
+        assert_eq!(effective_jobs(PARALLEL_PAGE_THRESHOLD, 8), 8);
+        assert_eq!(effective_jobs(PARALLEL_PAGE_THRESHOLD, 0), 0);
     }
 }

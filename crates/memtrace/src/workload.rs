@@ -169,6 +169,23 @@ impl WorkloadProfile {
     pub fn by_name(name: &str) -> Option<WorkloadProfile> {
         WorkloadProfile::all().into_iter().find(|w| w.name == name)
     }
+
+    /// Deterministically assigns a Table-1 workload to fleet node `node`:
+    /// a seeded avalanche hash picks (approximately uniformly) from
+    /// [`WorkloadProfile::all`]. Pure in `(seed, node)`, so a fleet's
+    /// per-node workload mix is reproducible and independent of the order
+    /// nodes are expanded in.
+    #[must_use]
+    pub fn for_node(seed: u64, node: u64) -> WorkloadProfile {
+        // SplitMix64 finalizer (identical constants to memutil's PRNG).
+        let mut z = seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut all = WorkloadProfile::all();
+        let idx = (z % all.len() as u64) as usize;
+        all.swap_remove(idx)
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +238,32 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn scaled_rejects_zero() {
         let _ = WorkloadProfile::netflix().scaled(0.0);
+    }
+
+    #[test]
+    fn for_node_is_deterministic_and_mixes_profiles() {
+        // Reproducible per node...
+        for node in 0..8 {
+            assert_eq!(
+                WorkloadProfile::for_node(7, node).name,
+                WorkloadProfile::for_node(7, node).name
+            );
+        }
+        // ...and a 64-node fleet draws a genuine mix of Table-1 profiles,
+        // differently for different fleet seeds.
+        let mix = |seed: u64| -> std::collections::BTreeSet<String> {
+            (0..64)
+                .map(|n| WorkloadProfile::for_node(seed, n).name)
+                .collect()
+        };
+        assert!(mix(7).len() >= 6, "seed 7 drew only {:?}", mix(7));
+        let assignments_a: Vec<String> = (0..64)
+            .map(|n| WorkloadProfile::for_node(7, n).name)
+            .collect();
+        let assignments_b: Vec<String> = (0..64)
+            .map(|n| WorkloadProfile::for_node(8, n).name)
+            .collect();
+        assert_ne!(assignments_a, assignments_b);
     }
 
     #[test]

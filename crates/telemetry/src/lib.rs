@@ -102,6 +102,29 @@ pub fn observe(name: &str, edges: &[u64], value: u64) {
     }
 }
 
+/// Records `value` in the named [`Class::Timing`] histogram on the
+/// current registry, creating it with `edges` on first use. Timing
+/// histograms live in the report's `timing` section, which the
+/// determinism gate ignores — use for wall-clock-derived distributions
+/// (e.g. per-shard step latencies). No-op when telemetry is disabled.
+pub fn observe_timing(name: &str, edges: &[u64], value: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.histogram(name, Class::Timing, edges).record(value);
+    }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock
+/// time in nanoseconds. This is the sanctioned wall-clock read for other
+/// crates: the workspace lint forbids `Instant::now` outside
+/// `crates/telemetry`, so latency measurement routes through here (and the
+/// caller must file the duration as [`Class::Timing`] data only).
+pub fn time_ns<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let start = std::time::Instant::now();
+    let result = f();
+    (result, start.elapsed().as_nanos() as u64)
+}
+
 /// Starts a wall-clock span on the current registry; the elapsed time is
 /// recorded (as [`Class::Timing`] data) when the returned guard drops.
 /// Returns an inert guard when telemetry is disabled.

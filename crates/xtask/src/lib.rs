@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod fleet;
 pub mod obs;
 
 use std::path::{Path, PathBuf};
@@ -90,7 +91,8 @@ pub fn lint_cmd(update_ratchet: bool, json: Option<&str>) -> i32 {
 /// `memlint`, `cargo build --workspace --release` (the determinism gate
 /// below byte-compares the freshly built experiments binary), the
 /// determinism gate, `obs --check`, a quick 3-plan chaos soak
-/// ([`chaos::chaos_cmd`]), `cargo test -q`, and — when `bench` is set —
+/// ([`chaos::chaos_cmd`]), the fleet smoke gate ([`fleet::fleet_cmd`]
+/// with `--smoke`), `cargo test -q`, and — when `bench` is set —
 /// the `bench compare` regression gate plus the `obs` and `chaos`
 /// overhead gates (run through `cargo run --release` so the fresh medians
 /// are measured at the same profile as the checked-in baseline,
@@ -136,6 +138,12 @@ pub fn ci_cmd(bench: bool) -> i32 {
     let chaos_code = chaos::chaos_cmd(&["--quick".to_string(), "--plans=3".to_string()]);
     if chaos_code != 0 {
         return chaos_code;
+    }
+
+    println!("ci: fleet smoke (jobs 1-vs-4 byte-diff, fault-free and faulted)");
+    let fleet_code = fleet::fleet_cmd(&["--smoke".to_string()]);
+    if fleet_code != 0 {
+        return fleet_code;
     }
 
     println!("ci: cargo test -q");

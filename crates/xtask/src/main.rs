@@ -17,6 +17,7 @@ fn main() {
         Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
         Some("obs") => xtask::obs::obs_cmd(&args[1..]),
         Some("chaos") => xtask::chaos::chaos_cmd(&args[1..]),
+        Some("fleet") => xtask::fleet::fleet_cmd(&args[1..]),
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("baseline") => xtask::bench_baseline_cmd(),
             Some("compare") => xtask::bench_compare_cmd(),
@@ -66,6 +67,14 @@ fn usage() {
          \x20                           determinism) plus a faulted controller\n\
          \x20                           audit; `overhead` gates the idle-injector\n\
          \x20                           cost (<2% on the eval kernel)\n\
+         \x20 fleet [run|bench|soak|--smoke]\n\
+         \x20                           fleet-scale simulation: `run` a sharded\n\
+         \x20                           fleet (--nodes N --seed S --jobs J\n\
+         \x20                           [--json] [--faults]), `bench` the 64-DIMM\n\
+         \x20                           jobs 1-vs-4 scaling gate (>=2.5x on >=4\n\
+         \x20                           CPUs), `soak` chaos plans over a faulted\n\
+         \x20                           fleet, `--smoke` the quick jobs 1-vs-4\n\
+         \x20                           byte-diff CI leg\n\
          \x20 obs [print|--write|--check|diff A B|overhead]\n\
          \x20                           telemetry-report tooling: pretty-print the\n\
          \x20                           reference report, refresh/verify the\n\

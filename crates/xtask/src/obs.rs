@@ -20,8 +20,9 @@
 //!
 //! The reference workload touches every instrumented layer: a
 //! failure-model module sweep (cache + eval counters), a MEMCON engine run
-//! (PRIL, test-engine, refresh-manager counters), and a small memsim
-//! system run (controller command mix and stall counters).
+//! (PRIL, test-engine, refresh-manager counters), a small memsim system
+//! run (controller command mix and stall counters), and a small fleet run
+//! (`fleet.rollup.*` aggregate counters and histograms).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -119,6 +120,10 @@ fn run_reference_workload() {
     );
     let mut sys = memsim::system::System::new(config, vec![memtrace::cpu::spec_tpc_pool()[0]], 7);
     let _ = sys.run(20_000);
+
+    // Layer 4: fleet run (fleet.rollup.* aggregate counters/histograms).
+    let fleet_config = fleet::FleetConfig::small(4, 0x0B5);
+    let _ = fleet::engine::run_fleet(&fleet_config, 2);
 }
 
 fn print_cmd() -> i32 {
