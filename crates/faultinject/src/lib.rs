@@ -436,6 +436,7 @@ impl FaultSession {
         let hit = self.plan.fires(site, idx);
         if hit {
             self.injected[site as usize] += 1;
+            note_fire(site, self.injected[site as usize]);
         }
         hit
     }
@@ -446,6 +447,7 @@ impl FaultSession {
         let hit = self.plan.fires(site, key);
         if hit {
             self.injected[site as usize] += 1;
+            note_fire(site, self.injected[site as usize]);
         }
         hit
     }
@@ -466,6 +468,17 @@ impl FaultSession {
     #[must_use]
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
+    }
+}
+
+/// Annotates the calling thread's innermost open tree span with the fault
+/// activation: key `fault.<site>`, value = the session's running tally at
+/// that site. Fault fires are decided by `(plan seed, site, index)` alone,
+/// so stamping them onto timing-class spans cannot perturb simulation
+/// state; when no span is open (or telemetry is off) this is a no-op.
+fn note_fire(site: Site, nth: u64) {
+    if telemetry::enabled() {
+        telemetry::annotate(&format!("fault.{}", site.name()), nth);
     }
 }
 

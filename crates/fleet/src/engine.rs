@@ -12,9 +12,9 @@
 //! per epoch, so the locks are uncontended — they exist to satisfy the
 //! shared-reference contract, not to serialize.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use memcon::engine::{MemconEngine, MemconReport, RecoveryStats};
+use memcon::engine::{LiveStats, MemconEngine, MemconReport, RecoveryStats};
 use memcon::refreshmgr::PageState;
 use memcon::testengine::{ContentOracle, FailureOracle, RateOracle};
 use memutil::par;
@@ -37,6 +37,9 @@ struct Shard {
     done_epoch: Option<u64>,
     /// Wall-clock nanoseconds of each epoch step (timing class only).
     step_latency_ns: Vec<u64>,
+    /// Live-stats snapshot at the previous epoch boundary, so the
+    /// post-barrier observability flush emits per-epoch deltas.
+    last_live: LiveStats,
 }
 
 /// A running fleet: per-shard engines plus the epoch clock.
@@ -51,6 +54,10 @@ pub struct Fleet {
     horizon_ns: u64,
     seed: u64,
     epoch_quanta: u64,
+    /// Armed SLO monitor, evaluated post-barrier on every epoch sample.
+    /// Shared behind a mutex so a scrape endpoint can serve `HEALTH`
+    /// while the fleet runs.
+    health: Option<Arc<Mutex<telemetry::HealthMonitor>>>,
 }
 
 impl Fleet {
@@ -90,6 +97,7 @@ impl Fleet {
                     report: None,
                     done_epoch: None,
                     step_latency_ns: Vec::new(),
+                    last_live: LiveStats::default(),
                 })
             })
             .collect();
@@ -106,7 +114,21 @@ impl Fleet {
             horizon_ns,
             seed: config.seed,
             epoch_quanta: config.epoch_quanta,
+            health: None,
         }
+    }
+
+    /// Arms an SLO monitor: every epoch's post-barrier sample point is
+    /// evaluated against its rules. Pass a shared handle when a scrape
+    /// endpoint should serve `HEALTH` concurrently.
+    pub fn set_health_monitor(&mut self, monitor: Arc<Mutex<telemetry::HealthMonitor>>) {
+        self.health = Some(monitor);
+    }
+
+    /// The armed SLO monitor, if any.
+    #[must_use]
+    pub fn health_monitor(&self) -> Option<&Arc<Mutex<telemetry::HealthMonitor>>> {
+        self.health.as_ref()
     }
 
     /// Number of shards.
@@ -148,6 +170,8 @@ impl Fleet {
             return false;
         }
         self.epoch += 1;
+        let _epoch_span = telemetry::tree_span("fleet.epoch");
+        telemetry::annotate("epoch", self.epoch);
         let limit = self.epoch.saturating_mul(self.epoch_ns);
         let finished: Vec<bool> = par::ordered_map_with(jobs, self.shards.len(), |i| {
             let mut shard = self.shards[i].lock().expect("shard engine panicked");
@@ -155,6 +179,10 @@ impl Fleet {
             if shard.report.is_some() {
                 return true;
             }
+            // Nested under `fleet.epoch` at jobs=1 (same thread); a root
+            // span on pool workers — tree shape is timing-class data.
+            let _step_span = telemetry::tree_span("fleet.shard_step");
+            telemetry::annotate("shard", i as u64);
             let ((), elapsed_ns) = telemetry::time_ns(|| {
                 shard.engine.advance_until(&shard.spec.trace, limit);
                 if limit >= shard.spec.trace.duration_ns() {
@@ -179,7 +207,77 @@ impl Fleet {
                 }
             }
         }
+        self.flush_epoch_observability();
         !self.is_done()
+    }
+
+    /// Post-barrier observability flush, in deterministic shard order:
+    /// folds every shard's [`LiveStats`] delta since the previous epoch
+    /// into the `fleet.obs.*` counters, samples the fleet-wide gauges into
+    /// the registry's time-series ring at tick = epoch, and evaluates the
+    /// armed health monitor (if any) against the fresh point.
+    ///
+    /// Runs single-threaded after the epoch barrier, so the sampled deltas
+    /// are a function of simulation state only — the series is
+    /// deterministic and byte-identical at any `jobs` value.
+    fn flush_epoch_observability(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let mut delta = LiveStats::default();
+        let mut pinned = 0u64;
+        let mut pages = 0u64;
+        let mut pril_buffered = 0u64;
+        let mut pril_capacity = 0u64;
+        let mut shards_done = 0u64;
+        for slot in &self.shards {
+            // memlint: allow(no-unwrap): poisoned shard lock means an engine panicked — propagate
+            let mut shard = slot.lock().expect("shard engine panicked");
+            let live = shard.engine.live_stats();
+            let prev = &shard.last_live;
+            delta.faults_injected += live.faults_injected.saturating_sub(prev.faults_injected);
+            delta.aborts += live.aborts.saturating_sub(prev.aborts);
+            delta.retries += live.retries.saturating_sub(prev.retries);
+            delta.backoffs_scheduled += live
+                .backoffs_scheduled
+                .saturating_sub(prev.backoffs_scheduled);
+            delta.backoff_ceiling_hits += live
+                .backoff_ceiling_hits
+                .saturating_sub(prev.backoff_ceiling_hits);
+            delta.escapes += live.escapes.saturating_sub(prev.escapes);
+            pinned += live.pinned_pages;
+            pages += live.pages;
+            pril_buffered += live.pril_buffered;
+            pril_capacity += live.pril_capacity;
+            shards_done += u64::from(shard.report.is_some());
+            shard.last_live = live;
+        }
+        telemetry::count("fleet.obs.faults_injected", delta.faults_injected);
+        telemetry::count("fleet.obs.aborts", delta.aborts);
+        telemetry::count("fleet.obs.retries", delta.retries);
+        telemetry::count("fleet.obs.backoffs_scheduled", delta.backoffs_scheduled);
+        telemetry::count("fleet.obs.backoff_ceiling_hits", delta.backoff_ceiling_hits);
+        telemetry::count("fleet.obs.escapes", delta.escapes);
+        let point = telemetry::sample_point(
+            self.epoch,
+            &[
+                ("fleet.gauge.pinned_pages", pinned),
+                ("fleet.gauge.pages", pages),
+                ("fleet.gauge.pril_buffered", pril_buffered),
+                ("fleet.gauge.pril_capacity", pril_capacity),
+                ("fleet.gauge.shards_done", shards_done),
+            ],
+        );
+        if let (Some(monitor), Some(point)) = (&self.health, point) {
+            let fired = monitor
+                .lock()
+                // memlint: allow(no-unwrap): a poisoned monitor must fail the run, not go silent
+                .expect("health monitor poisoned")
+                .evaluate(&point);
+            if fired > 0 {
+                telemetry::trace_event("fleet.alerts_fired", fired as u64);
+            }
+        }
     }
 
     /// Runs epochs until every shard completes, then rolls up and returns

@@ -52,6 +52,12 @@ pub struct RecoveryStats {
     pub retries: u64,
     /// Backoffs scheduled (one per aborted/ambiguous attempt).
     pub backoffs_scheduled: u64,
+    /// Backoffs clamped at [`RecoveryPolicy::backoff_cap_quanta`] — the
+    /// page keeps failing attempts after the exponential schedule maxed
+    /// out, a saturation signal the health monitor watches.
+    ///
+    /// [`RecoveryPolicy::backoff_cap_quanta`]: crate::config::RecoveryPolicy
+    pub backoff_ceiling_hits: u64,
     /// Backoff-length distribution, bucketed by [`BACKOFF_EDGES`]
     /// (≤1, ≤2, ≤4, ≤8, ≤16, >16 quanta).
     pub backoff_hist: [u64; 6],
@@ -135,6 +141,38 @@ pub struct EngineInternals {
     pub recovery: RecoveryStats,
 }
 
+/// Instantaneous observability snapshot of an engine, readable between
+/// [`MemconEngine::advance_until`] slices (the fleet scheduler reads one
+/// per shard per epoch, post-barrier) or after a finished run. Totals are
+/// cumulative for the current run; `pinned_pages` and `pril_buffered` are
+/// gauges. All values derive from simulation state — deterministic for a
+/// fixed trace and plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Faults injected so far, summed across sites.
+    pub faults_injected: u64,
+    /// Tests aborted so far.
+    pub aborts: u64,
+    /// Tests restarted from the backoff queue so far.
+    pub retries: u64,
+    /// Backoffs scheduled so far.
+    pub backoffs_scheduled: u64,
+    /// Backoffs clamped at the policy cap so far.
+    pub backoff_ceiling_hits: u64,
+    /// Fail-safe HI-REF pin events so far.
+    pub degraded_rows: u64,
+    /// Uncorrectable ECC escapes so far (must stay 0).
+    pub escapes: u64,
+    /// Pages currently pinned to HI-REF (gauge).
+    pub pinned_pages: u64,
+    /// PRIL write-buffer occupancy (gauge).
+    pub pril_buffered: u64,
+    /// PRIL write-buffer capacity.
+    pub pril_capacity: u64,
+    /// Pages the engine tracks.
+    pub pages: u64,
+}
+
 /// Persistent state of a stepped run between [`MemconEngine::begin_run`]
 /// and [`MemconEngine::finish_run`]. Holding the refresh manager and the
 /// event cursor here (instead of on `run`'s stack) is what lets a fleet
@@ -194,6 +232,8 @@ pub struct MemconEngine {
     last_pinned: Vec<bool>,
     /// In-progress stepped run, if any.
     run: Option<RunState>,
+    /// Quantum-window time-series sampling period (quanta), when armed.
+    sample_every: Option<u64>,
 }
 
 impl MemconEngine {
@@ -250,6 +290,7 @@ impl MemconEngine {
             recovery: RecoveryStats::default(),
             last_pinned: Vec::new(),
             run: None,
+            sample_every: None,
             config,
         }
     }
@@ -272,6 +313,50 @@ impl MemconEngine {
     #[must_use]
     pub fn recovery_stats(&self) -> &RecoveryStats {
         &self.recovery
+    }
+
+    /// Arms quantum-window time-series sampling: every `Some(n)`-th
+    /// quantum boundary takes a [`telemetry`] sample point (counter deltas
+    /// plus engine gauges; tick = quantum index). **Single-engine drivers
+    /// only** — sampling from engines stepped concurrently would
+    /// interleave ring points nondeterministically and break the
+    /// `--jobs` byte-identity of the deterministic report section. Fleet
+    /// runs sample post-barrier per epoch instead and must leave this
+    /// disarmed.
+    pub fn set_sample_every(&mut self, every: Option<u64>) {
+        self.sample_every = every.filter(|n| *n > 0);
+    }
+
+    /// Instantaneous observability snapshot (see [`LiveStats`]). Mid-run
+    /// the gauges read the live refresh manager; after a finished run they
+    /// read the final state.
+    #[must_use]
+    pub fn live_stats(&self) -> LiveStats {
+        let t = &self.tests.stats;
+        let faults_injected = self
+            .tests
+            .fault_session()
+            .map_or(0, FaultSession::total_injected);
+        let (pinned_pages, degraded_rows) = match &self.run {
+            Some(run) => (run.mgr.pinned_count(), run.mgr.pin_events()),
+            None => (
+                self.last_pinned.iter().filter(|p| **p).count() as u64,
+                self.recovery.degraded_rows,
+            ),
+        };
+        LiveStats {
+            faults_injected,
+            aborts: t.aborted,
+            retries: self.recovery.retries,
+            backoffs_scheduled: self.recovery.backoffs_scheduled,
+            backoff_ceiling_hits: self.recovery.backoff_ceiling_hits,
+            degraded_rows,
+            escapes: self.recovery.uncorrectable_escapes,
+            pinned_pages,
+            pril_buffered: self.pril.buffer_len() as u64,
+            pril_capacity: self.config.write_buffer_capacity as u64,
+            pages: self.n_pages,
+        }
     }
 
     /// Checks the refresh-correctness invariant over the last run's final
@@ -311,6 +396,7 @@ impl MemconEngine {
     ///
     /// Panics if the trace pages exceed the engine's page count.
     pub fn run(&mut self, trace: &WriteTrace) -> MemconReport {
+        let _span = telemetry::tree_span("memcon.run");
         self.begin_run(trace);
         self.advance_until(trace, trace.duration_ns());
         self.finish_run()
@@ -586,6 +672,9 @@ impl MemconEngine {
         let backoff =
             (1u64 << u64::from((attempts - 1).min(31))).min(u64::from(policy.backoff_cap_quanta));
         self.recovery.backoffs_scheduled += 1;
+        if backoff == u64::from(policy.backoff_cap_quanta) {
+            self.recovery.backoff_ceiling_hits += 1;
+        }
         self.recovery.backoff_hist[backoff_bucket(backoff)] += 1;
         if telemetry::enabled() {
             telemetry::observe("memcon.recovery.backoff_quanta", &BACKOFF_EDGES, backoff);
@@ -664,6 +753,10 @@ impl MemconEngine {
         telemetry::count("memcon.recovery.aborts", r.aborts);
         telemetry::count("memcon.recovery.retries", r.retries);
         telemetry::count("memcon.recovery.backoffs_scheduled", r.backoffs_scheduled);
+        telemetry::count(
+            "memcon.recovery.backoff_ceiling_hits",
+            r.backoff_ceiling_hits,
+        );
         telemetry::count("memcon.recovery.degraded_rows", r.degraded_rows);
         telemetry::count("memcon.recovery.ambiguous", r.ambiguous);
         telemetry::count("memcon.recovery.ecc_corrected", r.ecc_corrected);
@@ -703,6 +796,9 @@ impl MemconEngine {
                 self.retry_at[page as usize] = None;
                 self.recovery.retries += 1;
                 mgr.transition(page, PageState::Testing, now);
+                if telemetry::enabled() {
+                    telemetry::annotate("memcon.test_retry", page);
+                }
             } else {
                 still_armed.push(page); // no slot free; keep armed
             }
@@ -725,6 +821,14 @@ impl MemconEngine {
             let generation = self.generation[page as usize];
             if self.tests.try_start(page, generation, now) {
                 mgr.transition(page, PageState::Testing, now);
+                if telemetry::enabled() {
+                    telemetry::annotate("memcon.test_start", page);
+                }
+            }
+        }
+        if let Some(every) = self.sample_every {
+            if self.quantum_index % every == 0 && telemetry::enabled() {
+                self.sample_quantum(mgr);
             }
         }
         #[cfg(feature = "strict-invariants")]
@@ -738,6 +842,24 @@ impl MemconEngine {
                 panic!("RefreshManager invariant violation at quantum boundary ({now} ns): {e}");
             }
         }
+    }
+
+    /// Takes a quantum-window time-series sample (see
+    /// [`MemconEngine::set_sample_every`]): engine gauges read from the
+    /// live refresh manager, tick = quantum index.
+    fn sample_quantum(&self, mgr: &RefreshManager) {
+        telemetry::sample_point(
+            self.quantum_index,
+            &[
+                ("memcon.gauge.pinned_pages", mgr.pinned_count()),
+                ("memcon.gauge.pril_buffered", self.pril.buffer_len() as u64),
+                (
+                    "memcon.gauge.pril_capacity",
+                    self.config.write_buffer_capacity as u64,
+                ),
+                ("memcon.gauge.pages", self.n_pages),
+            ],
+        );
     }
 
     fn handle_completions(&mut self, now: u64, mgr: &mut RefreshManager, duration: u64) {

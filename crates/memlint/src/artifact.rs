@@ -5,9 +5,11 @@
 //! * **`telemetry-name`** — every metric name used in library/binary code
 //!   must appear in `TELEMETRY_expected.json` (else the obs gate can't see
 //!   it), and every golden key must still be emitted by code (else the
-//!   golden is stale). Names only observed under rare conditions — absent
-//!   from the reference run by design — are listed in
-//!   [`KNOWN_CONDITIONAL_METRICS`], which is itself checked for staleness.
+//!   golden is stale). Golden keys span counters, histograms, and the
+//!   gauge names of the deterministic time-series points. Names only
+//!   observed under rare conditions — absent from the reference run by
+//!   design — are listed in [`KNOWN_CONDITIONAL_METRICS`], which is itself
+//!   checked for staleness.
 //! * **`fault-site`** — the `fault.<site>` keys in the golden file and the
 //!   site names returned by `faultinject`'s `Site::name` must match
 //!   exactly, both directions.
@@ -119,16 +121,28 @@ fn collect_literals(scan: &FileScan<'_>, pred: fn(&str) -> bool, out: &mut Vec<L
 }
 
 /// Extracts the metric-name keys from the golden telemetry report:
-/// `deterministic.counters` and `deterministic.histograms`.
+/// `deterministic.counters`, `deterministic.histograms`, and the gauge
+/// names of every `deterministic.timeseries` sample point (the live
+/// observability plane's gauges are golden-pinned series names too).
 fn golden_keys(golden: &Json) -> BTreeSet<String> {
     let mut keys = BTreeSet::new();
     if let Some(Json::Obj(sections)) = golden.get("deterministic") {
         for (section, value) in sections {
-            if section != "counters" && section != "histograms" {
-                continue;
-            }
-            if let Json::Obj(fields) = value {
-                keys.extend(fields.iter().map(|(k, _)| k.clone()));
+            match (section.as_str(), value) {
+                ("counters" | "histograms", Json::Obj(fields)) => {
+                    keys.extend(fields.iter().map(|(k, _)| k.clone()));
+                }
+                ("timeseries", ts) => {
+                    let Some(Json::Arr(points)) = ts.get("points") else {
+                        continue;
+                    };
+                    for point in points {
+                        if let Some(Json::Obj(gauges)) = point.get("gauges") {
+                            keys.extend(gauges.iter().map(|(k, _)| k.clone()));
+                        }
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -425,6 +439,43 @@ mod tests {
             scan_of("crates/demo/src/cond.rs", &cond),
         ];
         assert!(check(&files, Some(GOLDEN)).is_empty());
+    }
+
+    #[test]
+    fn timeseries_gauge_keys_count_as_golden_names() {
+        // A gauge name that only exists in the golden's deterministic
+        // time-series points must satisfy the rule in both directions:
+        // code using it is covered, and code covering it keeps the golden
+        // fresh.
+        const TS_GOLDEN: &str = r#"{
+            "schema": "memcon-telemetry/v1",
+            "deterministic": {
+                "counters": {"fault.demo.glitch": {"v": 1}},
+                "timeseries": {
+                    "points": [
+                        {"tick": 1, "counters": {}, "gauges": {"demo.gauge.load": 5}}
+                    ]
+                }
+            }
+        }"#;
+        let lib = "fn f() { telemetry::sample_point(1, &[(\"demo.gauge.load\", 5)]); }\n";
+        let cond = cond_uses();
+        let files = [
+            scan_of("crates/demo/src/lib.rs", lib),
+            scan_of("crates/faultinject/src/lib.rs", REGISTRY),
+            scan_of("crates/demo/src/cond.rs", &cond),
+        ];
+        let v = check(&files, Some(TS_GOLDEN));
+        assert!(v.is_empty(), "{v:?}");
+
+        // Without the code use, the gauge key is stale golden data.
+        let files = [
+            scan_of("crates/faultinject/src/lib.rs", REGISTRY),
+            scan_of("crates/demo/src/cond.rs", &cond),
+        ];
+        let v = check(&files, Some(TS_GOLDEN));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].excerpt.contains("demo.gauge.load"), "{}", v[0].excerpt);
     }
 
     #[test]

@@ -152,6 +152,7 @@ impl System {
     /// Panics if the run exceeds a generous safety bound (pathological IPC
     /// below ~0.01), indicating a deadlock bug rather than a slow workload.
     pub fn run(&mut self, instructions_per_core: u64) -> SimStats {
+        let _run_span = telemetry::tree_span("memsim.run");
         // Controller statistics accumulate across runs on the same system;
         // snapshot them so telemetry reports this run's delta.
         let ctrl_before = self.controller.stats;

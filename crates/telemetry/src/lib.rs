@@ -35,20 +35,42 @@
 //! `xtask obs overhead` gate holds the instrumented
 //! `evaluate_module_1bank` kernel to <2% overhead.
 //!
+//! # Live observability plane
+//!
+//! Run-end reports answer questions after the fact; the live plane
+//! answers them *during* a soak. The registry carries an epoch-aligned
+//! time-series ring ([`Registry::sample_point`] — deterministic-counter
+//! deltas plus gauges, sampled only at barriers so the series itself is
+//! [`Class::Deterministic`] data), a causal span tree
+//! ([`tree_span`]/[`annotate`] — parent/child wall-clock spans,
+//! [`Class::Timing`]), a declarative SLO monitor with a flight recorder
+//! ([`health`]), and a read-only TCP scrape endpoint ([`ScrapeServer`])
+//! speaking a minimal line protocol (`METRICS`, `HEALTH`,
+//! `SERIES <name>`), viewed with `xtask top`.
+//!
 //! # Naming
 //!
 //! Metric names follow `crate.component.metric`, e.g.
-//! `memsim.ctrl.trrd_stalls` or `memcon.pril.candidates`.
+//! `memsim.ctrl.trrd_stalls` or `memcon.pril.candidates`. Tree span
+//! names use two segments (`fleet.epoch`, `memcon.run`).
 
 #![warn(missing_docs)]
 
+pub mod health;
 mod metrics;
 mod registry;
+mod scrape;
+mod timeseries;
 mod trace;
+mod trees;
 
+pub use health::{flight_record, HealthMonitor, FLIGHTREC_SCHEMA};
 pub use metrics::{Counter, Histogram, Span, SpanGuard};
 pub use registry::{current, global, install, Registry, ScopeGuard};
+pub use scrape::{respond, ScrapeServer};
+pub use timeseries::{SamplePoint, TIMESERIES_SCHEMA};
 pub use trace::{Event, EventTrace};
+pub use trees::{SpanNode, SpanTree, TreeGuard};
 
 /// Determinism class of a metric — decides which report section it lands
 /// in and whether the determinism gate byte-diffs it.
@@ -145,6 +167,38 @@ pub fn trace_event(label: &str, value: u64) {
     if r.is_enabled() {
         r.trace().record(label, value);
     }
+}
+
+/// Opens a causal span in the current registry's span tree, nested under
+/// this thread's innermost open tree span ([`Class::Timing`] data). The
+/// node closes when the returned guard drops. Inert when disabled.
+#[must_use]
+pub fn tree_span(name: &str) -> TreeGuard {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.tree().open(name)
+    } else {
+        TreeGuard::disabled()
+    }
+}
+
+/// Attaches `(key, value)` to this thread's innermost open tree span —
+/// how fault activations and other context annotate the covering span
+/// without plumbing. No-op when disabled or no span is open here.
+pub fn annotate(key: &str, value: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.tree().annotate(key, value);
+    }
+}
+
+/// Takes an epoch/quantum-aligned time-series sample on the current
+/// registry (see [`Registry::sample_point`]): deterministic-counter
+/// deltas since the previous sample plus caller-supplied gauges. Must be
+/// called from a deterministic synchronization point only. Returns `None`
+/// when telemetry is disabled.
+pub fn sample_point(tick: u64, gauges: &[(&str, u64)]) -> Option<SamplePoint> {
+    registry::current().sample_point(tick, gauges)
 }
 
 #[cfg(test)]

@@ -283,6 +283,68 @@ mod tests {
     }
 
     #[test]
+    fn counter_add_zero_registers_no_change_but_is_safe_at_saturation() {
+        let c = Counter::new(on());
+        c.add(0);
+        assert_eq!(c.get(), 0);
+        c.add(u64::MAX);
+        c.add(0);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr at ceiling stays saturated");
+    }
+
+    #[test]
+    fn counter_reset_reopens_headroom_after_saturation() {
+        let c = Counter::new(on());
+        c.add(u64::MAX);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        c.add(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn histogram_single_edge_splits_at_the_boundary_exactly() {
+        let h = Histogram::new(on(), &[64]);
+        h.record(63);
+        h.record(64);
+        h.record(65);
+        assert_eq!(
+            h.bucket_counts(),
+            vec![2, 1],
+            "64 is inside (..=64], 65 overflows"
+        );
+    }
+
+    #[test]
+    fn histogram_edge_at_u64_max_leaves_an_empty_overflow_bucket() {
+        let h = Histogram::new(on(), &[u64::MAX]);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts(), vec![1, 0]);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_across_many_records() {
+        let h = Histogram::new(on(), &[1]);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2, "count keeps advancing past sum saturation");
+    }
+
+    #[test]
+    fn histogram_ignores_records_when_disabled() {
+        let flag = on();
+        let h = Histogram::new(Arc::clone(&flag), &[10]);
+        h.record(5);
+        flag.store(false, Ordering::Relaxed);
+        h.record(5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_counts(), vec![1, 0]);
+    }
+
+    #[test]
     fn span_guard_records_on_drop_only_when_enabled() {
         let s = Arc::new(Span::new(on()));
         {

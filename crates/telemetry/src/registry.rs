@@ -8,11 +8,16 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use memutil::json::Json;
 
 use crate::metrics::{Counter, Histogram, Span};
+use crate::timeseries::{SamplePoint, TimeSeries, DEFAULT_TIMESERIES_CAPACITY};
 use crate::trace::EventTrace;
+use crate::trees::SpanTree;
 use crate::Class;
 
 /// Default event-trace capacity of a fresh registry.
 const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// Default span-tree node capacity of a fresh registry.
+const DEFAULT_TREE_CAPACITY: usize = 1024;
 
 #[derive(Default)]
 struct Inner {
@@ -32,6 +37,8 @@ struct Inner {
 pub struct Registry {
     enabled: Arc<AtomicBool>,
     trace: Arc<EventTrace>,
+    tree: Arc<SpanTree>,
+    timeseries: Mutex<TimeSeries>,
     inner: Mutex<Inner>,
 }
 
@@ -55,6 +62,8 @@ impl Registry {
         let enabled = Arc::new(AtomicBool::new(false));
         Registry {
             trace: Arc::new(EventTrace::new(Arc::clone(&enabled), capacity)),
+            tree: Arc::new(SpanTree::new(Arc::clone(&enabled), DEFAULT_TREE_CAPACITY)),
+            timeseries: Mutex::new(TimeSeries::new(DEFAULT_TIMESERIES_CAPACITY)),
             enabled,
             inner: Mutex::new(Inner::default()),
         }
@@ -122,6 +131,60 @@ impl Registry {
         Arc::clone(&self.trace)
     }
 
+    /// The registry's causal span tree ([`Class::Timing`] data).
+    #[must_use]
+    pub fn tree(&self) -> Arc<SpanTree> {
+        Arc::clone(&self.tree)
+    }
+
+    fn timeseries(&self) -> std::sync::MutexGuard<'_, TimeSeries> {
+        self.timeseries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes an epoch/quantum-aligned [`SamplePoint`]: the delta of every
+    /// deterministic counter since the previous sample plus the supplied
+    /// instantaneous gauges, appended to the bounded time-series ring.
+    ///
+    /// Must be called from a deterministic synchronization point (a
+    /// post-barrier fleet epoch loop, or a single-threaded engine at a
+    /// quantum-window boundary) — the series lands in the report's
+    /// `deterministic` section and is byte-diffed across `--jobs`.
+    /// Returns `None` (recording nothing) when the registry is disabled.
+    pub fn sample_point(&self, tick: u64, gauges: &[(&str, u64)]) -> Option<SamplePoint> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let now = self.deterministic_counters();
+        Some(self.timeseries().sample(tick, now, gauges))
+    }
+
+    /// Retained time-series points, oldest first.
+    #[must_use]
+    pub fn timeseries_points(&self) -> Vec<SamplePoint> {
+        self.timeseries().points()
+    }
+
+    /// The last `n` retained time-series points, oldest first.
+    #[must_use]
+    pub fn timeseries_tail(&self, n: usize) -> Vec<SamplePoint> {
+        self.timeseries().last_points(n)
+    }
+
+    /// `(tick, value)` pairs of one named counter-delta or gauge across
+    /// the retained points.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Vec<(u64, u64)> {
+        self.timeseries().series(name)
+    }
+
+    /// Resizes the time-series ring (floor 1), evicting oldest points if
+    /// the new capacity is smaller.
+    pub fn set_timeseries_capacity(&self, capacity: usize) {
+        self.timeseries().set_capacity(capacity);
+    }
+
     /// Name/value snapshot of every deterministic-class counter, sorted
     /// by name. Pair with [`Registry::record_figure`] to attribute counts
     /// to one phase of a run.
@@ -132,6 +195,18 @@ impl Registry {
             .iter()
             .filter(|(_, (class, _))| *class == Class::Deterministic)
             .map(|(name, (_, c))| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// `(name, count, sum)` snapshot of every deterministic-class
+    /// histogram, sorted by name (the scrape endpoint's summary view).
+    #[must_use]
+    pub fn deterministic_histogram_stats(&self) -> Vec<(String, u64, u64)> {
+        self.inner()
+            .histograms
+            .iter()
+            .filter(|(_, (class, _))| *class == Class::Deterministic)
+            .map(|(name, (_, h))| (name.clone(), h.count(), h.sum()))
             .collect()
     }
 
@@ -167,6 +242,8 @@ impl Registry {
         }
         inner.figures.clear();
         self.trace.clear();
+        self.tree.clear();
+        self.timeseries().clear();
     }
 
     /// Emits the full report:
@@ -174,8 +251,10 @@ impl Registry {
     /// ```json
     /// {
     ///   "schema": "memcon-telemetry/v1",
-    ///   "deterministic": { "counters": {…}, "histograms": {…}, "figures": […] },
-    ///   "timing": { "counters": {…}, "spans": {…}, "par": {…}, "trace": […] }
+    ///   "deterministic": { "counters": {…}, "histograms": {…}, "figures": […],
+    ///                      "timeseries": { "points": […], … } },
+    ///   "timing": { "counters": {…}, "spans": {…}, "span_tree": {…}, "par": {…},
+    ///               "trace": { "events": […], "recorded": N, "dropped_events": M } }
     /// }
     /// ```
     ///
@@ -240,15 +319,40 @@ impl Registry {
             .field("chunks_stolen", pool.chunks_stolen)
             .field("worker_chunks", pool.worker_chunks.to_vec());
 
-        let mut trace = Json::arr();
+        let mut events = Json::arr();
         for e in self.trace.snapshot() {
-            trace = trace.push(
+            events = events.push(
                 Json::obj()
                     .field("seq", e.seq)
                     .field("label", e.label.as_str())
                     .field("value", e.value),
             );
         }
+        let trace = Json::obj()
+            .field("events", events)
+            .field("recorded", self.trace.recorded())
+            .field("dropped_events", self.trace.dropped());
+
+        let mut tree_nodes = Json::arr();
+        for n in self.tree.snapshot() {
+            tree_nodes = tree_nodes.push(n.to_json());
+        }
+        let span_tree = Json::obj()
+            .field("nodes", tree_nodes)
+            .field("dropped", self.tree.dropped());
+
+        let timeseries = {
+            let ts = self.timeseries();
+            let mut points = Json::arr();
+            for p in ts.points() {
+                points = points.push(p.to_json());
+            }
+            Json::obj()
+                .field("schema", crate::timeseries::TIMESERIES_SCHEMA)
+                .field("capacity", ts.capacity() as u64)
+                .field("dropped_points", ts.dropped())
+                .field("points", points)
+        };
 
         Json::obj()
             .field("schema", crate::SCHEMA)
@@ -257,7 +361,8 @@ impl Registry {
                 Json::obj()
                     .field("counters", det_counters)
                     .field("histograms", det_hists)
-                    .field("figures", figures),
+                    .field("figures", figures)
+                    .field("timeseries", timeseries),
             )
             .field(
                 "timing",
@@ -265,6 +370,7 @@ impl Registry {
                     .field("counters", timing_counters)
                     .field("histograms", timing_hists)
                     .field("spans", spans)
+                    .field("span_tree", span_tree)
                     .field("par", par)
                     .field("trace", trace),
             )
@@ -453,6 +559,67 @@ mod tests {
             !Arc::ptr_eq(&current(), &outer) && !Arc::ptr_eq(&current(), &inner),
             "global restored after the outermost guard drops"
         );
+    }
+
+    #[test]
+    fn sample_point_records_deltas_and_lands_in_the_report() {
+        let r = enabled_registry();
+        let c = r.counter("x.y.z", Class::Deterministic);
+        c.add(10);
+        let p1 = r.sample_point(1, &[("g.one", 4)]).expect("enabled");
+        assert_eq!(p1.value("x.y.z"), 10);
+        c.add(5);
+        let p2 = r.sample_point(2, &[("g.one", 6)]).expect("enabled");
+        assert_eq!(p2.value("x.y.z"), 5, "second point is a delta");
+        assert_eq!(p2.value("g.one"), 6);
+        assert_eq!(r.series("x.y.z"), vec![(1, 10), (2, 5)]);
+        let report = r.report();
+        let ts = report
+            .get("deterministic")
+            .and_then(|d| d.get("timeseries"))
+            .expect("timeseries section");
+        assert_eq!(
+            ts.get("schema").and_then(Json::as_str),
+            Some(crate::timeseries::TIMESERIES_SCHEMA)
+        );
+        let Some(Json::Arr(points)) = ts.get("points") else {
+            panic!("points array missing");
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[1]
+                .get("counters")
+                .and_then(|c| c.get("x.y.z"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn sample_point_is_a_noop_when_disabled() {
+        let r = Registry::new();
+        r.counter("x.y.z", Class::Deterministic);
+        assert!(r.sample_point(1, &[]).is_none());
+        assert!(r.timeseries_points().is_empty());
+    }
+
+    #[test]
+    fn report_carries_trace_and_tree_metadata() {
+        let r = enabled_registry();
+        r.trace().record("evt", 1);
+        drop(r.tree().open("t.span"));
+        let report = r.report();
+        let tim = report.get("timing").expect("timing");
+        let trace = tim.get("trace").expect("trace object");
+        assert_eq!(trace.get("recorded").and_then(Json::as_u64), Some(1));
+        assert_eq!(trace.get("dropped_events").and_then(Json::as_u64), Some(0));
+        let tree = tim.get("span_tree").expect("span_tree");
+        assert_eq!(tree.get("dropped").and_then(Json::as_u64), Some(0));
+        let Some(Json::Arr(nodes)) = tree.get("nodes") else {
+            panic!("nodes array missing");
+        };
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].get("name").and_then(Json::as_str), Some("t.span"));
     }
 
     #[test]

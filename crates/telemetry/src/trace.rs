@@ -29,6 +29,7 @@ pub struct EventTrace {
     enabled: Arc<AtomicBool>,
     capacity: usize,
     next_seq: AtomicU64,
+    dropped: AtomicU64,
     ring: Mutex<VecDeque<Event>>,
 }
 
@@ -39,6 +40,7 @@ impl EventTrace {
             enabled,
             capacity,
             next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
         }
     }
@@ -53,6 +55,7 @@ impl EventTrace {
         let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(Event {
             seq,
@@ -84,12 +87,21 @@ impl EventTrace {
         self.next_seq.load(Ordering::Relaxed)
     }
 
+    /// Events evicted from the ring to make room for newer ones. Surfaced
+    /// in reports so a truncated trace is never mistaken for a complete
+    /// one.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn clear(&self) {
         self.ring
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
         self.next_seq.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -119,6 +131,18 @@ mod tests {
             vec![2, 3, 4]
         );
         assert_eq!(t.recorded(), 5, "eviction does not lose the count");
+        assert_eq!(t.dropped(), 2, "evictions are counted, not silent");
+    }
+
+    #[test]
+    fn dropped_counter_stays_zero_without_overflow() {
+        let t = trace(8);
+        for i in 0..8u64 {
+            t.record("evt", i);
+        }
+        assert_eq!(t.dropped(), 0);
+        t.record("evt", 8);
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]
@@ -143,8 +167,12 @@ mod tests {
     fn clear_resets_sequence_numbers() {
         let t = trace(2);
         t.record("evt", 1);
+        t.record("evt", 2);
+        t.record("evt", 3);
+        assert_eq!(t.dropped(), 1);
         t.clear();
         t.record("evt", 2);
         assert_eq!(t.snapshot()[0].seq, 0);
+        assert_eq!(t.dropped(), 0, "clear resets the dropped counter");
     }
 }

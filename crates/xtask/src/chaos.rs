@@ -17,6 +17,13 @@
 //!   clean; every injected `tRRD`/`tFAW` violation must be flagged by the
 //!   audit (detection completeness).
 //!
+//! `chaos health` is the observable variant of the soak: a faulted fleet
+//! runs with the SLO monitor armed, the gate asserts prompt alerting
+//! (within two epochs of the first injected fault), dumps the
+//! `memcon-flightrec/v1` flight record, and byte-compares the series and
+//! alert log across worker counts; `--serve` exposes the live scrape
+//! endpoint while it runs.
+//!
 //! `chaos overhead` is the faults-disabled cost gate: it measures the
 //! `evaluate_module_1bank` kernel with no plan installed against a
 //! zero-rate plan installed (the injector's worst idle case — gate check
@@ -46,6 +53,9 @@ pub fn chaos_cmd(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("overhead") {
         return overhead_cmd();
     }
+    if args.first().map(String::as_str) == Some("health") {
+        return health_cmd(&args[1..]);
+    }
     let mut plans = 3usize;
     let mut quick = false;
     let mut it = args.iter();
@@ -65,7 +75,9 @@ pub fn chaos_cmd(args: &[String]) -> i32 {
             };
             plans = n;
         } else {
-            eprintln!("chaos: unknown argument {arg:?} (expected --plans N, --quick, overhead)");
+            eprintln!(
+                "chaos: unknown argument {arg:?} (expected --plans N, --quick, health, overhead)"
+            );
             return 2;
         }
     }
@@ -282,6 +294,164 @@ fn memsim_leg(plan: &Arc<FaultPlan>, quick: bool) -> Result<String, String> {
         stats.faults_timing,
         violations.len(),
         stats.faults_refresh_overrun_cycles
+    ))
+}
+
+/// Maximum epochs the health monitor may lag the first injected fault
+/// before the gate fails.
+const ALERT_LAG_EPOCHS: u64 = 2;
+
+/// `chaos health` — the observable chaos soak: a faulted fleet runs with
+/// the SLO monitor armed (default rules plus a fault-activity rule over
+/// `fleet.obs.faults_injected`); the gate asserts an alert fires within
+/// [`ALERT_LAG_EPOCHS`] epochs of the first injected fault, writes the
+/// `memcon-flightrec/v1` dump to `target/FLIGHTREC_chaos.json`, and
+/// byte-compares the deterministic time-series and the alert log at
+/// jobs 1 vs 4. `--serve[=ADDR]` additionally exposes the jobs-1 run's
+/// registry and monitor on a live scrape endpoint while it runs.
+fn health_cmd(args: &[String]) -> i32 {
+    let mut serve: Option<String> = None;
+    for arg in args {
+        if arg == "--serve" {
+            serve = Some("127.0.0.1:0".to_string());
+        } else if let Some(addr) = arg.strip_prefix("--serve=") {
+            serve = Some(addr.to_string());
+        } else {
+            eprintln!("chaos: unknown argument {arg:?} (expected --serve[=ADDR])");
+            return 2;
+        }
+    }
+    match health_soak(serve.as_deref()) {
+        Ok(summary) => {
+            println!("chaos: health soak: {summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("chaos: health soak FAILED: {e}");
+            1
+        }
+    }
+}
+
+/// What one armed fleet run contributes to the jobs comparison and the
+/// alert-latency check.
+struct HealthRun {
+    /// Serialized deterministic telemetry section (time-series included).
+    det: String,
+    /// Rendered alert lines in firing order.
+    alerts: Vec<String>,
+    /// Epoch of the first alert, if any.
+    first_alert_epoch: Option<u64>,
+    /// Epoch of the first nonzero `fleet.obs.faults_injected` delta.
+    first_fault_epoch: Option<u64>,
+    /// `memcon-flightrec/v1` dump taken at run end.
+    flightrec: Json,
+}
+
+fn health_soak(serve: Option<&str>) -> Result<String, String> {
+    let plan = chaos_plan(PLAN_SEED_BASE + 0x5EA1);
+    let mut config = ::fleet::FleetConfig::small(8, 0x5EA1_7B);
+    config.fault_plan = Some(plan);
+
+    let run = |jobs: usize| -> Result<HealthRun, String> {
+        let registry = Arc::new(telemetry::Registry::new());
+        registry.set_enabled(true);
+        registry.set_timeseries_capacity(1024);
+        let guard = telemetry::install(Arc::clone(&registry));
+        let fleet_plan = ::fleet::FleetPlan::expand(&config, jobs);
+        let mut fleet = ::fleet::Fleet::new(&fleet_plan);
+        let mut monitor = telemetry::HealthMonitor::with_default_rules();
+        monitor.add_rule(telemetry::health::Rule::delta_above(
+            "fault-activity",
+            telemetry::health::Severity::Warning,
+            "fleet.obs.faults_injected",
+            0,
+        ));
+        let monitor = Arc::new(std::sync::Mutex::new(monitor));
+        fleet.set_health_monitor(Arc::clone(&monitor));
+        // Live scrape endpoint over this run's registry + monitor; only
+        // meaningful on the serial leg (the jobs-4 leg reruns the same
+        // deterministic soak).
+        let server = match (serve, jobs) {
+            (Some(addr), 1) => {
+                let s = telemetry::ScrapeServer::start(
+                    Arc::clone(&registry),
+                    Some(Arc::clone(&monitor)),
+                    addr,
+                )
+                .map_err(|e| format!("scrape endpoint: {e}"))?;
+                println!(
+                    "chaos: scrape endpoint live at {} (METRICS | HEALTH | SERIES <name>)",
+                    s.local_addr()
+                );
+                Some(s)
+            }
+            _ => None,
+        };
+        let _ = fleet.run_to_completion(jobs);
+        drop(guard);
+        if let Some(s) = server {
+            s.shutdown();
+        }
+        let det = registry
+            .report()
+            .get("deterministic")
+            .cloned()
+            .unwrap_or_else(Json::obj)
+            .emit();
+        let first_fault_epoch = registry
+            .series("fleet.obs.faults_injected")
+            .iter()
+            .find(|(_, v)| *v > 0)
+            .map(|(t, _)| *t);
+        // memlint: allow(no-unwrap): a poisoned monitor must fail the gate, not go silent
+        let monitor = monitor.lock().expect("monitor poisoned");
+        Ok(HealthRun {
+            det,
+            alerts: monitor
+                .alerts()
+                .iter()
+                .map(telemetry::health::Alert::line)
+                .collect(),
+            first_alert_epoch: monitor.first_alert_epoch(),
+            first_fault_epoch,
+            flightrec: telemetry::flight_record(&registry, &monitor, 16),
+        })
+    };
+
+    let serial = run(1)?;
+    let parallel = run(4)?;
+    if serial.det != parallel.det {
+        return Err("telemetry deterministic sections diverge at jobs 1 vs 4".into());
+    }
+    if serial.alerts != parallel.alerts {
+        return Err("health alert logs diverge at jobs 1 vs 4".into());
+    }
+    let first_fault = serial
+        .first_fault_epoch
+        .ok_or("plan never fired (health soak proved nothing)")?;
+    let first_alert = serial
+        .first_alert_epoch
+        .ok_or("faults injected but the armed monitor never alerted")?;
+    if first_alert > first_fault + ALERT_LAG_EPOCHS {
+        return Err(format!(
+            "monitor too slow: first fault at epoch {first_fault}, first alert at epoch \
+             {first_alert} (allowed lag {ALERT_LAG_EPOCHS})"
+        ));
+    }
+    let path = crate::workspace_root().join("target/FLIGHTREC_chaos.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, serial.flightrec.emit() + "\n")
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    Ok(format!(
+        "first fault epoch {first_fault}, first alert epoch {first_alert} \
+         (lag {} <= {ALERT_LAG_EPOCHS}), {} alert(s), jobs 1 vs 4 identical, \
+         flight record at {}",
+        first_alert.saturating_sub(first_fault),
+        serial.alerts.len(),
+        path.display()
     ))
 }
 

@@ -4,8 +4,11 @@
 //!   (or the full `memcon-fleet/v1` JSON with `--json`).
 //! * `fleet bench` — the scaling gate: one 64-DIMM fleet stepped at
 //!   `--jobs 1` and `--jobs 4`; on hosts with ≥ 4 CPUs the parallel run
-//!   must be ≥ 2.5× faster (informational elsewhere). Both runs must also
-//!   be byte-identical, so the gate doubles as a determinism check.
+//!   must be ≥ 2.5× faster (explicitly marked `gate skipped (cpus=N)`
+//!   elsewhere). Both runs must also be byte-identical, so the gate
+//!   doubles as a determinism check. The outcome lands in
+//!   `target/FLEET_bench.json` (`memcon-fleetbench/v1`) with the gate
+//!   disposition recorded as `passed` / `failed` / `skipped`.
 //! * `fleet soak` — chaos soak: seeded all-site fault plans over a fleet,
 //!   asserting no panic, zero uncorrectable escapes, refresh-correctness
 //!   on every shard, and jobs 1-vs-4 byte-identical results.
@@ -28,6 +31,10 @@ const GATE_SPEEDUP: f64 = 2.5;
 
 /// CPU count below which the bench speedup gate is informational only.
 const GATE_MIN_CPUS: usize = 4;
+
+/// Schema tag of the `fleet bench` JSON report written to
+/// `target/FLEET_bench.json`.
+const FLEET_BENCH_SCHEMA: &str = "memcon-fleetbench/v1";
 
 /// Entry point for `xtask fleet <args>`; returns a process exit code.
 #[must_use]
@@ -256,22 +263,67 @@ fn bench_cmd() -> i32 {
         ns_4 / 1_000_000
     );
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    if cpus < GATE_MIN_CPUS {
-        println!(
-            "fleet: host has {cpus} CPU(s) < {GATE_MIN_CPUS}; \
-             {GATE_SPEEDUP}x speedup gate is informational only"
-        );
-        return 0;
+    let gate = if cpus < GATE_MIN_CPUS {
+        "skipped"
+    } else if speedup < GATE_SPEEDUP {
+        "failed"
+    } else {
+        "passed"
+    };
+    write_bench_report(ns_1, ns_4, speedup, cpus, gate);
+    match gate {
+        "skipped" => {
+            // The explicit marker a CI log scraper can key on: the speedup
+            // requirement was NOT evaluated, it did not vacuously pass.
+            println!("fleet: gate skipped (cpus={cpus}): host below {GATE_MIN_CPUS} CPUs, {GATE_SPEEDUP}x speedup gate is informational only");
+            0
+        }
+        "failed" => {
+            eprintln!(
+                "fleet: bench FAILED: speedup {speedup:.2}x below the {GATE_SPEEDUP}x gate \
+                 on a {cpus}-CPU host"
+            );
+            1
+        }
+        _ => {
+            println!("fleet: speedup gate passed ({speedup:.2}x >= {GATE_SPEEDUP}x)");
+            0
+        }
     }
-    if speedup < GATE_SPEEDUP {
-        eprintln!(
-            "fleet: bench FAILED: speedup {speedup:.2}x below the {GATE_SPEEDUP}x gate \
-             on a {cpus}-CPU host"
-        );
-        return 1;
+}
+
+/// Writes the machine-readable `fleet bench` outcome (including a gate
+/// disposition of `passed` / `failed` / `skipped`, so a low-CPU host's
+/// skip is recorded rather than indistinguishable from a pass) to
+/// `target/FLEET_bench.json`.
+fn write_bench_report(ns_1: u64, ns_4: u64, speedup: f64, cpus: usize, gate: &str) {
+    let report = memutil::json::Json::obj()
+        .field("schema", FLEET_BENCH_SCHEMA)
+        .field("nodes", 64u64)
+        .field("ns_jobs1", ns_1)
+        .field("ns_jobs4", ns_4)
+        .field("speedup", speedup)
+        .field("cpus", cpus as u64)
+        .field("gate_min_cpus", GATE_MIN_CPUS as u64)
+        .field("gate_speedup", GATE_SPEEDUP)
+        .field("gate", gate)
+        .field(
+            "profile",
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )
+        .emit();
+    let path = crate::workspace_root().join("target/FLEET_bench.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
     }
-    println!("fleet: speedup gate passed ({speedup:.2}x >= {GATE_SPEEDUP}x)");
-    0
+    match std::fs::write(&path, report + "\n") {
+        Ok(()) => println!("fleet: bench report written to {}", path.display()),
+        Err(e) => eprintln!("fleet: could not write {}: {e}", path.display()),
+    }
 }
 
 fn soak_cmd(args: &[String]) -> i32 {

@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod fleet;
 pub mod obs;
+pub mod top;
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -91,8 +92,10 @@ pub fn lint_cmd(update_ratchet: bool, json: Option<&str>) -> i32 {
 /// `memlint`, `cargo build --workspace --release` (the determinism gate
 /// below byte-compares the freshly built experiments binary), the
 /// determinism gate, `obs --check`, a quick 3-plan chaos soak
-/// ([`chaos::chaos_cmd`]), the fleet smoke gate ([`fleet::fleet_cmd`]
-/// with `--smoke`), `cargo test -q`, and — when `bench` is set —
+/// ([`chaos::chaos_cmd`]), the `chaos health` smoke (armed SLO monitor,
+/// alert latency, flight-record dump), the fleet smoke gate
+/// ([`fleet::fleet_cmd`] with `--smoke`), `cargo test -q`, and — when
+/// `bench` is set —
 /// the `bench compare` regression gate plus the `obs` and `chaos`
 /// overhead gates (run through `cargo run --release` so the fresh medians
 /// are measured at the same profile as the checked-in baseline,
@@ -138,6 +141,12 @@ pub fn ci_cmd(bench: bool) -> i32 {
     let chaos_code = chaos::chaos_cmd(&["--quick".to_string(), "--plans=3".to_string()]);
     if chaos_code != 0 {
         return chaos_code;
+    }
+
+    println!("ci: chaos health (armed SLO monitor + flight recorder)");
+    let health_code = chaos::chaos_cmd(&["health".to_string()]);
+    if health_code != 0 {
+        return health_code;
     }
 
     println!("ci: fleet smoke (jobs 1-vs-4 byte-diff, fault-free and faulted)");

@@ -18,6 +18,7 @@ fn main() {
         Some("obs") => xtask::obs::obs_cmd(&args[1..]),
         Some("chaos") => xtask::chaos::chaos_cmd(&args[1..]),
         Some("fleet") => xtask::fleet::fleet_cmd(&args[1..]),
+        Some("top") => xtask::top::top_cmd(&args[1..]),
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("baseline") => xtask::bench_baseline_cmd(),
             Some("compare") => xtask::bench_compare_cmd(),
@@ -59,14 +60,19 @@ fn usage() {
          \x20                           cargo test -q; --bench additionally runs\n\
          \x20                           `bench compare`, `obs overhead`, and\n\
          \x20                           `chaos overhead`\n\
-         \x20 chaos [--plans N] [--quick] [overhead]\n\
+         \x20 chaos [--plans N] [--quick] [health [--serve[=ADDR]]] [overhead]\n\
          \x20                           fault-injection soak gate: N seeded\n\
          \x20                           all-site plans over the fig9 workload\n\
          \x20                           set (no panic, no uncorrectable escape,\n\
          \x20                           refresh-correctness invariant, jobs 1-vs-4\n\
          \x20                           determinism) plus a faulted controller\n\
-         \x20                           audit; `overhead` gates the idle-injector\n\
-         \x20                           cost (<2% on the eval kernel)\n\
+         \x20                           audit; `health` soaks a faulted fleet\n\
+         \x20                           with the SLO monitor armed (alert within\n\
+         \x20                           2 epochs of the first fault, flight-record\n\
+         \x20                           dump, optional live scrape endpoint via\n\
+         \x20                           --serve); `overhead` gates the\n\
+         \x20                           idle-injector cost (<2% on the eval\n\
+         \x20                           kernel)\n\
          \x20 fleet [run|bench|soak|--smoke]\n\
          \x20                           fleet-scale simulation: `run` a sharded\n\
          \x20                           fleet (--nodes N --seed S --jobs J\n\
@@ -75,6 +81,10 @@ fn usage() {
          \x20                           CPUs), `soak` chaos plans over a faulted\n\
          \x20                           fleet, `--smoke` the quick jobs 1-vs-4\n\
          \x20                           byte-diff CI leg\n\
+         \x20 top ADDR [--watch N] [--series NAME]\n\
+         \x20                           view a live scrape endpoint (HEALTH +\n\
+         \x20                           METRICS, plus named SERIES), one-shot or\n\
+         \x20                           redrawn every N seconds\n\
          \x20 obs [print|--write|--check|diff A B|overhead]\n\
          \x20                           telemetry-report tooling: pretty-print the\n\
          \x20                           reference report, refresh/verify the\n\

@@ -140,5 +140,10 @@ fn disabled_registry_records_nothing() {
         let model = CouplingFailureModel::default();
         let _ = model.evaluate_module_with_jobs(&module, 328.0, 2);
     });
-    assert_eq!(section, r#"{"counters":{},"histograms":{},"figures":[]}"#);
+    // The empty skeleton: no counters, no histograms, and a time-series
+    // ring that never sampled a point.
+    assert_eq!(
+        section,
+        r#"{"counters":{},"histograms":{},"figures":[],"timeseries":{"schema":"memcon-timeseries/v1","capacity":64,"dropped_points":0,"points":[]}}"#
+    );
 }
