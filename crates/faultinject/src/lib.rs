@@ -35,7 +35,7 @@ use memutil::json::Json;
 pub const SCHEMA: &str = "memcon-faultplan/v1";
 
 /// Number of named injection sites.
-pub const N_SITES: usize = 11;
+pub const N_SITES: usize = 14;
 
 /// A named fault-injection site. Sites are stable API: their names appear
 /// in serialized plans and in telemetry counter names
@@ -73,6 +73,15 @@ pub enum Site {
     /// `memcon::ecc`: an uncorrectable double-bit word error during
     /// read-back.
     EccUncorrectable = 10,
+    /// `store`: a WAL append is torn mid-frame — only a prefix of the
+    /// record reaches the file before the simulated crash.
+    StoreTornWrite = 11,
+    /// `store`: recovery's WAL scan sees an early EOF — the file read
+    /// comes up short of the next full record.
+    StoreShortRead = 12,
+    /// `store`: a WAL record is written with a corrupted checksum, to be
+    /// caught (and truncated away) at recovery time.
+    StoreCorruptRecord = 13,
 }
 
 impl Site {
@@ -89,6 +98,9 @@ impl Site {
         Site::OracleDisagree,
         Site::EccCorrectable,
         Site::EccUncorrectable,
+        Site::StoreTornWrite,
+        Site::StoreShortRead,
+        Site::StoreCorruptRecord,
     ];
 
     /// The site's stable name (used in plan JSON and telemetry counters).
@@ -106,6 +118,9 @@ impl Site {
             Site::OracleDisagree => "memcon.oracle_disagree",
             Site::EccCorrectable => "memcon.ecc_correctable",
             Site::EccUncorrectable => "memcon.ecc_uncorrectable",
+            Site::StoreTornWrite => "store.torn_write",
+            Site::StoreShortRead => "store.short_read",
+            Site::StoreCorruptRecord => "store.corrupt_record",
         }
     }
 
@@ -469,6 +484,30 @@ impl FaultSession {
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
     }
+
+    /// Per-site decision tallies, indexed like [`Site::ALL`] — together
+    /// with [`injected_counts`](Self::injected_counts) this is the
+    /// session's full persistable position in its decision streams.
+    #[must_use]
+    pub fn decision_counts(&self) -> [u64; N_SITES] {
+        self.decisions
+    }
+
+    /// Rebuilds a session mid-stream from persisted tallies, so a
+    /// recovered engine resumes drawing the *same* decision sequence an
+    /// uninterrupted run would have drawn.
+    #[must_use]
+    pub fn restore(
+        plan: Arc<FaultPlan>,
+        decisions: [u64; N_SITES],
+        injected: [u64; N_SITES],
+    ) -> FaultSession {
+        FaultSession {
+            plan,
+            decisions,
+            injected,
+        }
+    }
 }
 
 /// Annotates the calling thread's innermost open tree span with the fault
@@ -662,6 +701,25 @@ mod tests {
         let db: Vec<bool> = (0..500).map(|_| b.fires(Site::TestPreempt)).collect();
         assert_eq!(da, db);
         assert_eq!(a.injected_counts(), b.injected_counts());
+    }
+
+    #[test]
+    fn restored_session_continues_the_same_decision_stream() {
+        let plan = Arc::new(FaultPlan::uniform(21, 0.4));
+        let mut live = FaultSession::with_plan(Arc::clone(&plan));
+        let first: Vec<bool> = (0..100).map(|_| live.fires(Site::StoreTornWrite)).collect();
+        let mut resumed = FaultSession::restore(
+            Arc::clone(&plan),
+            live.decision_counts(),
+            live.injected_counts(),
+        );
+        let tail_live: Vec<bool> = (0..100).map(|_| live.fires(Site::StoreTornWrite)).collect();
+        let tail_resumed: Vec<bool> = (0..100)
+            .map(|_| resumed.fires(Site::StoreTornWrite))
+            .collect();
+        assert_eq!(tail_live, tail_resumed);
+        assert_eq!(live.injected_counts(), resumed.injected_counts());
+        assert!(first.iter().any(|&b| b), "rate 0.4 fires in 100 draws");
     }
 
     #[test]

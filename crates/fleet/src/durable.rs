@@ -1,0 +1,302 @@
+//! Durable fleet state: the epoch log and its meta-store codec.
+//!
+//! A durable fleet ([`FleetConfig::store_dir`](crate::FleetConfig) set)
+//! keeps two kinds of state on disk:
+//!
+//! * **per-shard stores** (`shard-<node>/`) — each shard engine journals
+//!   its MEMCON transitions and snapshots itself at every epoch barrier
+//!   (snapshot cadence = `epoch_quanta`), entirely through
+//!   [`memcon::engine::MemconEngine::attach_store`];
+//! * **one fleet meta store** (`fleet/`) — at every epoch barrier the
+//!   scheduler appends an [`store::Record::EpochSample`] and publishes a
+//!   [`FleetMeta`] snapshot: the epoch clock, the complete per-epoch
+//!   observability log, and every shard's [`LiveStats`] cursor.
+//!
+//! On [`Fleet::recover`](crate::Fleet::recover) the meta snapshot replays
+//! the epoch log through [`emit_epoch_entry`] — the *same* code path the
+//! live barriers use — so the `fleet.obs.*` counters and the registry's
+//! time-series ring come back byte-identical to an uninterrupted run, and
+//! the restored `LiveStats` cursors keep the first post-resume epoch's
+//! deltas exact even when a shard's own snapshot lags (e.g. after its
+//! store was poisoned by an injected torn write).
+
+use std::path::{Path, PathBuf};
+
+use memcon::engine::LiveStats;
+use memutil::codec::{Dec, Enc};
+
+/// Meta-snapshot payload format version (the first payload byte).
+const META_VERSION: u8 = 1;
+
+/// Subdirectory of the fleet store root holding the meta store.
+pub const META_SUBDIR: &str = "fleet";
+
+/// The fleet meta store directory under `base`.
+#[must_use]
+pub fn meta_dir(base: &Path) -> PathBuf {
+    base.join(META_SUBDIR)
+}
+
+/// The per-shard store directory under `base` for `node`.
+#[must_use]
+pub fn shard_dir(base: &Path, node: u64) -> PathBuf {
+    base.join(format!("shard-{node:04}"))
+}
+
+/// One epoch barrier's observability roll-up: the `fleet.obs.*` counter
+/// deltas plus the fleet-wide gauges sampled at that barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochEntry {
+    /// Epoch this entry was recorded at (1-based).
+    pub epoch: u64,
+    /// Faults injected across all shards this epoch.
+    pub faults_injected: u64,
+    /// Tests aborted across all shards this epoch.
+    pub aborts: u64,
+    /// Tests retried across all shards this epoch.
+    pub retries: u64,
+    /// Backoffs scheduled across all shards this epoch.
+    pub backoffs_scheduled: u64,
+    /// Backoffs clamped at the policy cap this epoch.
+    pub backoff_ceiling_hits: u64,
+    /// Uncorrectable ECC escapes this epoch (must stay 0).
+    pub escapes: u64,
+    /// Pages pinned to HI-REF at the barrier (gauge).
+    pub pinned_pages: u64,
+    /// Pages tracked fleet-wide (gauge).
+    pub pages: u64,
+    /// PRIL write-buffer occupancy at the barrier (gauge).
+    pub pril_buffered: u64,
+    /// PRIL write-buffer capacity fleet-wide (gauge).
+    pub pril_capacity: u64,
+    /// Shards that have finished their runs (gauge).
+    pub shards_done: u64,
+}
+
+/// Emits one epoch entry through the current [`telemetry`] registry:
+/// the six `fleet.obs.*` counter deltas, then the five `fleet.gauge.*`
+/// gauges as a time-series sample at tick = epoch. Live barriers and
+/// recovery replay share this function, which is what makes a recovered
+/// fleet's deterministic telemetry byte-identical to an uninterrupted
+/// run's.
+pub fn emit_epoch_entry(entry: &EpochEntry) -> Option<telemetry::SamplePoint> {
+    telemetry::count("fleet.obs.faults_injected", entry.faults_injected);
+    telemetry::count("fleet.obs.aborts", entry.aborts);
+    telemetry::count("fleet.obs.retries", entry.retries);
+    telemetry::count("fleet.obs.backoffs_scheduled", entry.backoffs_scheduled);
+    telemetry::count("fleet.obs.backoff_ceiling_hits", entry.backoff_ceiling_hits);
+    telemetry::count("fleet.obs.escapes", entry.escapes);
+    telemetry::sample_point(
+        entry.epoch,
+        &[
+            ("fleet.gauge.pinned_pages", entry.pinned_pages),
+            ("fleet.gauge.pages", entry.pages),
+            ("fleet.gauge.pril_buffered", entry.pril_buffered),
+            ("fleet.gauge.pril_capacity", entry.pril_capacity),
+            ("fleet.gauge.shards_done", entry.shards_done),
+        ],
+    )
+}
+
+/// The fleet meta store's snapshot payload: everything the scheduler
+/// needs (beyond the per-shard engine snapshots) to resume a crashed
+/// fleet at an epoch barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMeta {
+    /// Epochs completed when this snapshot was published.
+    pub epoch: u64,
+    /// Complete epoch log, oldest first.
+    pub entries: Vec<EpochEntry>,
+    /// Every shard's [`LiveStats`] cursor at the barrier, in node order —
+    /// restoring these keeps the first post-resume epoch's observability
+    /// deltas exact.
+    pub last_live: Vec<LiveStats>,
+}
+
+impl FleetMeta {
+    /// Encodes the meta snapshot payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(64 + 96 * self.entries.len() + 96 * self.last_live.len());
+        e.u8(META_VERSION);
+        e.u64(self.epoch);
+        e.u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            e.u64(entry.epoch);
+            e.u64(entry.faults_injected);
+            e.u64(entry.aborts);
+            e.u64(entry.retries);
+            e.u64(entry.backoffs_scheduled);
+            e.u64(entry.backoff_ceiling_hits);
+            e.u64(entry.escapes);
+            e.u64(entry.pinned_pages);
+            e.u64(entry.pages);
+            e.u64(entry.pril_buffered);
+            e.u64(entry.pril_capacity);
+            e.u64(entry.shards_done);
+        }
+        e.u64(self.last_live.len() as u64);
+        for live in &self.last_live {
+            e.u64(live.faults_injected);
+            e.u64(live.aborts);
+            e.u64(live.retries);
+            e.u64(live.backoffs_scheduled);
+            e.u64(live.backoff_ceiling_hits);
+            e.u64(live.degraded_rows);
+            e.u64(live.escapes);
+            e.u64(live.pinned_pages);
+            e.u64(live.pril_buffered);
+            e.u64(live.pril_capacity);
+            e.u64(live.pages);
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a meta snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the payload is malformed or carries an
+    /// unsupported version.
+    pub fn decode(payload: &[u8]) -> Result<FleetMeta, String> {
+        let mut d = Dec::new(payload);
+        let version = d.u8()?;
+        if version != META_VERSION {
+            return Err(format!(
+                "fleet meta version {version} is not supported (expected {META_VERSION})"
+            ));
+        }
+        let epoch = d.u64()?;
+        let n_entries = d.u64()?;
+        let mut entries = Vec::with_capacity(n_entries.min(4096) as usize);
+        for _ in 0..n_entries {
+            entries.push(EpochEntry {
+                epoch: d.u64()?,
+                faults_injected: d.u64()?,
+                aborts: d.u64()?,
+                retries: d.u64()?,
+                backoffs_scheduled: d.u64()?,
+                backoff_ceiling_hits: d.u64()?,
+                escapes: d.u64()?,
+                pinned_pages: d.u64()?,
+                pages: d.u64()?,
+                pril_buffered: d.u64()?,
+                pril_capacity: d.u64()?,
+                shards_done: d.u64()?,
+            });
+        }
+        let n_live = d.u64()?;
+        let mut last_live = Vec::with_capacity(n_live.min(4096) as usize);
+        for _ in 0..n_live {
+            last_live.push(LiveStats {
+                faults_injected: d.u64()?,
+                aborts: d.u64()?,
+                retries: d.u64()?,
+                backoffs_scheduled: d.u64()?,
+                backoff_ceiling_hits: d.u64()?,
+                degraded_rows: d.u64()?,
+                escapes: d.u64()?,
+                pinned_pages: d.u64()?,
+                pril_buffered: d.u64()?,
+                pril_capacity: d.u64()?,
+                pages: d.u64()?,
+            });
+        }
+        d.finish("fleet meta snapshot")?;
+        Ok(FleetMeta {
+            epoch,
+            entries,
+            last_live,
+        })
+    }
+}
+
+/// What [`Fleet::recover`](crate::Fleet::recover) found on disk, rolled
+/// up across the meta store and every shard store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetRecovery {
+    /// Epoch-log entries replayed through the telemetry registry.
+    pub epochs_replayed: u64,
+    /// Shard engines recovered from their stores.
+    pub shards_recovered: u64,
+    /// WAL records replayed across all stores (meta + shards).
+    pub replayed_records: u64,
+    /// Bytes truncated from torn WAL tails across all stores.
+    pub truncated_bytes: u64,
+    /// Corrupt snapshots skipped (and deleted) across all stores.
+    pub snapshots_skipped: u64,
+    /// Stale pre-bound WAL segments discarded across all stores.
+    pub stale_segments: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> FleetMeta {
+        FleetMeta {
+            epoch: 3,
+            entries: (1..=3)
+                .map(|epoch| EpochEntry {
+                    epoch,
+                    faults_injected: epoch * 2,
+                    aborts: 1,
+                    retries: epoch,
+                    backoffs_scheduled: epoch + 1,
+                    backoff_ceiling_hits: 0,
+                    escapes: 0,
+                    pinned_pages: epoch % 2,
+                    pages: 640,
+                    pril_buffered: 17,
+                    pril_capacity: 64,
+                    shards_done: 0,
+                })
+                .collect(),
+            last_live: vec![
+                LiveStats {
+                    faults_injected: 6,
+                    aborts: 1,
+                    retries: 3,
+                    backoffs_scheduled: 4,
+                    backoff_ceiling_hits: 0,
+                    degraded_rows: 1,
+                    escapes: 0,
+                    pinned_pages: 1,
+                    pril_buffered: 9,
+                    pril_capacity: 32,
+                    pages: 320,
+                },
+                LiveStats::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn meta_round_trips_bit_exactly() {
+        let meta = sample_meta();
+        let decoded = FleetMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn meta_rejects_malformed_payloads() {
+        let mut bytes = sample_meta().encode();
+        bytes[0] = 99; // unsupported version
+        assert!(FleetMeta::decode(&bytes).is_err());
+        let bytes = sample_meta().encode();
+        assert!(
+            FleetMeta::decode(&bytes[..bytes.len() - 1]).is_err(),
+            "short payload is rejected"
+        );
+        let mut bytes = sample_meta().encode();
+        bytes.push(0); // trailing garbage
+        assert!(FleetMeta::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_layout_paths_are_stable() {
+        let base = Path::new("/tmp/fleet-store");
+        assert_eq!(meta_dir(base), base.join("fleet"));
+        assert_eq!(shard_dir(base, 7), base.join("shard-0007"));
+    }
+}

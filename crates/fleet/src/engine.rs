@@ -18,7 +18,9 @@ use memcon::engine::{LiveStats, MemconEngine, MemconReport, RecoveryStats};
 use memcon::refreshmgr::PageState;
 use memcon::testengine::{ContentOracle, FailureOracle, RateOracle};
 use memutil::par;
+use store::{Record, Store, StoreError};
 
+use crate::durable::{self, EpochEntry, FleetMeta, FleetRecovery};
 use crate::report::{FleetReport, LatencySummary, ShardSummary};
 use crate::{FleetOracle, FleetPlan, ShardSpec};
 
@@ -58,6 +60,14 @@ pub struct Fleet {
     /// Shared behind a mutex so a scrape endpoint can serve `HEALTH`
     /// while the fleet runs.
     health: Option<Arc<Mutex<telemetry::HealthMonitor>>>,
+    /// Fleet meta store (epoch-log journal + barrier snapshots), when the
+    /// fleet is durable.
+    meta: Option<Store>,
+    /// First meta-store failure: the fleet-level durability plane goes
+    /// quiet from that point (shard stores latch independently).
+    meta_error: Option<StoreError>,
+    /// Per-epoch observability entries — the durable epoch log.
+    epoch_log: Vec<EpochEntry>,
 }
 
 impl Fleet {
@@ -69,7 +79,9 @@ impl Fleet {
     ///
     /// # Panics
     ///
-    /// Panics if the plan is empty (checked at expansion).
+    /// Panics if the plan is empty (checked at expansion), or if the
+    /// configured store directory cannot be created (an environment
+    /// failure, like the trace-synthesis panics at expansion).
     #[must_use]
     pub fn new(plan: &FleetPlan) -> Fleet {
         let config = &plan.config;
@@ -90,6 +102,18 @@ impl Fleet {
                 let mut engine =
                     MemconEngine::with_oracle(config.engine, spec.trace.n_pages(), oracle);
                 engine.set_fault_plan(spec.fault_plan.clone());
+                if let Some(base) = &config.store_dir {
+                    // Snapshot cadence = epoch_quanta: every shard
+                    // publishes a snapshot exactly at each epoch barrier.
+                    let store =
+                        Store::create(&durable::shard_dir(base, spec.node), config.durability)
+                            // memlint: allow(no-unwrap): an uncreatable store directory is an environment failure, like trace synthesis
+                            .expect("per-shard store directory must be creatable");
+                    engine
+                        .attach_store(store, config.epoch_quanta)
+                        // memlint: allow(no-unwrap): validate() rejects every config attach_store can refuse
+                        .expect("rate oracles always persist (validate() rejects content+store)");
+                }
                 engine.begin_run(&spec.trace);
                 Mutex::new(Shard {
                     spec: spec.clone(),
@@ -101,6 +125,22 @@ impl Fleet {
                 })
             })
             .collect();
+        let meta = config.store_dir.as_ref().map(|base| {
+            let mut meta = Store::create(&durable::meta_dir(base), config.durability)
+                // memlint: allow(no-unwrap): an uncreatable store directory is an environment failure, like trace synthesis
+                .expect("fleet meta store directory must be creatable");
+            // Anchor meta snapshot: a crash before the first barrier still
+            // recovers (epoch 0, empty log, default cursors).
+            let anchor = FleetMeta {
+                epoch: 0,
+                entries: Vec::new(),
+                last_live: vec![LiveStats::default(); shards.len()],
+            };
+            meta.publish_snapshot(&anchor.encode())
+                // memlint: allow(no-unwrap): a store that cannot take its first snapshot is unusable — die loudly
+                .expect("anchor meta snapshot must publish");
+            meta
+        });
         let horizon_ns = plan
             .shards
             .iter()
@@ -115,7 +155,121 @@ impl Fleet {
             seed: config.seed,
             epoch_quanta: config.epoch_quanta,
             health: None,
+            meta,
+            meta_error: None,
+            epoch_log: Vec::new(),
         }
+    }
+
+    /// Recovers a durable fleet from `plan.config.store_dir` at its last
+    /// epoch barrier: opens the meta store, replays the epoch log through
+    /// the telemetry registry (restoring the `fleet.obs.*` counters and
+    /// the time-series ring byte-identically), then recovers every shard
+    /// engine from its own store across `jobs` workers. The caller
+    /// resumes with [`Fleet::run_epoch`] / [`Fleet::run_to_completion`]
+    /// exactly as the crashed process would have; the health monitor is
+    /// not restored — re-arm one with [`Fleet::set_health_monitor`].
+    ///
+    /// `plan` must be the same expansion the crashed fleet ran (plans are
+    /// pure functions of the config, so re-expanding the config is
+    /// enough).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unsupported`] when the config names no store
+    /// directory or the on-disk fleet already finished its runs;
+    /// [`StoreError::Corrupt`] when the meta snapshot is unusable or
+    /// disagrees with the plan's shard count; any [`StoreError`] from
+    /// opening the underlying stores.
+    pub fn recover(plan: &FleetPlan, jobs: usize) -> Result<(Fleet, FleetRecovery), StoreError> {
+        let config = &plan.config;
+        let Some(base) = &config.store_dir else {
+            return Err(StoreError::Unsupported(
+                "fleet config names no durable store directory".to_string(),
+            ));
+        };
+        let quantum_ns = (config.engine.quantum_ms * 1e6) as u64;
+        let (meta_store, meta_rec) =
+            Store::open(&durable::meta_dir(base), config.durability, None)?;
+        let snap = meta_rec.snapshot.as_ref().ok_or_else(|| {
+            StoreError::Corrupt("fleet meta store holds no usable snapshot".to_string())
+        })?;
+        let meta = FleetMeta::decode(&snap.payload).map_err(StoreError::Corrupt)?;
+        if meta.last_live.len() != plan.shards.len() {
+            return Err(StoreError::Corrupt(format!(
+                "meta snapshot tracks {} shards but the plan expands {}",
+                meta.last_live.len(),
+                plan.shards.len()
+            )));
+        }
+        // Replay the epoch log through the *same* emission path the live
+        // barriers use, before any fresh barrier runs.
+        for entry in &meta.entries {
+            let _ = durable::emit_epoch_entry(entry);
+        }
+        let recovered: Vec<Result<(MemconEngine, store::Recovered), StoreError>> =
+            par::ordered_map_with(jobs, plan.shards.len(), |i| {
+                MemconEngine::recover(
+                    &durable::shard_dir(base, plan.shards[i].node),
+                    config.durability,
+                    None,
+                )
+            });
+        let mut totals = FleetRecovery {
+            epochs_replayed: meta.entries.len() as u64,
+            replayed_records: meta_rec.replayed_records,
+            truncated_bytes: meta_rec.truncated_bytes,
+            snapshots_skipped: meta_rec.snapshots_skipped,
+            stale_segments: meta_rec.stale_segments,
+            ..FleetRecovery::default()
+        };
+        let mut shards = Vec::with_capacity(plan.shards.len());
+        for (i, result) in recovered.into_iter().enumerate() {
+            let (engine, rec) = result?;
+            if !engine.mid_run() {
+                return Err(StoreError::Unsupported(format!(
+                    "shard {i} already finished its run; a completed fleet cannot resume"
+                )));
+            }
+            totals.shards_recovered += 1;
+            totals.replayed_records += rec.replayed_records;
+            totals.truncated_bytes += rec.truncated_bytes;
+            totals.snapshots_skipped += rec.snapshots_skipped;
+            totals.stale_segments += rec.stale_segments;
+            shards.push(Mutex::new(Shard {
+                spec: plan.shards[i].clone(),
+                engine,
+                report: None,
+                done_epoch: None,
+                step_latency_ns: Vec::new(),
+                last_live: meta.last_live[i],
+            }));
+        }
+        let horizon_ns = plan
+            .shards
+            .iter()
+            .map(|s| s.trace.duration_ns())
+            .max()
+            .unwrap_or(0);
+        let fleet = Fleet {
+            shards,
+            epoch: meta.epoch,
+            epoch_ns: quantum_ns.saturating_mul(config.epoch_quanta).max(1),
+            horizon_ns,
+            seed: config.seed,
+            epoch_quanta: config.epoch_quanta,
+            health: None,
+            meta: Some(meta_store),
+            meta_error: None,
+            epoch_log: meta.entries,
+        };
+        Ok((fleet, totals))
+    }
+
+    /// The first meta-store failure of this fleet's lifetime, if any.
+    #[must_use]
+    pub fn meta_store_error(&self) -> Option<&StoreError> {
+        self.meta_error.as_ref()
     }
 
     /// Arms an SLO monitor: every epoch's post-barrier sample point is
@@ -207,76 +361,102 @@ impl Fleet {
                 }
             }
         }
-        self.flush_epoch_observability();
+        self.epoch_barrier();
         !self.is_done()
     }
 
-    /// Post-barrier observability flush, in deterministic shard order:
+    /// Post-epoch barrier bookkeeping, in deterministic shard order:
     /// folds every shard's [`LiveStats`] delta since the previous epoch
-    /// into the `fleet.obs.*` counters, samples the fleet-wide gauges into
-    /// the registry's time-series ring at tick = epoch, and evaluates the
-    /// armed health monitor (if any) against the fresh point.
+    /// into an [`EpochEntry`], emits it through the `fleet.obs.*` counters
+    /// and the registry's time-series ring (tick = epoch), evaluates the
+    /// armed health monitor (if any) against the fresh point, and — on a
+    /// durable fleet — appends the entry to the epoch log and persists the
+    /// meta snapshot.
     ///
     /// Runs single-threaded after the epoch barrier, so the sampled deltas
     /// are a function of simulation state only — the series is
     /// deterministic and byte-identical at any `jobs` value.
-    fn flush_epoch_observability(&self) {
-        if !telemetry::enabled() {
+    fn epoch_barrier(&mut self) {
+        if !telemetry::enabled() && self.meta.is_none() {
             return;
         }
-        let mut delta = LiveStats::default();
-        let mut pinned = 0u64;
-        let mut pages = 0u64;
-        let mut pril_buffered = 0u64;
-        let mut pril_capacity = 0u64;
-        let mut shards_done = 0u64;
+        let mut entry = EpochEntry {
+            epoch: self.epoch,
+            ..EpochEntry::default()
+        };
         for slot in &self.shards {
             // memlint: allow(no-unwrap): poisoned shard lock means an engine panicked — propagate
             let mut shard = slot.lock().expect("shard engine panicked");
             let live = shard.engine.live_stats();
             let prev = &shard.last_live;
-            delta.faults_injected += live.faults_injected.saturating_sub(prev.faults_injected);
-            delta.aborts += live.aborts.saturating_sub(prev.aborts);
-            delta.retries += live.retries.saturating_sub(prev.retries);
-            delta.backoffs_scheduled += live
+            entry.faults_injected += live.faults_injected.saturating_sub(prev.faults_injected);
+            entry.aborts += live.aborts.saturating_sub(prev.aborts);
+            entry.retries += live.retries.saturating_sub(prev.retries);
+            entry.backoffs_scheduled += live
                 .backoffs_scheduled
                 .saturating_sub(prev.backoffs_scheduled);
-            delta.backoff_ceiling_hits += live
+            entry.backoff_ceiling_hits += live
                 .backoff_ceiling_hits
                 .saturating_sub(prev.backoff_ceiling_hits);
-            delta.escapes += live.escapes.saturating_sub(prev.escapes);
-            pinned += live.pinned_pages;
-            pages += live.pages;
-            pril_buffered += live.pril_buffered;
-            pril_capacity += live.pril_capacity;
-            shards_done += u64::from(shard.report.is_some());
+            entry.escapes += live.escapes.saturating_sub(prev.escapes);
+            entry.pinned_pages += live.pinned_pages;
+            entry.pages += live.pages;
+            entry.pril_buffered += live.pril_buffered;
+            entry.pril_capacity += live.pril_capacity;
+            entry.shards_done += u64::from(shard.report.is_some());
             shard.last_live = live;
         }
-        telemetry::count("fleet.obs.faults_injected", delta.faults_injected);
-        telemetry::count("fleet.obs.aborts", delta.aborts);
-        telemetry::count("fleet.obs.retries", delta.retries);
-        telemetry::count("fleet.obs.backoffs_scheduled", delta.backoffs_scheduled);
-        telemetry::count("fleet.obs.backoff_ceiling_hits", delta.backoff_ceiling_hits);
-        telemetry::count("fleet.obs.escapes", delta.escapes);
-        let point = telemetry::sample_point(
-            self.epoch,
-            &[
-                ("fleet.gauge.pinned_pages", pinned),
-                ("fleet.gauge.pages", pages),
-                ("fleet.gauge.pril_buffered", pril_buffered),
-                ("fleet.gauge.pril_capacity", pril_capacity),
-                ("fleet.gauge.shards_done", shards_done),
-            ],
-        );
-        if let (Some(monitor), Some(point)) = (&self.health, point) {
-            let fired = monitor
-                .lock()
-                // memlint: allow(no-unwrap): a poisoned monitor must fail the run, not go silent
-                .expect("health monitor poisoned")
-                .evaluate(&point);
-            if fired > 0 {
-                telemetry::trace_event("fleet.alerts_fired", fired as u64);
+        if telemetry::enabled() {
+            let point = durable::emit_epoch_entry(&entry);
+            if let (Some(monitor), Some(point)) = (&self.health, point) {
+                let fired = monitor
+                    .lock()
+                    // memlint: allow(no-unwrap): a poisoned monitor must fail the run, not go silent
+                    .expect("health monitor poisoned")
+                    .evaluate(&point);
+                if fired > 0 {
+                    telemetry::trace_event("fleet.alerts_fired", fired as u64);
+                }
             }
+        }
+        if self.meta.is_some() {
+            self.epoch_log.push(entry);
+            self.persist_barrier();
+        }
+    }
+
+    /// Persists the current epoch barrier to the fleet meta store: one
+    /// [`Record::EpochSample`] in the WAL, then a fresh [`FleetMeta`]
+    /// snapshot. The first failure poisons the meta store (mirroring the
+    /// shard engines' store-error latch): the fleet keeps simulating, but
+    /// no further meta writes are attempted.
+    fn persist_barrier(&mut self) {
+        if self.meta_error.is_some() {
+            return;
+        }
+        let last_live: Vec<LiveStats> = self
+            .shards
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    // memlint: allow(no-unwrap): poisoned shard lock means an engine panicked — propagate
+                    .expect("shard engine panicked")
+                    .last_live
+            })
+            .collect();
+        let meta = FleetMeta {
+            epoch: self.epoch,
+            entries: self.epoch_log.clone(),
+            last_live,
+        };
+        let Some(store) = self.meta.as_mut() else {
+            return;
+        };
+        let result = store
+            .append(&Record::EpochSample { epoch: self.epoch })
+            .and_then(|()| store.publish_snapshot(&meta.encode()));
+        if let Err(err) = result {
+            self.meta_error = Some(err);
         }
     }
 
@@ -523,5 +703,119 @@ mod tests {
             "one sample per shard-epoch"
         );
         assert!(report.step_latency.max_ns >= report.step_latency.p50_ns);
+    }
+
+    /// Engine-plane-only fault plan: the store sites stay cold so shard
+    /// WALs never tear and the crash scenario is exactly the one injected
+    /// by the test itself.
+    fn engine_plan(seed: u64) -> Arc<faultinject::FaultPlan> {
+        use faultinject::{Site, SiteSpec};
+        Arc::new(
+            faultinject::FaultPlan::new(seed)
+                .with_site(Site::TestPreempt, SiteSpec::rate(0.05))
+                .with_site(Site::TornRead, SiteSpec::rate(0.05)),
+        )
+    }
+
+    #[test]
+    fn recovered_fleet_is_jobs_invariant_and_matches_uninterrupted() {
+        // Reference: the same fleet with no store at all.
+        let mut config = FleetConfig::small(4, 99);
+        config.fault_plan = Some(engine_plan(0xF1EE7));
+        let reference = {
+            let plan = FleetPlan::expand(&config, 1);
+            Fleet::new(&plan).run_to_completion(1).deterministic_emit()
+        };
+        let mut det_sections: Vec<String> = Vec::new();
+        for jobs in [1usize, 2, 8] {
+            let dir = store::scratch_dir(&format!("fleet-recover-j{jobs}"));
+            let mut durable = config.clone();
+            durable.store_dir = Some(dir.clone());
+            let plan = FleetPlan::expand(&durable, jobs);
+            {
+                // Pre-crash phase under a throwaway registry: the process
+                // that crashes takes its registry with it.
+                let registry = std::sync::Arc::new(telemetry::Registry::new());
+                registry.set_enabled(true);
+                let _guard = telemetry::install(std::sync::Arc::clone(&registry));
+                let mut fleet = Fleet::new(&plan);
+                assert!(fleet.run_epoch(jobs));
+                assert!(fleet.run_epoch(jobs));
+                // Crash at the barrier: drop the fleet mid-run.
+            }
+            let registry = std::sync::Arc::new(telemetry::Registry::new());
+            registry.set_enabled(true);
+            let guard = telemetry::install(std::sync::Arc::clone(&registry));
+            let (mut fleet, rec) = Fleet::recover(&plan, jobs).expect("fleet recovers");
+            assert_eq!(fleet.epoch(), 2, "fleet resumes at the crashed barrier");
+            assert_eq!(rec.shards_recovered, 4);
+            assert_eq!(rec.epochs_replayed, 2);
+            assert!(fleet.meta_store_error().is_none());
+            let report = fleet.run_to_completion(jobs);
+            assert_eq!(
+                report.deterministic_emit(),
+                reference,
+                "resumed fleet must report exactly what an uninterrupted storeless run does"
+            );
+            drop(guard);
+            det_sections.push(
+                registry
+                    .report()
+                    .get("deterministic")
+                    .cloned()
+                    .unwrap_or_else(memutil::json::Json::obj)
+                    .emit(),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(
+            det_sections[0], det_sections[1],
+            "recovered deterministic telemetry diverges between jobs 1 and 2"
+        );
+        assert_eq!(
+            det_sections[0], det_sections[2],
+            "recovered deterministic telemetry diverges between jobs 1 and 8"
+        );
+    }
+
+    #[test]
+    fn fleet_recovers_from_a_crash_before_the_first_barrier() {
+        let mut config = FleetConfig::small(2, 31);
+        let reference = {
+            let plan = FleetPlan::expand(&config, 1);
+            Fleet::new(&plan).run_to_completion(1).deterministic_emit()
+        };
+        let dir = store::scratch_dir("fleet-recover-epoch0");
+        config.store_dir = Some(dir.clone());
+        let plan = FleetPlan::expand(&config, 1);
+        {
+            let _fleet = Fleet::new(&plan); // crash before any epoch runs
+        }
+        let (mut fleet, rec) = Fleet::recover(&plan, 1).expect("anchor snapshot recovers");
+        assert_eq!(fleet.epoch(), 0);
+        assert_eq!(rec.epochs_replayed, 0);
+        assert_eq!(rec.shards_recovered, 2);
+        let report = fleet.run_to_completion(1);
+        assert_eq!(report.deterministic_emit(), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_refuses_a_storeless_config_and_a_finished_fleet() {
+        let mut config = FleetConfig::small(2, 8);
+        let plan = FleetPlan::expand(&config, 1);
+        assert!(matches!(
+            Fleet::recover(&plan, 1),
+            Err(StoreError::Unsupported(_))
+        ));
+        let dir = store::scratch_dir("fleet-recover-finished");
+        config.store_dir = Some(dir.clone());
+        let plan = FleetPlan::expand(&config, 1);
+        let _ = Fleet::new(&plan).run_to_completion(1);
+        assert!(
+            matches!(Fleet::recover(&plan, 1), Err(StoreError::Unsupported(_))),
+            "a finished fleet must refuse to resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

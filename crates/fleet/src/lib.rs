@@ -34,13 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod engine;
 pub mod report;
 
+pub use durable::{EpochEntry, FleetMeta, FleetRecovery};
 pub use engine::Fleet;
 pub use report::{FleetReport, ShardSummary};
 
+use std::path::PathBuf;
 use std::sync::Arc;
+
+use store::DurabilityMode;
 
 use dram::geometry::ChipDensity;
 use faultinject::FaultPlan;
@@ -105,6 +110,14 @@ pub struct FleetConfig {
     /// Base fault plan; each shard runs the [`FaultPlan::for_shard`]
     /// derivation so fault streams are per-shard keyed.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Durable store root, or `None` for a purely in-memory fleet. When
+    /// set, every shard engine journals to `<dir>/shard-<node>` and the
+    /// scheduler keeps its epoch log in `<dir>/fleet`, snapshotting both
+    /// at every epoch barrier; a crashed fleet resumes via
+    /// [`Fleet::recover`].
+    pub store_dir: Option<PathBuf>,
+    /// Durability mode of every store the fleet creates.
+    pub durability: DurabilityMode,
 }
 
 impl FleetConfig {
@@ -125,6 +138,8 @@ impl FleetConfig {
                 fail_rate: memcon::engine::DEFAULT_FAIL_RATE,
             },
             fault_plan: None,
+            store_dir: None,
+            durability: DurabilityMode::Buffered,
         }
     }
 
@@ -161,6 +176,13 @@ impl FleetConfig {
             FleetOracle::Content { rows_per_bank } => {
                 if rows_per_bank == 0 {
                     return Err("content shards need at least one row per bank".into());
+                }
+                if self.store_dir.is_some() {
+                    return Err(
+                        "content-oracle shards cannot persist: the simulated chip's state \
+                         is too large to snapshot (use the rate oracle with a store)"
+                            .into(),
+                    );
                 }
             }
         }
@@ -294,5 +316,17 @@ mod tests {
         c.oracle = FleetOracle::Rate { fail_rate: 1.5 };
         assert!(c.validate().is_err());
         assert!(FleetConfig::small(4, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_content_oracle_with_a_store() {
+        let mut c = FleetConfig::small(4, 1);
+        c.oracle = FleetOracle::Content { rows_per_bank: 32 };
+        assert!(c.validate().is_ok(), "content without a store is fine");
+        c.store_dir = Some(std::path::PathBuf::from("/tmp/nope"));
+        assert!(
+            c.validate().is_err(),
+            "the content oracle's chip state cannot be persisted"
+        );
     }
 }

@@ -17,17 +17,20 @@
 //!    accounting (a test is mispredicted when its page is rewritten before
 //!    `MinWriteInterval` elapses, so the test cost is never amortized).
 
+use std::path::Path;
 use std::sync::Arc;
 
 use faultinject::{FaultPlan, FaultSession, Site};
 use memtrace::trace::WriteTrace;
+use memutil::codec::{Dec, Enc};
+use store::{DurabilityMode, Record, Recovered, Store, StoreError};
 
 use crate::config::MemconConfig;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, TestMode};
 use crate::pril::{PageId, Pril, PrilStats};
 use crate::refreshmgr::{PageState, RefreshManager};
 use crate::testengine::{
-    EccEvent, FailureOracle, RateOracle, TestEngine, TestEngineStats, Verdict,
+    EccEvent, FailureOracle, MemoStats, RateOracle, TestEngine, TestEngineStats, Verdict,
 };
 
 /// Default Bernoulli failing-row rate for trace-scale runs (the middle of
@@ -36,6 +39,13 @@ pub const DEFAULT_FAIL_RATE: f64 = 0.015;
 
 /// Histogram edges (in quanta) of the retry-backoff distribution.
 pub const BACKOFF_EDGES: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// Histogram edges (candidate count) of the per-quantum PRIL candidate
+/// distribution.
+pub const CANDIDATE_EDGES: [u64; 10] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Engine snapshot payload format version (the first payload byte).
+const SNAP_VERSION: u8 = 1;
 
 /// Run-level recovery accounting: what the fault injector did to the run
 /// and how the abort/retry/degradation machinery responded. All values
@@ -61,6 +71,9 @@ pub struct RecoveryStats {
     /// Backoff-length distribution, bucketed by [`BACKOFF_EDGES`]
     /// (≤1, ≤2, ≤4, ≤8, ≤16, >16 quanta).
     pub backoff_hist: [u64; 6],
+    /// Sum of all scheduled backoff lengths in quanta (the histogram's
+    /// exact sum, flushed to telemetry with the bucket counts).
+    pub backoff_sum_quanta: u64,
     /// Pages pinned to the high-refresh bin by the fail-safe degradation
     /// rule (pin events; a page unpinned by a clean test and pinned again
     /// counts twice).
@@ -81,6 +94,32 @@ fn backoff_bucket(quanta: u64) -> usize {
         .iter()
         .position(|&e| quanta <= e)
         .unwrap_or(BACKOFF_EDGES.len())
+}
+
+fn candidate_bucket(count: u64) -> usize {
+    CANDIDATE_EDGES
+        .iter()
+        .position(|&e| count <= e)
+        .unwrap_or(CANDIDATE_EDGES.len())
+}
+
+fn opt_u64(e: &mut Enc, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            e.bool(true);
+            e.u64(x);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn read_opt_u64(d: &mut Dec) -> Result<Option<u64>, String> {
+    Ok(if d.bool()? { Some(d.u64()?) } else { None })
+}
+
+fn site_counts(v: Vec<u64>, what: &str) -> Result<[u64; faultinject::N_SITES], String> {
+    v.try_into()
+        .map_err(|_| format!("{what}: expected one counter per fault site"))
 }
 
 /// Everything the paper's Figs. 14, 17, and 18 need from one engine run.
@@ -234,6 +273,17 @@ pub struct MemconEngine {
     run: Option<RunState>,
     /// Quantum-window time-series sampling period (quanta), when armed.
     sample_every: Option<u64>,
+    /// Attached durable store, if any (see [`MemconEngine::attach_store`]).
+    store: Option<Store>,
+    /// Snapshot cadence in quanta while a store is attached (0 = none).
+    snapshot_every: u64,
+    /// First store failure, if any: the durability plane is considered
+    /// crashed from that point (no further journaling or snapshots), while
+    /// the simulation itself continues unaffected.
+    store_error: Option<StoreError>,
+    /// Per-quantum PRIL candidate-count distribution, bucketed by
+    /// [`CANDIDATE_EDGES`]; flushed as one merged histogram at run end.
+    candidate_hist: [u64; 11],
 }
 
 impl MemconEngine {
@@ -291,6 +341,10 @@ impl MemconEngine {
             last_pinned: Vec::new(),
             run: None,
             sample_every: None,
+            store: None,
+            snapshot_every: 0,
+            store_error: None,
+            candidate_hist: [0; 11],
             config,
         }
     }
@@ -325,6 +379,386 @@ impl MemconEngine {
     /// disarmed.
     pub fn set_sample_every(&mut self, every: Option<u64>) {
         self.sample_every = every.filter(|n| *n > 0);
+    }
+
+    /// Attaches a durable [`Store`]: subsequent runs journal every MEMCON
+    /// state transition to its WAL and publish an engine snapshot every
+    /// `snapshot_every` quanta (plus one at [`MemconEngine::begin_run`] and
+    /// one at [`MemconEngine::finish_run`]). A crashed run recovers via
+    /// [`MemconEngine::recover`].
+    ///
+    /// Store failures never fail the simulation: the first one is latched
+    /// into [`MemconEngine::store_error`] and the durability plane goes
+    /// quiet from that point — exactly the on-disk state a crash at that
+    /// moment would leave.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unsupported`] when a run is in progress, the cadence
+    /// is zero, or the engine's failure oracle cannot persist its state
+    /// (e.g. the content oracle's simulated chip).
+    pub fn attach_store(&mut self, store: Store, snapshot_every: u64) -> Result<(), StoreError> {
+        if self.run.is_some() {
+            return Err(StoreError::Unsupported(
+                "cannot attach a store while a run is in progress".to_string(),
+            ));
+        }
+        if snapshot_every == 0 {
+            return Err(StoreError::Unsupported(
+                "snapshot cadence must be at least one quantum".to_string(),
+            ));
+        }
+        if self.tests.persist_oracle().is_none() {
+            return Err(StoreError::Unsupported(
+                "the failure oracle does not support state persistence".to_string(),
+            ));
+        }
+        self.store = Some(store);
+        self.snapshot_every = snapshot_every;
+        self.store_error = None;
+        Ok(())
+    }
+
+    /// The attached store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Detaches and returns the store (flushing is the caller's business).
+    pub fn take_store(&mut self) -> Option<Store> {
+        self.snapshot_every = 0;
+        self.store.take()
+    }
+
+    /// The first store failure of the attached store's lifetime, if any.
+    /// Once set, journaling and snapshotting stop (the on-disk state is a
+    /// faithful crash image); the simulation itself continues.
+    #[must_use]
+    pub fn store_error(&self) -> Option<&StoreError> {
+        self.store_error.as_ref()
+    }
+
+    /// Whether a stepped run is currently in progress (also true for a
+    /// freshly recovered mid-run engine awaiting resumption).
+    #[must_use]
+    pub fn mid_run(&self) -> bool {
+        self.run.is_some()
+    }
+
+    /// Appends `rec` to the attached store's WAL, latching the first
+    /// failure into `store_error` (after which journaling goes quiet).
+    fn journal(&mut self, rec: &Record) {
+        if self.store_error.is_some() {
+            return;
+        }
+        if let Some(store) = self.store.as_mut() {
+            if let Err(e) = store.append(rec) {
+                self.store_error = Some(e);
+            }
+        }
+    }
+
+    /// Publishes an encoded engine snapshot, with the same failure
+    /// latching as [`Self::journal`].
+    fn publish_payload(&mut self, payload: &[u8]) {
+        if self.store_error.is_some() {
+            return;
+        }
+        if let Some(store) = self.store.as_mut() {
+            if let Err(e) = store.publish_snapshot(payload) {
+                self.store_error = Some(e);
+            }
+        }
+    }
+
+    /// Encodes current engine state and publishes it as a snapshot (used
+    /// outside `advance_until`, where the run state lives in `self`).
+    fn snapshot_now(&mut self) {
+        if self.store.is_none() || self.store_error.is_some() {
+            return;
+        }
+        let run = self.run.take();
+        let payload = self.encode_state(run.as_ref());
+        self.run = run;
+        self.publish_payload(&payload);
+    }
+
+    /// Encodes the complete engine state (including the in-progress run,
+    /// when one is passed) into a snapshot payload. The layout is private
+    /// to this module and versioned by [`SNAP_VERSION`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure oracle cannot persist its state — ruled out
+    /// for store-attached engines by [`MemconEngine::attach_store`].
+    fn encode_state(&self, run: Option<&RunState>) -> Vec<u8> {
+        let mut e = Enc::with_capacity(64 * 1024);
+        e.u8(SNAP_VERSION);
+        // Configuration: enough to rebuild an identical engine.
+        e.f64(self.config.quantum_ms);
+        e.f64(self.config.hi_ms);
+        e.f64(self.config.lo_ms);
+        e.u8(match self.config.test_mode {
+            TestMode::ReadAndCompare => 0,
+            TestMode::CopyAndCompare => 1,
+        });
+        e.u32(self.config.concurrent_tests);
+        e.u64(self.config.write_buffer_capacity as u64);
+        e.bool(self.config.steady_state_start);
+        e.u32(self.config.recovery.max_attempts);
+        e.u32(self.config.recovery.backoff_cap_quanta);
+        e.u64(self.n_pages);
+        // Oracle (tag 0 = rate oracle; the only persistable kind today).
+        e.u8(0);
+        let oracle = self
+            .tests
+            .persist_oracle()
+            // memlint: allow(no-unwrap): attach_store rejects non-persistable oracles, so this is unreachable
+            .expect("store attached over a non-persistable oracle");
+        e.bytes(&oracle);
+        // Engine-plane fault session: the plan plus both replay cursors.
+        match self.tests.fault_session() {
+            Some(s) => {
+                e.bool(true);
+                e.str(&s.plan().to_json().emit());
+                e.u64_slice(&s.decision_counts());
+                e.u64_slice(&s.injected_counts());
+            }
+            None => e.bool(false),
+        }
+        self.pril.encode_state(&mut e);
+        self.tests.encode_state(&mut e);
+        e.u64_slice(&self.generation);
+        for a in &self.lo_anchor {
+            opt_u64(&mut e, *a);
+        }
+        for a in &self.attempts {
+            e.u64(u64::from(*a));
+        }
+        for r in &self.retry_at {
+            opt_u64(&mut e, *r);
+        }
+        e.u64_slice(&self.retry_queue);
+        for c in &self.clean_gen {
+            opt_u64(&mut e, *c);
+        }
+        e.u64(self.quantum_index);
+        e.u64(self.tests_correct);
+        e.u64(self.tests_mispredicted);
+        let r = &self.recovery;
+        e.u64_slice(&r.faults_injected);
+        e.u64(r.aborts);
+        e.u64(r.retries);
+        e.u64(r.backoffs_scheduled);
+        e.u64(r.backoff_ceiling_hits);
+        e.u64_slice(&r.backoff_hist);
+        e.u64(r.backoff_sum_quanta);
+        e.u64(r.degraded_rows);
+        e.u64(r.ambiguous);
+        e.u64(r.ecc_corrected);
+        e.u64(r.ecc_uncorrectable);
+        e.u64(r.uncorrectable_escapes);
+        e.u64_slice(&self.candidate_hist);
+        e.u64(self.last_states.len() as u64);
+        for s in &self.last_states {
+            e.u8(match s {
+                PageState::HiRef => 0,
+                PageState::Testing => 1,
+                PageState::LoRef => 2,
+            });
+        }
+        e.u64(self.last_pinned.len() as u64);
+        for p in &self.last_pinned {
+            e.bool(*p);
+        }
+        e.u64(self.snapshot_every);
+        match run {
+            Some(run) => {
+                e.bool(true);
+                run.mgr.encode_state(&mut e);
+                e.u64(run.event_idx as u64);
+                e.u64(run.next_quantum);
+                e.u64(run.quantum_ns);
+                e.u64(run.mwi_ns);
+                e.u64(run.duration);
+                e.u64(run.memo_before.hits);
+                e.u64(run.memo_before.misses);
+            }
+            None => e.bool(false),
+        }
+        e.into_bytes()
+    }
+
+    /// Rebuilds an engine from a snapshot payload produced by
+    /// [`MemconEngine::encode_state`].
+    fn decode_state(payload: &[u8]) -> Result<MemconEngine, String> {
+        let mut d = Dec::new(payload);
+        let version = d.u8()?;
+        if version != SNAP_VERSION {
+            return Err(format!(
+                "engine snapshot version {version} is not supported (expected {SNAP_VERSION})"
+            ));
+        }
+        let mut config = MemconConfig::paper_default();
+        config.quantum_ms = d.f64()?;
+        config.hi_ms = d.f64()?;
+        config.lo_ms = d.f64()?;
+        config.test_mode = match d.u8()? {
+            0 => TestMode::ReadAndCompare,
+            1 => TestMode::CopyAndCompare,
+            t => return Err(format!("unknown test mode tag {t}")),
+        };
+        config.concurrent_tests = d.u32()?;
+        config.write_buffer_capacity = usize::try_from(d.u64()?)
+            .map_err(|_| "write buffer capacity exceeds the address space".to_string())?;
+        config.steady_state_start = d.bool()?;
+        config.recovery.max_attempts = d.u32()?;
+        config.recovery.backoff_cap_quanta = d.u32()?;
+        config.validate()?;
+        let n_pages = d.u64()?;
+        let oracle: Box<dyn FailureOracle> = match d.u8()? {
+            0 => Box::new(RateOracle::from_persisted(d.bytes()?)?),
+            t => return Err(format!("unknown oracle tag {t}")),
+        };
+        let mut eng = MemconEngine::with_oracle(config, n_pages, oracle);
+        if d.bool()? {
+            let plan = FaultPlan::parse(&d.str()?)?;
+            let plan = Arc::new(plan);
+            let decisions = site_counts(d.u64_vec()?, "fault decision counts")?;
+            let injected = site_counts(d.u64_vec()?, "fault injected counts")?;
+            eng.fault_plan = Some(Arc::clone(&plan));
+            eng.tests
+                .set_fault_session(Some(FaultSession::restore(plan, decisions, injected)));
+        }
+        eng.pril.restore_state(&mut d)?;
+        eng.tests.restore_state(&mut d)?;
+        let pages = n_pages as usize;
+        let generation = d.u64_vec()?;
+        if generation.len() != pages {
+            return Err("generation vector does not match the page count".to_string());
+        }
+        eng.generation = generation;
+        for a in &mut eng.lo_anchor {
+            *a = read_opt_u64(&mut d)?;
+        }
+        for a in &mut eng.attempts {
+            *a = u32::try_from(d.u64()?).map_err(|_| "attempt counter exceeds u32".to_string())?;
+        }
+        for r in &mut eng.retry_at {
+            *r = read_opt_u64(&mut d)?;
+        }
+        eng.retry_queue = d.u64_vec()?;
+        for c in &mut eng.clean_gen {
+            *c = read_opt_u64(&mut d)?;
+        }
+        eng.quantum_index = d.u64()?;
+        eng.tests_correct = d.u64()?;
+        eng.tests_mispredicted = d.u64()?;
+        eng.recovery.faults_injected = site_counts(d.u64_vec()?, "injected fault counters")?;
+        eng.recovery.aborts = d.u64()?;
+        eng.recovery.retries = d.u64()?;
+        eng.recovery.backoffs_scheduled = d.u64()?;
+        eng.recovery.backoff_ceiling_hits = d.u64()?;
+        eng.recovery.backoff_hist = d
+            .u64_vec()?
+            .try_into()
+            .map_err(|_| "backoff histogram bucket count mismatch".to_string())?;
+        eng.recovery.backoff_sum_quanta = d.u64()?;
+        eng.recovery.degraded_rows = d.u64()?;
+        eng.recovery.ambiguous = d.u64()?;
+        eng.recovery.ecc_corrected = d.u64()?;
+        eng.recovery.ecc_uncorrectable = d.u64()?;
+        eng.recovery.uncorrectable_escapes = d.u64()?;
+        eng.candidate_hist = d
+            .u64_vec()?
+            .try_into()
+            .map_err(|_| "candidate histogram bucket count mismatch".to_string())?;
+        let n_states = d.u64()? as usize;
+        let mut last_states = Vec::with_capacity(n_states);
+        for _ in 0..n_states {
+            last_states.push(match d.u8()? {
+                0 => PageState::HiRef,
+                1 => PageState::Testing,
+                2 => PageState::LoRef,
+                t => return Err(format!("unknown page state tag {t}")),
+            });
+        }
+        eng.last_states = last_states;
+        let n_pinned = d.u64()? as usize;
+        let mut last_pinned = Vec::with_capacity(n_pinned);
+        for _ in 0..n_pinned {
+            last_pinned.push(d.bool()?);
+        }
+        eng.last_pinned = last_pinned;
+        eng.snapshot_every = d.u64()?;
+        if d.bool()? {
+            let mut mgr = RefreshManager::new(n_pages, eng.config.hi_ms, eng.config.lo_ms);
+            mgr.restore_state(&mut d)?;
+            let event_idx = usize::try_from(d.u64()?)
+                .map_err(|_| "event cursor exceeds the address space".to_string())?;
+            let next_quantum = d.u64()?;
+            let quantum_ns = d.u64()?;
+            let mwi_ns = d.u64()?;
+            let duration = d.u64()?;
+            let memo_before = MemoStats {
+                hits: d.u64()?,
+                misses: d.u64()?,
+            };
+            eng.run = Some(RunState {
+                mgr,
+                event_idx,
+                next_quantum,
+                quantum_ns,
+                mwi_ns,
+                duration,
+                memo_before,
+            });
+        }
+        d.finish("engine snapshot")?;
+        Ok(eng)
+    }
+
+    /// Recovers an engine from a durable store directory: opens the store
+    /// (repairing any torn WAL tail), loads the newest valid snapshot, and
+    /// rebuilds the engine exactly as it stood when that snapshot was
+    /// published — including an in-progress run, ready to resume.
+    ///
+    /// Recovery is deterministic snapshot-resume: traces are not
+    /// persisted, so the caller must resume the recovered run with the
+    /// **same trace** (and the engine carries its fault plan and decision
+    /// cursors in the snapshot, so the replayed fault stream continues
+    /// bit-identically). A recovered engine journals a
+    /// [`Record::RecoveryEvent`] and publishes a fresh snapshot before
+    /// returning; time-series sampling stays disarmed.
+    ///
+    /// `scan_plan` arms fault injection for the recovery scan itself
+    /// (`store.short_read`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when no usable snapshot exists or the
+    /// newest valid snapshot does not decode; any [`StoreError`] from
+    /// opening the store. Post-recovery journaling failures are latched
+    /// into [`MemconEngine::store_error`], not returned.
+    pub fn recover(
+        dir: &Path,
+        mode: DurabilityMode,
+        scan_plan: Option<Arc<FaultPlan>>,
+    ) -> Result<(MemconEngine, Recovered), StoreError> {
+        let (store, recovered) = Store::open(dir, mode, scan_plan)?;
+        let snap = recovered.snapshot.as_ref().ok_or_else(|| {
+            StoreError::Corrupt("store holds no usable snapshot to recover from".to_string())
+        })?;
+        let mut engine = Self::decode_state(&snap.payload).map_err(StoreError::Corrupt)?;
+        engine.store = Some(store);
+        engine.store_error = None;
+        engine.journal(&Record::RecoveryEvent {
+            replayed_records: recovered.replayed_records,
+            truncated_bytes: recovered.truncated_bytes,
+        });
+        engine.snapshot_now();
+        Ok((engine, recovered))
     }
 
     /// Instantaneous observability snapshot (see [`LiveStats`]). Mid-run
@@ -431,6 +865,7 @@ impl MemconEngine {
         self.clean_gen.iter_mut().for_each(|c| *c = None);
         self.quantum_index = 0;
         self.recovery = RecoveryStats::default();
+        self.candidate_hist = [0; 11];
         // A fresh session per run: the decision streams replay, so the same
         // trace and plan reproduce the same faults bit-for-bit.
         let session = self
@@ -459,7 +894,7 @@ impl MemconEngine {
             }
         }
         let quantum_ns = (self.config.quantum_ms * 1e6) as u64;
-        self.run = Some(RunState {
+        let run = RunState {
             mgr,
             event_idx: 0,
             next_quantum: quantum_ns,
@@ -467,7 +902,30 @@ impl MemconEngine {
             mwi_ns: (self.config.min_write_interval_ms() * 1e6) as u64,
             duration: trace.duration_ns(),
             memo_before,
-        });
+        };
+        if self.store.is_some() {
+            // The store draws its own decision stream from the same plan
+            // source, so store-plane faults never perturb the engine's
+            // deterministic replay stream (and vice versa).
+            let store_session = self
+                .fault_plan
+                .as_ref()
+                .map(|p| FaultSession::with_plan(Arc::clone(p)))
+                .or_else(FaultSession::begin);
+            if let Some(store) = self.store.as_mut() {
+                store.set_fault_session(store_session);
+            }
+            self.journal(&Record::RunBegin {
+                n_pages: self.n_pages,
+                duration_ns: run.duration,
+                quantum_ns: run.quantum_ns,
+            });
+            // Anchor snapshot: recovery always has a post-pre-pass state to
+            // resume from, even before the first cadence boundary.
+            let payload = self.encode_state(Some(&run));
+            self.publish_payload(&payload);
+        }
+        self.run = Some(run);
     }
 
     /// Advances the stepped run through every happening (test completion,
@@ -506,6 +964,13 @@ impl MemconEngine {
             if t_quantum == Some(now) {
                 self.handle_quantum(now, &mut run.mgr, run.mwi_ns);
                 run.next_quantum += run.quantum_ns;
+                if self.store.is_some()
+                    && self.snapshot_every > 0
+                    && self.quantum_index % self.snapshot_every == 0
+                {
+                    let payload = self.encode_state(Some(&run));
+                    self.publish_payload(&payload);
+                }
                 continue;
             }
             let e = events[run.event_idx];
@@ -574,6 +1039,20 @@ impl MemconEngine {
         }
         if telemetry::enabled() {
             self.flush_telemetry(&mgr, memo_before);
+        }
+        if self.store.is_some() {
+            self.journal(&Record::RunFinished { at_ns: duration });
+            // Terminal snapshot (no run section): a recovery after a clean
+            // finish resumes a completed engine, not a mid-run one.
+            let payload = self.encode_state(None);
+            self.publish_payload(&payload);
+            if self.store_error.is_none() {
+                if let Some(store) = self.store.as_mut() {
+                    if let Err(e) = store.sync() {
+                        self.store_error = Some(e);
+                    }
+                }
+            }
         }
         let test_cost = self.cost.test_cost_ns(self.config.test_mode);
         let refresh_ops = mgr.refresh_ops();
@@ -645,7 +1124,18 @@ impl MemconEngine {
         if let Some(due) = &mut self.retry_at[page as usize] {
             *due = (*due).max(self.quantum_index + 2);
         }
-        self.pril.on_write(page);
+        if self.store.is_some() {
+            let inserted_before = self.pril.stats.inserted;
+            self.pril.on_write(page);
+            if self.pril.stats.inserted > inserted_before {
+                self.journal(&Record::PrilEntered {
+                    page,
+                    quantum: self.quantum_index,
+                });
+            }
+        } else {
+            self.pril.on_write(page);
+        }
     }
 
     /// Records an aborted/ambiguous test attempt on `page` and arms the
@@ -667,6 +1157,9 @@ impl MemconEngine {
         *slot = slot.saturating_add(1);
         let attempts = *slot;
         if uncorrectable || attempts >= policy.max_attempts {
+            if self.store.is_some() && !mgr.is_pinned(page) {
+                self.journal(&Record::PinHigh { page, at_ns: now });
+            }
             mgr.pin_high(page, now);
         }
         let backoff =
@@ -675,10 +1168,11 @@ impl MemconEngine {
         if backoff == u64::from(policy.backoff_cap_quanta) {
             self.recovery.backoff_ceiling_hits += 1;
         }
+        // Accumulated in engine state (not observed mid-run) so that the
+        // telemetry flush at run end is a pure function of the final state —
+        // a crashed-and-recovered run reports bit-identically.
         self.recovery.backoff_hist[backoff_bucket(backoff)] += 1;
-        if telemetry::enabled() {
-            telemetry::observe("memcon.recovery.backoff_quanta", &BACKOFF_EDGES, backoff);
-        }
+        self.recovery.backoff_sum_quanta += backoff;
         if self.retry_at[page as usize].is_none() {
             self.retry_queue.push(page);
         }
@@ -688,9 +1182,12 @@ impl MemconEngine {
     /// A definitive (non-ambiguous) verdict resets the attempt counter and
     /// releases any fail-safe pin. Pin release must precede a LO-REF
     /// transition — the refresh manager rejects LO-REF for pinned pages.
-    fn clear_attempts(&mut self, page: PageId, mgr: &mut RefreshManager) {
+    fn clear_attempts(&mut self, page: PageId, mgr: &mut RefreshManager, now: u64) {
         self.attempts[page as usize] = 0;
         self.retry_at[page as usize] = None;
+        if self.store.is_some() && mgr.is_pinned(page) {
+            self.journal(&Record::PinReleased { page, at_ns: now });
+        }
         mgr.release_pin(page);
     }
 
@@ -707,6 +1204,19 @@ impl MemconEngine {
         telemetry::count("memcon.pril.overflowed", p.overflowed);
         telemetry::count("memcon.pril.candidates", p.candidates);
         telemetry::count("memcon.pril.quanta", p.quanta);
+        // Merged from engine-accumulated buckets rather than observed per
+        // quantum, so the registry sees one deterministic flush; emitted
+        // only for runs that crossed a boundary, matching the conditional
+        // per-event registration this replaces.
+        if p.quanta > 0 {
+            telemetry::observe_merged(
+                "memcon.pril.quantum_candidates",
+                &CANDIDATE_EDGES,
+                &self.candidate_hist,
+                p.quanta,
+                p.candidates,
+            );
+        }
         let t = self.tests.stats;
         telemetry::count("memcon.tests.started", t.started);
         telemetry::count("memcon.tests.completed", t.completed);
@@ -765,6 +1275,15 @@ impl MemconEngine {
             "memcon.recovery.uncorrectable_escapes",
             r.uncorrectable_escapes,
         );
+        if r.backoffs_scheduled > 0 {
+            telemetry::observe_merged(
+                "memcon.recovery.backoff_quanta",
+                &BACKOFF_EDGES,
+                &r.backoff_hist,
+                r.backoffs_scheduled,
+                r.backoff_sum_quanta,
+            );
+        }
     }
 
     fn handle_quantum(&mut self, now: u64, mgr: &mut RefreshManager, mwi_ns: u64) {
@@ -796,6 +1315,17 @@ impl MemconEngine {
                 self.retry_at[page as usize] = None;
                 self.recovery.retries += 1;
                 mgr.transition(page, PageState::Testing, now);
+                if self.store.is_some() {
+                    self.journal(&Record::TestStarted {
+                        page,
+                        quantum: self.quantum_index,
+                    });
+                    self.journal(&Record::BinChanged {
+                        page,
+                        state: 1,
+                        at_ns: now,
+                    });
+                }
                 if telemetry::enabled() {
                     telemetry::annotate("memcon.test_retry", page);
                 }
@@ -805,12 +1335,16 @@ impl MemconEngine {
         }
         self.retry_queue = still_armed;
         let candidates = self.pril.end_quantum();
-        if telemetry::enabled() {
-            telemetry::observe(
-                "memcon.pril.quantum_candidates",
-                &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
-                candidates.len() as u64,
-            );
+        // Accumulated (not observed) so the run-end flush is a pure
+        // function of final engine state — see `flush_telemetry`.
+        self.candidate_hist[candidate_bucket(candidates.len() as u64)] += 1;
+        if self.store.is_some() {
+            for &page in &candidates {
+                self.journal(&Record::PrilEvicted {
+                    page,
+                    quantum: self.quantum_index,
+                });
+            }
         }
         for page in candidates {
             // A nominated page can be mid-retry-backoff or already under a
@@ -821,10 +1355,27 @@ impl MemconEngine {
             let generation = self.generation[page as usize];
             if self.tests.try_start(page, generation, now) {
                 mgr.transition(page, PageState::Testing, now);
+                if self.store.is_some() {
+                    self.journal(&Record::TestStarted {
+                        page,
+                        quantum: self.quantum_index,
+                    });
+                    self.journal(&Record::BinChanged {
+                        page,
+                        state: 1,
+                        at_ns: now,
+                    });
+                }
                 if telemetry::enabled() {
                     telemetry::annotate("memcon.test_start", page);
                 }
             }
+        }
+        if self.store.is_some() {
+            self.journal(&Record::Progress {
+                quantum: self.quantum_index,
+                now_ns: now,
+            });
         }
         if let Some(every) = self.sample_every {
             if self.quantum_index % every == 0 && telemetry::enabled() {
@@ -868,17 +1419,43 @@ impl MemconEngine {
         for outcome in &outcomes {
             let end = outcome.end_ns.min(duration);
             let page = outcome.page;
+            if self.store.is_some() {
+                let verdict = match outcome.verdict {
+                    Verdict::Pass => 0u8,
+                    Verdict::Fail => 1,
+                    Verdict::Ambiguous => 2,
+                };
+                self.journal(&Record::TestCompleted {
+                    page,
+                    verdict,
+                    end_ns: end,
+                });
+            }
             match outcome.verdict {
                 Verdict::Fail => {
-                    self.clear_attempts(page, mgr);
+                    self.clear_attempts(page, mgr, end);
                     mgr.transition(page, PageState::HiRef, end);
+                    if self.store.is_some() {
+                        self.journal(&Record::BinChanged {
+                            page,
+                            state: 0,
+                            at_ns: end,
+                        });
+                    }
                     // A detected failure is a *correct* engagement of the
                     // mechanism: the test did its protective job.
                     self.tests_correct += 1;
                 }
                 Verdict::Pass => {
-                    self.clear_attempts(page, mgr);
+                    self.clear_attempts(page, mgr, end);
                     mgr.transition(page, PageState::LoRef, end);
+                    if self.store.is_some() {
+                        self.journal(&Record::BinChanged {
+                            page,
+                            state: 2,
+                            at_ns: end,
+                        });
+                    }
                     self.clean_gen[page as usize] = Some(outcome.generation);
                     self.lo_anchor[page as usize] = Some(outcome.start_ns);
                 }
@@ -888,6 +1465,13 @@ impl MemconEngine {
                     // response is HI-REF plus a backed-off retry.
                     self.tests_mispredicted += 1;
                     mgr.transition(page, PageState::HiRef, end);
+                    if self.store.is_some() {
+                        self.journal(&Record::BinChanged {
+                            page,
+                            state: 0,
+                            at_ns: end,
+                        });
+                    }
                     self.note_failed_attempt(
                         page,
                         end,
@@ -1242,5 +1826,315 @@ mod tests {
         assert_eq!(rec1, rec2);
         assert_eq!(states1, states2);
         assert!(rec1.faults_injected.iter().sum::<u64>() > 0);
+    }
+
+    use store::scratch_dir;
+
+    /// Engine-plane-only fault plan: exercises abort/retry/pin machinery
+    /// without tearing the store itself (store-plane faults get their own
+    /// tests below).
+    fn engine_plan(seed: u64) -> Arc<FaultPlan> {
+        Arc::new(
+            FaultPlan::new(seed)
+                .with_site(Site::TestPreempt, SiteSpec::rate(0.05))
+                .with_site(Site::TornRead, SiteSpec::rate(0.05))
+                .with_site(Site::EccUncorrectable, SiteSpec::rate(0.01)),
+        )
+    }
+
+    fn reference_run(
+        trace: &WriteTrace,
+        plan: &Arc<FaultPlan>,
+    ) -> (MemconReport, RecoveryStats, Vec<PageState>) {
+        let mut e = MemconEngine::new(cfg(), trace.n_pages());
+        e.set_fault_plan(Some(Arc::clone(plan)));
+        let report = e.run(trace);
+        (report, *e.recovery_stats(), e.final_states().to_vec())
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        // The tentpole property: kill a store-backed run mid-flight,
+        // recover from disk, resume with the same trace — the final
+        // report, recovery stats, and per-page states must be
+        // bit-identical to a run that never crashed.
+        let trace = WorkloadProfile::netflix().scaled(0.02).generate(7);
+        let plan = engine_plan(0xDEAD_BEEF);
+        let (r_ref, rec_ref, states_ref) = reference_run(&trace, &plan);
+
+        let dir = scratch_dir("engine-resume");
+        {
+            let mut e = MemconEngine::new(cfg(), trace.n_pages());
+            e.set_fault_plan(Some(Arc::clone(&plan)));
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            e.attach_store(store, 3).unwrap();
+            e.begin_run(&trace);
+            e.advance_until(&trace, trace.duration_ns() * 2 / 5);
+            assert!(e.store_error().is_none());
+            // Crash: the engine drops with the run in progress; only the
+            // on-disk image survives.
+        }
+        let (mut e, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(e.mid_run(), "recovered engine resumes mid-run");
+        assert!(rec.snapshot.is_some());
+        e.advance_until(&trace, trace.duration_ns());
+        let r = e.finish_run();
+        assert_eq!(r, r_ref);
+        assert_eq!(*e.recovery_stats(), rec_ref);
+        assert_eq!(e.final_states(), states_ref.as_slice());
+        e.verify_refresh_correctness().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_truncates_a_torn_wal_tail_and_still_resumes() {
+        // Cut the newest WAL segment mid-frame (a crash mid-write):
+        // recovery must report the truncation, never load the partial
+        // record, and the resumed run must still match the reference.
+        let trace = WorkloadProfile::netflix().scaled(0.02).generate(11);
+        let plan = engine_plan(0xFEED_FACE);
+        let (r_ref, rec_ref, states_ref) = reference_run(&trace, &plan);
+
+        let dir = scratch_dir("engine-torn-tail");
+        {
+            let mut e = MemconEngine::new(cfg(), trace.n_pages());
+            e.set_fault_plan(Some(Arc::clone(&plan)));
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            // A huge cadence pins the anchor snapshot as the recovery
+            // point, so the whole partial run sits in one WAL tail
+            // segment — guaranteed non-empty for the cut below.
+            e.attach_store(store, 10_000).unwrap();
+            e.begin_run(&trace);
+            e.advance_until(&trace, trace.duration_ns() * 3 / 5 + 777 * MS);
+            assert!(e.store_error().is_none());
+        }
+        let mut wals: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|entry| entry.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+            .collect();
+        wals.sort();
+        let tail = wals
+            .pop()
+            .expect("a WAL tail segment past the last snapshot");
+        let len = std::fs::metadata(&tail).unwrap().len();
+        assert!(len > 3, "tail segment holds records");
+        let f = std::fs::OpenOptions::new().write(true).open(&tail).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (mut e, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(rec.truncated_bytes > 0, "the torn tail was truncated");
+        e.advance_until(&trace, trace.duration_ns());
+        let r = e.finish_run();
+        assert_eq!(r, r_ref);
+        assert_eq!(*e.recovery_stats(), rec_ref);
+        assert_eq!(e.final_states(), states_ref.as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_from_anchor_snapshot_with_empty_wal() {
+        // Crash immediately after begin_run: the anchor snapshot is the
+        // whole durable state (rotation leaves no WAL tail behind it).
+        let trace = WriteTrace::new(vec![ev(0, 0)], 20_480 * MS, 1);
+        let mut reference = clean_engine(1);
+        let r_ref = reference.run(&trace);
+
+        let dir = scratch_dir("engine-anchor");
+        {
+            let mut e = clean_engine(1);
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            e.attach_store(store, 3).unwrap();
+            e.begin_run(&trace);
+        }
+        let (mut e, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(e.mid_run());
+        assert_eq!(rec.replayed_records, 0, "no WAL tail survives the anchor");
+        e.advance_until(&trace, trace.duration_ns());
+        let r = e.finish_run();
+        assert_eq!(r, r_ref);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_poisons_the_store_but_never_the_simulation() {
+        // An injected torn append latches store_error and silences the
+        // durability plane; the simulation must finish unaffected, and the
+        // crash image left behind must still recover (with the tear
+        // truncated and reported).
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(7000, 0)], 20_480 * MS, 1);
+        let mut reference = clean_engine(1);
+        let r_ref = reference.run(&trace);
+
+        let dir = scratch_dir("engine-torn-write");
+        let mut e = clean_engine(1);
+        e.set_fault_plan(Some(plan_with(
+            Site::StoreTornWrite,
+            SiteSpec {
+                rate: 1.0,
+                schedule: Schedule::OneShot { at: 5 },
+            },
+        )));
+        let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+        e.attach_store(store, 10_000).unwrap();
+        let r = e.run(&trace);
+        assert_eq!(r, r_ref, "store faults never perturb the simulation");
+        assert_eq!(e.store_error(), Some(&StoreError::TornWrite));
+
+        drop(e);
+        let (recovered, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(rec.truncated_bytes > 0, "the half-written frame was cut");
+        assert!(
+            recovered.mid_run(),
+            "image predates the (never-journaled) finish"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latent_corrupt_record_is_caught_at_recovery_never_loaded() {
+        // A corrupt-record injection flips a payload bit *after* checksum
+        // framing: the append succeeds (corruption is latent), and only
+        // the recovery scan's CRC check may catch it — the record must be
+        // truncated away, never decoded into engine state.
+        let trace = WriteTrace::new(vec![ev(0, 0), ev(7000, 0)], 20_480 * MS, 1);
+        let mut reference = clean_engine(1);
+        let r_ref = reference.run(&trace);
+
+        let dir = scratch_dir("engine-corrupt-rec");
+        {
+            let mut e = clean_engine(1);
+            e.set_fault_plan(Some(plan_with(
+                Site::StoreCorruptRecord,
+                SiteSpec {
+                    rate: 1.0,
+                    schedule: Schedule::OneShot { at: 6 },
+                },
+            )));
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            // A huge cadence keeps every journaled record (including the
+            // corrupt one) in the anchor snapshot's tail.
+            e.attach_store(store, 10_000).unwrap();
+            e.begin_run(&trace);
+            e.advance_until(&trace, trace.duration_ns());
+            assert!(e.store_error().is_none(), "corruption is latent");
+        }
+        let (mut e, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(
+            rec.truncated_bytes > 0,
+            "scan stopped at the corrupt record"
+        );
+        // The corrupt injection fired at append index 6; the anchor
+        // snapshot pruned append 0 (RunBegin), so five clean records
+        // precede the corrupt one in the surviving tail.
+        assert_eq!(rec.replayed_records, 5, "only the clean prefix replays");
+        e.advance_until(&trace, trace.duration_ns());
+        let r = e.finish_run();
+        assert_eq!(r, r_ref);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_with_hi_ref_pins_active_preserves_the_pin() {
+        // Crash while the fail-safe has a page pinned: the pin must
+        // survive recovery, and the resumed run must match the reference.
+        let trace = WriteTrace::new(vec![ev(0, 0)], 20_480 * MS, 1);
+        let plan = plan_with(Site::TornRead, SiteSpec::rate(1.0));
+        let (r_ref, rec_ref, states_ref) = reference_run(&trace, &plan);
+        assert_eq!(rec_ref.degraded_rows, 1, "the reference run pins the page");
+
+        let dir = scratch_dir("engine-pinned");
+        {
+            let mut e = MemconEngine::new(cfg(), 1);
+            e.set_fault_plan(Some(Arc::clone(&plan)));
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            e.attach_store(store, 2).unwrap();
+            e.begin_run(&trace);
+            e.advance_until(&trace, 18_000 * MS);
+        }
+        let (mut e, _) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert_eq!(
+            e.live_stats().pinned_pages,
+            1,
+            "pin restored from the snapshot"
+        );
+        e.advance_until(&trace, trace.duration_ns());
+        let r = e.finish_run();
+        assert_eq!(r, r_ref);
+        assert_eq!(*e.recovery_stats(), rec_ref);
+        assert_eq!(e.final_states(), states_ref.as_slice());
+        e.verify_refresh_correctness().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_ignores_a_stale_duplicate_segment_below_the_bound() {
+        // A crash between snapshot publication and segment pruning can
+        // leave a stale segment below the snapshot's WAL bound on disk;
+        // recovery must drop it, not replay it.
+        let trace = WorkloadProfile::netflix().scaled(0.02).generate(3);
+        let dir = scratch_dir("engine-stale-seg");
+        {
+            let mut e = MemconEngine::new(cfg(), trace.n_pages());
+            let store = Store::create(&dir, DurabilityMode::Buffered).unwrap();
+            e.attach_store(store, 4).unwrap();
+            e.begin_run(&trace);
+            e.advance_until(&trace, trace.duration_ns() / 2);
+        }
+        // Forge a stale pre-bound segment: segment 0 predates every
+        // snapshot (the anchor snapshot set the bound to at least 1).
+        let stale = dir.join("wal-00000000.wal");
+        assert!(!stale.exists(), "rotation already pruned segment 0");
+        std::fs::write(
+            &stale,
+            store::wal::frame(&Record::EpochSample { epoch: 99 }.encode()),
+        )
+        .unwrap();
+
+        let (e, rec) = MemconEngine::recover(&dir, DurabilityMode::Buffered, None).unwrap();
+        assert!(rec.stale_segments > 0, "the forged segment was discarded");
+        assert!(
+            !rec.tail.contains(&Record::EpochSample { epoch: 99 }),
+            "stale records never replay"
+        );
+        assert!(e.mid_run());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[derive(Debug)]
+    struct NeverFails;
+
+    impl FailureOracle for NeverFails {
+        fn page_fails(&mut self, _page: PageId, _generation: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn attach_store_rejects_unsupported_configurations() {
+        let dir = scratch_dir("engine-attach");
+        // Zero snapshot cadence.
+        let mut e = clean_engine(1);
+        let store = Store::create(&dir, DurabilityMode::InMemory).unwrap();
+        assert!(matches!(
+            e.attach_store(store, 0),
+            Err(StoreError::Unsupported(_))
+        ));
+        // Mid-run attachment.
+        let trace = WriteTrace::new(vec![ev(0, 0)], 100 * MS, 1);
+        e.begin_run(&trace);
+        let store = Store::create(&dir, DurabilityMode::InMemory).unwrap();
+        assert!(matches!(
+            e.attach_store(store, 3),
+            Err(StoreError::Unsupported(_))
+        ));
+        // A non-persistable oracle.
+        let mut e = MemconEngine::with_oracle(cfg(), 1, Box::new(NeverFails));
+        let store = Store::create(&dir, DurabilityMode::InMemory).unwrap();
+        assert!(matches!(
+            e.attach_store(store, 3),
+            Err(StoreError::Unsupported(_))
+        ));
     }
 }

@@ -150,6 +150,105 @@ impl RefreshManager {
         self.pins
     }
 
+    /// Serializes the manager's dynamic state (per-page bins, pins,
+    /// time-in-state accumulators, and the discrete due-plane schedule) for
+    /// a durability snapshot. Periods derive from `hi_ms`/`lo_ms`, which
+    /// travel with the engine's config section.
+    pub(crate) fn encode_state(&self, e: &mut memutil::codec::Enc) {
+        let tags: Vec<u8> = self
+            .states
+            .iter()
+            .map(|s| match s {
+                PageState::HiRef => 0u8,
+                PageState::Testing => 1,
+                PageState::LoRef => 2,
+            })
+            .collect();
+        e.bytes(&tags);
+        e.u64_slice(&self.since_ns);
+        let pins: Vec<u8> = self.pinned.iter().map(|&p| u8::from(p)).collect();
+        e.bytes(&pins);
+        e.f64(self.hi_time_ns);
+        e.f64(self.testing_time_ns);
+        e.f64(self.lo_time_ns);
+        match self.finalized_at_ns {
+            Some(t) => {
+                e.bool(true);
+                e.u64(t);
+            }
+            None => e.bool(false),
+        }
+        for t in self.transitions {
+            e.u64(t);
+        }
+        e.u64(self.pins);
+        e.u64(self.pinned_n);
+        // Due plane: per-page next-refresh instant (absent while Testing).
+        for page in 0..self.states.len() as u64 {
+            match self.due.due_of(page) {
+                Some(t) => {
+                    e.bool(true);
+                    e.u64(t);
+                }
+                None => e.bool(false),
+            }
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) into
+    /// a manager built with the same page count and intervals.
+    pub(crate) fn restore_state(&mut self, d: &mut memutil::codec::Dec) -> Result<(), String> {
+        let n = self.states.len();
+        let tags = d.bytes()?;
+        if tags.len() != n {
+            return Err(format!(
+                "refresh manager: snapshot covers {} pages, configured {n}",
+                tags.len()
+            ));
+        }
+        for (state, &tag) in self.states.iter_mut().zip(tags) {
+            *state = match tag {
+                0 => PageState::HiRef,
+                1 => PageState::Testing,
+                2 => PageState::LoRef,
+                other => return Err(format!("refresh manager: unknown bin tag {other}")),
+            };
+        }
+        let since = d.u64_vec()?;
+        if since.len() != n {
+            return Err("refresh manager: since-time vector length mismatch".to_string());
+        }
+        self.since_ns = since;
+        let pins = d.bytes()?;
+        if pins.len() != n {
+            return Err("refresh manager: pin vector length mismatch".to_string());
+        }
+        for (pinned, &raw) in self.pinned.iter_mut().zip(pins) {
+            *pinned = match raw {
+                0 => false,
+                1 => true,
+                other => return Err(format!("refresh manager: invalid pin byte {other}")),
+            };
+        }
+        self.hi_time_ns = d.f64()?;
+        self.testing_time_ns = d.f64()?;
+        self.lo_time_ns = d.f64()?;
+        self.finalized_at_ns = if d.bool()? { Some(d.u64()?) } else { None };
+        for t in &mut self.transitions {
+            *t = d.u64()?;
+        }
+        self.pins = d.u64()?;
+        self.pinned_n = d.u64()?;
+        for page in 0..n as u64 {
+            if d.bool()? {
+                self.due.schedule(page, d.u64()?);
+            } else {
+                self.due.unschedule(page);
+            }
+        }
+        Ok(())
+    }
+
     /// Number of pages tracked.
     #[must_use]
     pub fn n_pages(&self) -> u64 {

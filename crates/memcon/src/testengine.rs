@@ -18,6 +18,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
+use memutil::codec::{Dec, Enc};
 use memutil::rng::SmallRng;
 use memutil::rng::{Rng, SeedableRng};
 
@@ -57,6 +58,14 @@ pub trait FailureOracle: std::fmt::Debug + Send {
     fn memo_counters(&self) -> Option<MemoStats> {
         None
     }
+
+    /// Serializes the oracle's mutable state for a durability snapshot, or
+    /// `None` when the oracle cannot be persisted (e.g. [`ContentOracle`],
+    /// whose simulated-chip state is far too large to journal). Engines
+    /// refuse to attach a durable store over a non-persistable oracle.
+    fn persist_state(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Bernoulli oracle at a fixed failing-row rate (paper Fig. 4: 0.38–5.6 %
@@ -82,11 +91,40 @@ impl RateOracle {
             rng: SmallRng::seed_from_u64(seed),
         }
     }
+
+    /// Rebuilds an oracle from a [`persist_state`](FailureOracle::persist_state)
+    /// blob captured by a durability snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the blob is malformed or encodes an
+    /// invalid rate or RNG state.
+    pub fn from_persisted(blob: &[u8]) -> Result<Self, String> {
+        let mut d = Dec::new(blob);
+        let rate = d.f64()?;
+        let state_vec = d.u64_vec()?;
+        d.finish("rate oracle state")?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("rate oracle: rate {rate} outside [0, 1]"));
+        }
+        let state: [u64; 4] = state_vec
+            .try_into()
+            .map_err(|_| "rate oracle: rng state must be 4 words".to_string())?;
+        let rng = SmallRng::from_state(state)?;
+        Ok(RateOracle { rate, rng })
+    }
 }
 
 impl FailureOracle for RateOracle {
     fn page_fails(&mut self, _page: PageId, _generation: u64) -> bool {
         self.rng.gen::<f64>() < self.rate
+    }
+
+    fn persist_state(&self) -> Option<Vec<u8>> {
+        let mut e = Enc::with_capacity(48);
+        e.f64(self.rate);
+        e.u64_slice(&self.rng.state());
+        Some(e.into_bytes())
     }
 }
 
@@ -495,6 +533,129 @@ impl TestEngine {
     #[must_use]
     pub fn memo_counters(&self) -> Option<MemoStats> {
         self.oracle.memo_counters()
+    }
+
+    /// The oracle's persisted state, if it supports durability snapshots
+    /// ([`FailureOracle::persist_state`]).
+    #[must_use]
+    pub fn persist_oracle(&self) -> Option<Vec<u8>> {
+        self.oracle.persist_state()
+    }
+
+    /// Serializes the engine's dynamic state (in-flight tests, staging
+    /// occupancy, statistics) for a durability snapshot. The oracle, fault
+    /// session, and constructor-derived configuration travel separately.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        // Heap entries in a canonical order; stale (aborted/superseded)
+        // entries are included because lazy discard still pops them.
+        let mut flights: Vec<InFlight> = self.in_flight.iter().copied().collect();
+        flights.sort_unstable_by_key(|f| (f.end_ns, f.page, f.start_ns, f.generation));
+        e.u64(flights.len() as u64);
+        for f in &flights {
+            e.u64(f.end_ns);
+            e.u64(f.page);
+            e.u64(f.start_ns);
+            e.u64(f.generation);
+        }
+        let mut live: Vec<(PageId, u64)> = self
+            // memlint: allow(map-iter-order): sorted below
+            .in_flight_pages
+            .iter()
+            .map(|(&p, &g)| (p, g))
+            .collect();
+        live.sort_unstable();
+        e.u64(live.len() as u64);
+        for (p, g) in live {
+            e.u64(p);
+            e.u64(g);
+        }
+        // Staging: redirect map sorted by page; the free list travels
+        // verbatim because its LIFO order is observable through future
+        // slot assignments.
+        e.u64(self.staging.capacity as u64);
+        let mut redirect: Vec<(PageId, usize)> = self
+            .staging
+            // memlint: allow(map-iter-order): sorted below
+            .redirect
+            .iter()
+            .map(|(&p, &s)| (p, s))
+            .collect();
+        redirect.sort_unstable();
+        e.u64(redirect.len() as u64);
+        // memlint: allow(map-iter-order): iterating the sorted Vec, not the map
+        for (p, s) in redirect {
+            e.u64(p);
+            e.u64(s as u64);
+        }
+        let free: Vec<u64> = self.staging.free.iter().map(|&s| s as u64).collect();
+        e.u64_slice(&free);
+        e.u64(self.staging.peak_used as u64);
+        e.u64(self.stats.started);
+        e.u64(self.stats.completed);
+        e.u64(self.stats.failed);
+        e.u64(self.stats.aborted);
+        e.u64(self.stats.rejected);
+        e.u64(self.stats.ambiguous);
+        e.u64(self.stats.ecc_corrected);
+        e.u64(self.stats.ecc_uncorrectable);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) into
+    /// an engine built with the same configuration.
+    pub(crate) fn restore_state(&mut self, d: &mut Dec) -> Result<(), String> {
+        let n = d.u64()?;
+        self.in_flight.clear();
+        for _ in 0..n {
+            let end_ns = d.u64()?;
+            let page = d.u64()?;
+            let start_ns = d.u64()?;
+            let generation = d.u64()?;
+            self.in_flight.push(InFlight {
+                end_ns,
+                page,
+                start_ns,
+                generation,
+            });
+        }
+        let n = d.u64()?;
+        self.in_flight_pages.clear();
+        for _ in 0..n {
+            let page = d.u64()?;
+            let generation = d.u64()?;
+            self.in_flight_pages.insert(page, generation);
+        }
+        let capacity =
+            usize::try_from(d.u64()?).map_err(|_| "test engine: capacity overflow".to_string())?;
+        if capacity != self.staging.capacity {
+            return Err(format!(
+                "test engine: snapshot staging capacity {capacity} does not match configured {}",
+                self.staging.capacity
+            ));
+        }
+        let n = d.u64()?;
+        self.staging.redirect.clear();
+        for _ in 0..n {
+            let page = d.u64()?;
+            let slot = usize::try_from(d.u64()?)
+                .map_err(|_| "test engine: staging slot overflow".to_string())?;
+            self.staging.redirect.insert(page, slot);
+        }
+        self.staging.free = d
+            .u64_vec()?
+            .into_iter()
+            .map(|s| usize::try_from(s).map_err(|_| "test engine: free slot overflow".to_string()))
+            .collect::<Result<Vec<usize>, String>>()?;
+        self.staging.peak_used = usize::try_from(d.u64()?)
+            .map_err(|_| "test engine: peak occupancy overflow".to_string())?;
+        self.stats.started = d.u64()?;
+        self.stats.completed = d.u64()?;
+        self.stats.failed = d.u64()?;
+        self.stats.aborted = d.u64()?;
+        self.stats.rejected = d.u64()?;
+        self.stats.ambiguous = d.u64()?;
+        self.stats.ecc_corrected = d.u64()?;
+        self.stats.ecc_uncorrectable = d.u64()?;
+        Ok(())
     }
 
     /// Cancels every in-flight test and releases all staging slots (used

@@ -19,13 +19,16 @@
 //!   model, chip tester, and experiments suite),
 //! * [`calq`] — a deterministic calendar-queue scheduler (plus its
 //!   linear-scan slow reference) backing the refresh due-page planes in
-//!   `memcon` and `memsim`.
+//!   `memcon` and `memsim`,
+//! * [`codec`] — a little-endian binary encoder/decoder used by the durable
+//!   state store (`crates/store`) and the engine snapshot serializers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
 pub mod calq;
+pub mod codec;
 pub mod json;
 pub mod par;
 pub mod rng;

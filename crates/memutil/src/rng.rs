@@ -252,6 +252,23 @@ pub struct Xoshiro256StarStar {
     s: [u64; 4],
 }
 
+impl Xoshiro256StarStar {
+    /// Expose the 256-bit internal state so a generator mid-stream can be
+    /// persisted (durable snapshots) and resumed bit-identically.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a persisted [`state`](Self::state). The
+    /// all-zero state is a fixed point of xoshiro and is rejected.
+    pub fn from_state(s: [u64; 4]) -> Result<Self, String> {
+        if s == [0, 0, 0, 0] {
+            return Err("xoshiro256**: all-zero state is invalid".to_string());
+        }
+        Ok(Xoshiro256StarStar { s })
+    }
+}
+
 impl RngCore for Xoshiro256StarStar {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -1,0 +1,327 @@
+//! Typed WAL records: the MEMCON state transitions worth journaling.
+//!
+//! Records are compact tagged binary values (one tag byte, then
+//! little-endian fields via [`memutil::codec`]). The WAL is an *audit
+//! trail with a testable tail*: recovery state itself travels in
+//! snapshots, while records document every transition between snapshot
+//! points and give the torn-tail machinery real frames to truncate.
+
+use memutil::codec::{Dec, Enc};
+
+/// A single journaled MEMCON state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A profiling run started.
+    RunBegin {
+        /// Pages under management.
+        n_pages: u64,
+        /// Planned run horizon in trace nanoseconds.
+        duration_ns: u64,
+        /// Test-quantum length in nanoseconds.
+        quantum_ns: u64,
+    },
+    /// A retention test was dispatched to a test slot.
+    TestStarted {
+        /// Page under test.
+        page: u64,
+        /// Quantum index at dispatch.
+        quantum: u64,
+    },
+    /// A retention test completed and its verdict was recorded.
+    TestCompleted {
+        /// Page under test.
+        page: u64,
+        /// Verdict discriminant (pass / fail / ambiguous).
+        verdict: u8,
+        /// Completion time in trace nanoseconds.
+        end_ns: u64,
+    },
+    /// A page changed refresh bin.
+    BinChanged {
+        /// The page.
+        page: u64,
+        /// New bin discriminant.
+        state: u8,
+        /// Transition time in trace nanoseconds.
+        at_ns: u64,
+    },
+    /// A page was pinned to HI-REF (escape response).
+    PinHigh {
+        /// The page.
+        page: u64,
+        /// Pin time in trace nanoseconds.
+        at_ns: u64,
+    },
+    /// A HI-REF pin was released after re-test.
+    PinReleased {
+        /// The page.
+        page: u64,
+        /// Release time in trace nanoseconds.
+        at_ns: u64,
+    },
+    /// A page entered the PRIL write-interval tracker.
+    PrilEntered {
+        /// The page.
+        page: u64,
+        /// Quantum index at entry.
+        quantum: u64,
+    },
+    /// A page aged out of PRIL tracking as a test candidate.
+    PrilEvicted {
+        /// The page.
+        page: u64,
+        /// Quantum index at eviction.
+        quantum: u64,
+    },
+    /// Quantum-boundary progress marker (pairs with cadence snapshots).
+    Progress {
+        /// Quantum index just completed.
+        quantum: u64,
+        /// Trace time in nanoseconds.
+        now_ns: u64,
+    },
+    /// Fleet epoch barrier marker.
+    EpochSample {
+        /// Epoch index just completed.
+        epoch: u64,
+    },
+    /// The run finished cleanly.
+    RunFinished {
+        /// Final trace time in nanoseconds.
+        at_ns: u64,
+    },
+    /// A recovery replayed this store (journaled *after* recovery, in the
+    /// fresh post-recovery segment).
+    RecoveryEvent {
+        /// Records replayed from the WAL tail.
+        replayed_records: u64,
+        /// Bytes discarded from a torn or corrupt tail.
+        truncated_bytes: u64,
+    },
+}
+
+const TAG_RUN_BEGIN: u8 = 0;
+const TAG_TEST_STARTED: u8 = 1;
+const TAG_TEST_COMPLETED: u8 = 2;
+const TAG_BIN_CHANGED: u8 = 3;
+const TAG_PIN_HIGH: u8 = 4;
+const TAG_PIN_RELEASED: u8 = 5;
+const TAG_PRIL_ENTERED: u8 = 6;
+const TAG_PRIL_EVICTED: u8 = 7;
+const TAG_PROGRESS: u8 = 8;
+const TAG_EPOCH_SAMPLE: u8 = 9;
+const TAG_RUN_FINISHED: u8 = 10;
+const TAG_RECOVERY_EVENT: u8 = 11;
+
+impl Record {
+    /// Encode to the tagged binary payload framed by the WAL.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(32);
+        match *self {
+            Record::RunBegin {
+                n_pages,
+                duration_ns,
+                quantum_ns,
+            } => {
+                e.u8(TAG_RUN_BEGIN);
+                e.u64(n_pages);
+                e.u64(duration_ns);
+                e.u64(quantum_ns);
+            }
+            Record::TestStarted { page, quantum } => {
+                e.u8(TAG_TEST_STARTED);
+                e.u64(page);
+                e.u64(quantum);
+            }
+            Record::TestCompleted {
+                page,
+                verdict,
+                end_ns,
+            } => {
+                e.u8(TAG_TEST_COMPLETED);
+                e.u64(page);
+                e.u8(verdict);
+                e.u64(end_ns);
+            }
+            Record::BinChanged { page, state, at_ns } => {
+                e.u8(TAG_BIN_CHANGED);
+                e.u64(page);
+                e.u8(state);
+                e.u64(at_ns);
+            }
+            Record::PinHigh { page, at_ns } => {
+                e.u8(TAG_PIN_HIGH);
+                e.u64(page);
+                e.u64(at_ns);
+            }
+            Record::PinReleased { page, at_ns } => {
+                e.u8(TAG_PIN_RELEASED);
+                e.u64(page);
+                e.u64(at_ns);
+            }
+            Record::PrilEntered { page, quantum } => {
+                e.u8(TAG_PRIL_ENTERED);
+                e.u64(page);
+                e.u64(quantum);
+            }
+            Record::PrilEvicted { page, quantum } => {
+                e.u8(TAG_PRIL_EVICTED);
+                e.u64(page);
+                e.u64(quantum);
+            }
+            Record::Progress { quantum, now_ns } => {
+                e.u8(TAG_PROGRESS);
+                e.u64(quantum);
+                e.u64(now_ns);
+            }
+            Record::EpochSample { epoch } => {
+                e.u8(TAG_EPOCH_SAMPLE);
+                e.u64(epoch);
+            }
+            Record::RunFinished { at_ns } => {
+                e.u8(TAG_RUN_FINISHED);
+                e.u64(at_ns);
+            }
+            Record::RecoveryEvent {
+                replayed_records,
+                truncated_bytes,
+            } => {
+                e.u8(TAG_RECOVERY_EVENT);
+                e.u64(replayed_records);
+                e.u64(truncated_bytes);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the payload is truncated, carries an
+    /// unknown tag, or has trailing bytes — all treated as corruption by
+    /// the recovery scan.
+    pub fn decode(payload: &[u8]) -> Result<Record, String> {
+        let mut d = Dec::new(payload);
+        let rec = match d.u8()? {
+            TAG_RUN_BEGIN => Record::RunBegin {
+                n_pages: d.u64()?,
+                duration_ns: d.u64()?,
+                quantum_ns: d.u64()?,
+            },
+            TAG_TEST_STARTED => Record::TestStarted {
+                page: d.u64()?,
+                quantum: d.u64()?,
+            },
+            TAG_TEST_COMPLETED => Record::TestCompleted {
+                page: d.u64()?,
+                verdict: d.u8()?,
+                end_ns: d.u64()?,
+            },
+            TAG_BIN_CHANGED => Record::BinChanged {
+                page: d.u64()?,
+                state: d.u8()?,
+                at_ns: d.u64()?,
+            },
+            TAG_PIN_HIGH => Record::PinHigh {
+                page: d.u64()?,
+                at_ns: d.u64()?,
+            },
+            TAG_PIN_RELEASED => Record::PinReleased {
+                page: d.u64()?,
+                at_ns: d.u64()?,
+            },
+            TAG_PRIL_ENTERED => Record::PrilEntered {
+                page: d.u64()?,
+                quantum: d.u64()?,
+            },
+            TAG_PRIL_EVICTED => Record::PrilEvicted {
+                page: d.u64()?,
+                quantum: d.u64()?,
+            },
+            TAG_PROGRESS => Record::Progress {
+                quantum: d.u64()?,
+                now_ns: d.u64()?,
+            },
+            TAG_EPOCH_SAMPLE => Record::EpochSample { epoch: d.u64()? },
+            TAG_RUN_FINISHED => Record::RunFinished { at_ns: d.u64()? },
+            TAG_RECOVERY_EVENT => Record::RecoveryEvent {
+                replayed_records: d.u64()?,
+                truncated_bytes: d.u64()?,
+            },
+            tag => return Err(format!("record: unknown tag {tag}")),
+        };
+        d.finish("record")?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::RunBegin {
+                n_pages: 4096,
+                duration_ns: 1_000_000_000,
+                quantum_ns: 64_000_000,
+            },
+            Record::TestStarted {
+                page: 7,
+                quantum: 3,
+            },
+            Record::TestCompleted {
+                page: 7,
+                verdict: 1,
+                end_ns: 123_456,
+            },
+            Record::BinChanged {
+                page: 9,
+                state: 2,
+                at_ns: 42,
+            },
+            Record::PinHigh { page: 1, at_ns: 5 },
+            Record::PinReleased { page: 1, at_ns: 9 },
+            Record::PrilEntered {
+                page: 20,
+                quantum: 1,
+            },
+            Record::PrilEvicted {
+                page: 20,
+                quantum: 2,
+            },
+            Record::Progress {
+                quantum: 11,
+                now_ns: 999,
+            },
+            Record::EpochSample { epoch: 6 },
+            Record::RunFinished { at_ns: 777 },
+            Record::RecoveryEvent {
+                replayed_records: 12,
+                truncated_bytes: 34,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_truncation_and_trailing_bytes() {
+        assert!(Record::decode(&[200]).is_err(), "unknown tag");
+        assert!(Record::decode(&[]).is_err(), "empty payload");
+        let mut bytes = Record::EpochSample { epoch: 1 }.encode();
+        bytes.pop();
+        assert!(Record::decode(&bytes).is_err(), "truncated field");
+        let mut bytes = Record::EpochSample { epoch: 1 }.encode();
+        bytes.push(0);
+        assert!(Record::decode(&bytes).is_err(), "trailing byte");
+    }
+}

@@ -124,6 +124,21 @@ pub fn observe(name: &str, edges: &[u64], value: u64) {
     }
 }
 
+/// Folds pre-aggregated bucket counts into the named
+/// [`Class::Deterministic`] histogram, creating it with `edges` on first
+/// use (see [`Histogram::merge_counts`]). Lets long-running engines
+/// accumulate distribution state in plain fields — cheap, and trivially
+/// persistable by the durable store — and flush it once at run end with a
+/// result identical to per-sample [`observe`] calls. No-op when telemetry
+/// is disabled.
+pub fn observe_merged(name: &str, edges: &[u64], buckets: &[u64], count: u64, sum: u64) {
+    let r = registry::current();
+    if r.is_enabled() {
+        r.histogram(name, Class::Deterministic, edges)
+            .merge_counts(buckets, count, sum);
+    }
+}
+
 /// Records `value` in the named [`Class::Timing`] histogram on the
 /// current registry, creating it with `edges` on first use. Timing
 /// histograms live in the report's `timing` section, which the

@@ -102,6 +102,32 @@ impl Histogram {
             });
     }
 
+    /// Folds pre-aggregated bucket counts into this histogram in one shot.
+    ///
+    /// `buckets` pairs positionally with this histogram's buckets (extra
+    /// source entries are dropped into the overflow bucket); `count` and
+    /// `sum` are added verbatim. Lets an engine accumulate a histogram in
+    /// plain fields during a run and flush it once at the end — keeping the
+    /// per-sample hot path free of registry traffic and the merged result
+    /// identical to having called [`Histogram::record`] per sample.
+    pub fn merge_counts(&self, buckets: &[u64], count: u64, sum: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let last = self.buckets.len() - 1;
+        for (i, &n) in buckets.iter().enumerate() {
+            if n != 0 {
+                self.buckets[i.min(last)].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(sum))
+            });
+    }
+
     /// The configured bucket upper bounds.
     #[must_use]
     pub fn edges(&self) -> &[u64] {
@@ -342,6 +368,39 @@ mod tests {
         h.record(5);
         assert_eq!(h.count(), 1);
         assert_eq!(h.bucket_counts(), vec![1, 0]);
+    }
+
+    #[test]
+    fn merge_counts_matches_per_sample_records() {
+        let edges = [0u64, 4, 16, 64];
+        let live = Histogram::new(on(), &edges);
+        let merged = Histogram::new(on(), &edges);
+        let samples = [0u64, 1, 4, 5, 16, 17, 64, 65, 1000];
+        let mut buckets = vec![0u64; edges.len() + 1];
+        let mut sum = 0u64;
+        for &v in &samples {
+            live.record(v);
+            buckets[edges.partition_point(|&e| e < v)] += 1;
+            sum += v;
+        }
+        merged.merge_counts(&buckets, samples.len() as u64, sum);
+        assert_eq!(merged.bucket_counts(), live.bucket_counts());
+        assert_eq!(merged.count(), live.count());
+        assert_eq!(merged.sum(), live.sum());
+    }
+
+    #[test]
+    fn merge_counts_overflow_spill_and_disabled_guard() {
+        let h = Histogram::new(on(), &[10]);
+        // Source histogram with more buckets than ours: extras land in overflow.
+        h.merge_counts(&[1, 2, 3, 4], 10, 100);
+        assert_eq!(h.bucket_counts(), vec![1, 9]);
+
+        let flag = on();
+        let off = Histogram::new(Arc::clone(&flag), &[10]);
+        flag.store(false, Ordering::Relaxed);
+        off.merge_counts(&[5, 5], 10, 50);
+        assert_eq!(off.count(), 0);
     }
 
     #[test]

@@ -139,7 +139,13 @@ fn chaos_plan(seed: u64) -> Arc<FaultPlan> {
             .with_site(Site::TornRead, SiteSpec::rate(0.10))
             .with_site(Site::OracleDisagree, SiteSpec::rate(0.10))
             .with_site(Site::EccCorrectable, SiteSpec::rate(0.20))
-            .with_site(Site::EccUncorrectable, SiteSpec::rate(0.05)),
+            .with_site(Site::EccUncorrectable, SiteSpec::rate(0.05))
+            // The store sites stay cold in this soak (no store attached)
+            // but are armed so every registered site is covered; the
+            // `xtask crash` gate drives them against live WALs.
+            .with_site(Site::StoreTornWrite, SiteSpec::rate(0.02))
+            .with_site(Site::StoreShortRead, SiteSpec::rate(0.05))
+            .with_site(Site::StoreCorruptRecord, SiteSpec::rate(0.02)),
     )
 }
 

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crash;
 pub mod fleet;
 pub mod obs;
 pub mod top;
@@ -93,7 +94,8 @@ pub fn lint_cmd(update_ratchet: bool, json: Option<&str>) -> i32 {
 /// below byte-compares the freshly built experiments binary), the
 /// determinism gate, `obs --check`, a quick 3-plan chaos soak
 /// ([`chaos::chaos_cmd`]), the `chaos health` smoke (armed SLO monitor,
-/// alert latency, flight-record dump), the fleet smoke gate
+/// alert latency, flight-record dump), the quick crash-recovery soak
+/// ([`crash::crash_cmd`]), the fleet smoke gate
 /// ([`fleet::fleet_cmd`] with `--smoke`), `cargo test -q`, and — when
 /// `bench` is set —
 /// the `bench compare` regression gate plus the `obs` and `chaos`
@@ -147,6 +149,12 @@ pub fn ci_cmd(bench: bool) -> i32 {
     let health_code = chaos::chaos_cmd(&["health".to_string()]);
     if health_code != 0 {
         return health_code;
+    }
+
+    println!("ci: crash --quick (kill-at-random-WAL-offset recovery soak)");
+    let crash_code = crash::crash_cmd(&["--quick".to_string()]);
+    if crash_code != 0 {
+        return crash_code;
     }
 
     println!("ci: fleet smoke (jobs 1-vs-4 byte-diff, fault-free and faulted)");

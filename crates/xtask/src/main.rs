@@ -17,6 +17,7 @@ fn main() {
         Some("ci") => xtask::ci_cmd(args.iter().any(|a| a == "--bench")),
         Some("obs") => xtask::obs::obs_cmd(&args[1..]),
         Some("chaos") => xtask::chaos::chaos_cmd(&args[1..]),
+        Some("crash") => xtask::crash::crash_cmd(&args[1..]),
         Some("fleet") => xtask::fleet::fleet_cmd(&args[1..]),
         Some("top") => xtask::top::top_cmd(&args[1..]),
         Some("bench") => match args.get(1).map(String::as_str) {
@@ -73,6 +74,13 @@ fn usage() {
          \x20                           --serve); `overhead` gates the\n\
          \x20                           idle-injector cost (<2% on the eval\n\
          \x20                           kernel)\n\
+         \x20 crash [--quick] [--points=N]\n\
+         \x20                           crash-recovery soak gate: N seeded\n\
+         \x20                           kill-at-random-WAL-offset points\n\
+         \x20                           (recover, resume, byte-compare against\n\
+         \x20                           an uninterrupted reference run) plus a\n\
+         \x20                           corrupt-checksum leg and an injected\n\
+         \x20                           torn-write leg; --quick soaks 4 points\n\
          \x20 fleet [run|bench|soak|--smoke]\n\
          \x20                           fleet-scale simulation: `run` a sharded\n\
          \x20                           fleet (--nodes N --seed S --jobs J\n\
